@@ -1,0 +1,87 @@
+/// Ablation (beyond the paper's figures): what the §4.3 failure-recovery
+/// machinery buys. After a silent partial failure (routing tables stale),
+/// compare:
+///   - drop:               no timeouts (the paper's §6.6 measurement mode)
+///   - timeout:            T(q) fires, branch abandoned, DFS continues
+///   - timeout+alternates: failed subcell retried through a backup link
+/// Metrics: delivery, query completion, duplicate visits.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ares;
+using namespace ares::bench;
+
+struct Mode {
+  const char* name;
+  SimTime timeout;
+  bool retry;
+};
+
+void run_mode(const Mode& mode, double kill_fraction, const Setup& base,
+              exp::Table& t) {
+  Grid::Config cfg{.space = AttributeSpace::uniform(base.dims, base.levels, 0, 80)};
+  cfg.nodes = base.n;
+  cfg.oracle = true;
+  cfg.latency = "lan";
+  cfg.seed = base.seed;
+  cfg.protocol.gossip_enabled = false;
+  cfg.protocol.query_timeout = mode.timeout;
+  cfg.protocol.retry_alternates = mode.retry;
+  cfg.protocol.routing.slot_capacity = 3;
+  cfg.oracle_options.per_slot = 3;
+  Grid grid(std::move(cfg), uniform_points(cfg.space, 0, 80));
+
+  ChurnDriver churn(grid.net());
+  // Keep some origins alive for querying.
+  auto ids = grid.node_ids();
+  for (std::size_t i = 0; i < 20; ++i) churn.protect(ids[i]);
+  churn.fail_fraction(kill_fraction);
+
+  Rng rng(base.seed + 3);
+  Summary delivery;
+  std::uint64_t completed = 0, dups = 0;
+  const std::size_t reps = base.queries;
+  for (std::size_t i = 0; i < reps; ++i) {
+    auto q = best_case_query(grid.space(), base.selectivity, rng);
+    auto truth = grid.ground_truth(q).size();
+    if (truth == 0) continue;
+    NodeId origin = ids[i % 20];
+    auto out = grid.run_query(origin, q, kNoSigma, 900 * kSecond);
+    const auto* pq = grid.stats().find(out.id);
+    if (pq == nullptr) continue;
+    delivery.add(static_cast<double>(pq->hits) / static_cast<double>(truth));
+    dups += pq->duplicates;
+    if (out.completed) ++completed;
+  }
+  t.row({mode.name, exp::fmt(100 * kill_fraction, 0) + "%",
+         exp::fmt(delivery.empty() ? 0 : delivery.mean(), 3),
+         exp::fmt(100.0 * static_cast<double>(completed) /
+                      static_cast<double>(std::max<std::size_t>(1, reps)),
+                  1) +
+             "%",
+         std::to_string(dups)});
+}
+
+}  // namespace
+
+int main() {
+  exp::print_experiment_header(
+      "Ablation A", "failure recovery: drop vs timeout vs timeout+backups",
+      "expectation: drop mode loses whole subtrees behind dead links and "
+      "stalls (queries never complete); timeouts restore completion; backup "
+      "links restore most of the lost delivery");
+
+  Setup s = read_setup(1500, /*default_queries=*/20);
+  print_setup(s);
+
+  exp::Table t({"mode", "killed", "delivery", "completed", "duplicate visits"});
+  for (double kill : {0.1, 0.3}) {
+    run_mode({"drop (no timeout)", 0, false}, kill, s, t);
+    run_mode({"timeout only", 2 * kSecond, false}, kill, s, t);
+    run_mode({"timeout + alternates", 2 * kSecond, true}, kill, s, t);
+  }
+  t.print();
+  return 0;
+}

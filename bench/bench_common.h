@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file bench_common.h
+/// Shared setup for the figure-reproduction binaries: builds Grids from
+/// Table-1-style parameters with ARES_* environment overrides, so the
+/// default (minutes-long) run can be scaled up to the paper's full sizes
+/// (e.g. ARES_N=100000 ./fig06_network_size).
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/options.h"
+#include "core/grid.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "workload/churn_schedule.h"
+#include "workload/distributions.h"
+#include "workload/query_workload.h"
+
+namespace ares::bench {
+
+struct Setup {
+  std::size_t n = 0;
+  int dims = 5;
+  int levels = 3;
+  double selectivity = 0.125;
+  std::uint64_t sigma = 50;
+  std::size_t queries = 50;
+  std::uint64_t seed = 1;
+};
+
+/// Reads the paper's Table 1 defaults, each overridable via environment:
+/// ARES_N, ARES_DIMS, ARES_LEVELS, ARES_F, ARES_SIGMA (0 = infinity),
+/// ARES_QUERIES, ARES_SEED.
+inline Setup read_setup(std::size_t default_n, std::size_t default_queries = 50) {
+  Setup s;
+  s.n = option_u64("N", default_n);
+  s.dims = static_cast<int>(option_u64("DIMS", 5));
+  s.levels = static_cast<int>(option_u64("LEVELS", 3));
+  s.selectivity = option_double("F", 0.125);
+  s.sigma = option_u64("SIGMA", 50);
+  s.queries = option_u64("QUERIES", default_queries);
+  s.seed = option_u64("SEED", 1);
+  return s;
+}
+
+inline std::uint32_t sigma_of(const Setup& s) {
+  return s.sigma == 0 ? kNoSigma : static_cast<std::uint32_t>(s.sigma);
+}
+
+inline void print_setup(const Setup& s) {
+  exp::print_defaults(s.n, s.selectivity, s.sigma == 0 ? UINT64_MAX : s.sigma,
+                      s.dims, s.levels, 10.0, 20);
+}
+
+/// Oracle-bootstrapped grid (the converged-overlay experiments).
+inline std::unique_ptr<Grid> make_oracle_grid(const Setup& s,
+                                              const std::string& latency = "lan",
+                                              const char* dist = "uniform",
+                                              bool track_visited = true) {
+  Grid::Config cfg{.space = AttributeSpace::uniform(s.dims, s.levels, 0, 80)};
+  cfg.nodes = s.n;
+  cfg.oracle = true;
+  cfg.latency = latency;
+  cfg.seed = s.seed;
+  cfg.protocol.gossip_enabled = false;
+  cfg.track_visited = track_visited;
+  PointGen gen = std::string(dist) == "normal" ? hotspot_points(cfg.space)
+                 : std::string(dist) == "xtremlab"
+                     ? xtremlab_points(cfg.space)
+                     : uniform_points(cfg.space, 0, 80);
+  return std::make_unique<Grid>(std::move(cfg), std::move(gen));
+}
+
+/// Gossip-maintained grid (churn/failure experiments), converged for
+/// `convergence` simulated seconds, with the §4.3 timeout recovery enabled.
+/// `default_timeout_s` must exceed the worst-case completion latency of a
+/// forwarded subtree (sequential DFS hops x RTT); a premature timeout
+/// treats an alive neighbor as dead and purges a healthy link.
+inline std::unique_ptr<Grid> make_gossip_grid(const Setup& s,
+                                              SimTime convergence,
+                                              const std::string& latency = "lan",
+                                              bool track_visited = true,
+                                              double default_timeout_s = 5.0,
+                                              std::size_t slot_capacity = 3) {
+  Grid::Config cfg{.space = AttributeSpace::uniform(s.dims, s.levels, 0, 80)};
+  cfg.nodes = s.n;
+  cfg.oracle = false;
+  cfg.convergence = convergence;
+  cfg.latency = latency;
+  cfg.seed = s.seed;
+  cfg.protocol.gossip_enabled = true;
+  cfg.protocol.query_timeout =
+      from_seconds(option_double("TIMEOUT_S", default_timeout_s));
+  cfg.protocol.retry_alternates = slot_capacity > 1;
+  cfg.protocol.routing.slot_capacity = slot_capacity;
+  cfg.bootstrap_contacts = 5;
+  cfg.track_visited = track_visited;
+  return std::make_unique<Grid>(std::move(cfg),
+                                uniform_points(cfg.space, 0, 80));
+}
+
+/// f-selective queries at random aligned positions (the default workload).
+inline std::vector<RangeQuery> default_queries(const Grid& grid, const Setup& s,
+                                               Rng& rng) {
+  std::vector<RangeQuery> out;
+  out.reserve(s.queries);
+  for (std::size_t i = 0; i < s.queries; ++i)
+    out.push_back(best_case_query(grid.space(), s.selectivity, rng));
+  return out;
+}
+
+}  // namespace ares::bench

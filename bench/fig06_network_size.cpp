@@ -1,0 +1,43 @@
+/// Figure 6: routing overhead vs. network size (PeerSim setup).
+///
+/// Paper: overhead stays below ~3 messages per query across 100..100,000
+/// nodes; it grows roughly logarithmically up to ~10,000 nodes and then
+/// *decreases*, because with sigma = 50 a densely populated network
+/// satisfies the threshold before the query iterates all overlapping cells.
+///
+/// Default sizes stop at 30,000 to keep the run short; set
+/// ARES_MAX_N=100000 for the paper-scale point.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ares;
+  using namespace ares::bench;
+
+  Setup s = read_setup(/*default_n=*/0, /*default_queries=*/40);
+  exp::print_experiment_header(
+      "Figure 6", "routing overhead vs. network size",
+      "overhead < 3 msgs/query at every size; rises ~log(N) to ~10k nodes, "
+      "then falls (sigma=50 satisfied early in dense networks)");
+  print_setup(s);
+
+  std::vector<std::size_t> sizes{100, 316, 1000, 3162, 10000, 30000};
+  const std::size_t max_n = option_u64("MAX_N", 30000);
+  if (max_n >= 100000) sizes.push_back(100000);
+  while (!sizes.empty() && sizes.back() > max_n) sizes.pop_back();
+
+  exp::Table t({"N", "overhead (msgs/query)", "delivery", "queries"});
+  for (std::size_t n : sizes) {
+    Setup cur = s;
+    cur.n = n;
+    auto grid = make_oracle_grid(cur, "wan");
+    Rng rng(cur.seed + n);
+    auto queries = default_queries(*grid, cur, rng);
+    auto stats = exp::run_queries(*grid, queries, sigma_of(cur), 1);
+    t.row({std::to_string(n), exp::fmt(stats.mean_overhead),
+           exp::fmt(stats.mean_delivery), std::to_string(stats.queries)});
+  }
+  t.print();
+  exp::maybe_export_csv(t, "fig06_network_size");
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// Figure 11: delivery under replacement churn (PeerSim setup).
+///
+/// Paper: with 0.1% of nodes replaced every 10 s, delivery is barely
+/// disturbed (~1.0); with 0.2% (Gnutella-level churn) delivery dips but
+/// stays high (~0.8). One sigma=inf query is issued every 30 s over 3000 s;
+/// delivery = matching nodes reached / matching nodes alive at issue.
+///
+/// Protocol variants measured:
+///   - "paper": Fig. 4(b)'s pending-entry timeout T(q) with re-forwarding,
+///     ONE link per neighboring subcell (a timed-out subcell whose only
+///     link died is simply lost — the paper drops it rather than waiting
+///     for overlay repair);
+///   - "backup links" (extension): 3 candidates per subcell, timed-out
+///     branches retried through an alternate;
+///   - "no timeout": T(q) disabled — shows why the pending-table timeout is
+///     load-bearing (a dead child stalls its parent's entire remaining DFS).
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ares;
+using namespace ares::bench;
+
+double run_panel(const char* label, double churn_fraction, const Setup& s,
+                 SimTime timeout, std::size_t slot_capacity, bool print_series) {
+  std::cout << "-- churn = " << exp::fmt(100 * churn_fraction, 1)
+            << "% per 10s, " << label << " --\n";
+
+  Grid::Config cfg{.space = AttributeSpace::uniform(s.dims, s.levels, 0, 80)};
+  cfg.nodes = s.n;
+  cfg.oracle = false;
+  cfg.convergence = from_seconds(option_double("CONVERGENCE_S", 300));
+  cfg.latency = "lan";
+  cfg.seed = s.seed;
+  cfg.protocol.gossip_enabled = true;
+  cfg.protocol.query_timeout = timeout;
+  cfg.protocol.retry_alternates = slot_capacity > 1;
+  cfg.protocol.routing.slot_capacity = slot_capacity;
+  cfg.bootstrap_contacts = 5;
+  auto grid = std::make_unique<Grid>(std::move(cfg),
+                                     uniform_points(cfg.space, 0, 80));
+
+  ChurnDriver churn(grid->net(), grid->churn_factory());
+  churn.start_replacement_churn(churn_fraction, 10 * kSecond);
+
+  const SimTime duration = from_seconds(option_double("DURATION_S", 3000));
+  auto series = exp::delivery_timeline(
+      *grid,
+      [&](Rng& rng) { return best_case_query(grid->space(), s.selectivity, rng); },
+      duration, /*interval=*/30 * kSecond, /*settle=*/from_seconds(120),
+      kNoSigma);
+  churn.stop();
+
+  if (print_series) {
+    exp::Table t({"t (s)", "delivery", "matching alive at issue"});
+    for (std::size_t i = 0; i < series.size();
+         i += std::max<std::size_t>(1, series.size() / 20)) {
+      const auto& p = series[i];
+      t.row({exp::fmt(p.t_seconds, 0), exp::fmt(p.delivery, 3),
+             std::to_string(p.ground_truth)});
+    }
+    t.print();
+  }
+  Summary sum;
+  for (const auto& p : series) sum.add(p.delivery);
+  std::cout << "mean delivery: " << exp::fmt(sum.mean(), 3)
+            << "   min: " << exp::fmt(sum.empty() ? 0 : sum.min(), 3)
+            << "   churned in/out: " << churn.total_killed() << "\n\n";
+  return sum.mean();
+}
+
+}  // namespace
+
+int main() {
+  exp::print_experiment_header(
+      "Figure 11", "delivery vs. churn",
+      "(a) 0.1%/10s: delivery ~1.0 throughout; (b) 0.2%/10s (Gnutella "
+      "rate): delivery decreases but remains high (~0.8); the paper notes "
+      "recovery mechanisms 'would have allowed delivery close to 1'");
+  Setup s = read_setup(2000);
+  s.sigma = 0;  // the experiment uses no threshold
+  print_setup(s);
+
+  const SimTime tq = from_seconds(option_double("TIMEOUT_S", 5.0));
+  run_panel("paper protocol (T(q), single link/subcell)", kChurnLight.fraction,
+            s, tq, 1, /*print_series=*/true);
+  run_panel("paper protocol (T(q), single link/subcell)", kChurnGnutella.fraction,
+            s, tq, 1, true);
+  run_panel("backup links x3 (extension)", kChurnGnutella.fraction, s, tq, 3,
+            false);
+  run_panel("no timeout (why T(q) matters)", kChurnGnutella.fraction, s, 0, 1,
+            false);
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// federation_catalog: irregular cell boundaries on a realistic machine
+/// space — the paper's §3 worked example end to end.
+///
+/// Machines are described by (CPU ISA, memory, bandwidth, disk, OS); cell
+/// boundaries are semantically meaningful (memory cut at 256MB/512MB/...,
+/// open-ended above 16GB) rather than a regular grid, exactly as §4.1
+/// allows "to deal with skewed distributions of attribute values". We then
+/// run the paper's own example query:
+///
+///   CPU = IA32, MEM in [4GB, inf), BANDWIDTH in [512Kb/s, inf),
+///   DISK in [128GB, inf), OS in {Linux 2.6.19..2.6.20}
+
+#include <iostream>
+
+#include "core/grid.h"
+#include "workload/machine_space.h"
+
+int main() {
+  using namespace ares;
+
+  auto space = machine_space();
+  std::cout << "machine space: " << space.dimensions()
+            << " attributes, nesting depth " << space.max_level() << "\n";
+  for (int d = 0; d < space.dimensions(); ++d) {
+    std::cout << "  " << space.dim(d).name << " cells:";
+    for (CellIndex i = 0; i < space.cells_per_dim(); ++i) {
+      auto hi = space.cell_value_hi(d, i);
+      std::cout << " [" << space.cell_value_lo(d, i) << ","
+                << (hi ? std::to_string(*hi) : "inf") << "]";
+    }
+    std::cout << "\n";
+  }
+
+  Grid::Config cfg{.space = space};
+  cfg.nodes = 2000;
+  cfg.oracle = true;
+  cfg.latency = "wan";
+  cfg.seed = 3;
+  cfg.protocol.gossip_enabled = false;
+  Grid grid(cfg, machine_points());
+
+  auto query = paper_example_query();
+  auto truth = grid.ground_truth(query).size();
+  auto out = grid.run_query(grid.random_node(), query, /*sigma=*/20);
+  std::cout << "\npaper's example query (IA32 Linux boxes, >=4GB RAM, "
+               ">=512kb/s, >=128GB disk)\n";
+  std::cout << "  federation has " << truth << " such machines of "
+            << cfg.nodes << "; asked for 20, got " << out.matches.size()
+            << " in " << to_seconds(out.latency) << " s\n";
+  for (std::size_t i = 0; i < out.matches.size() && i < 5; ++i) {
+    const auto& m = out.matches[i];
+    std::cout << "    machine " << m.id << ": isa=" << m.values[kCpuIsa]
+              << " mem=" << m.values[kMemoryMb] << "MB"
+              << " bw=" << m.values[kBandwidthKbps] << "kb/s"
+              << " disk=" << m.values[kDiskGb] << "GB"
+              << " os=" << m.values[kOsCode] << "\n";
+  }
+
+  // Attribute values above the last cut land in the open-ended top cell:
+  // query for monster machines (>= 64 GB RAM — beyond every boundary).
+  auto big = RangeQuery::any(5).with(kMemoryMb, 65536, std::nullopt);
+  auto big_out = grid.run_query(grid.random_node(), big);
+  std::cout << "\nmachines with >=64GB RAM (open-ended top cell): "
+            << big_out.matches.size() << " (ground truth "
+            << grid.ground_truth(big).size() << ")\n";
+
+  // Routing overhead stays tiny even on the irregular grid.
+  const auto* pq = grid.stats().find(out.id);
+  std::cout << "routing overhead of the example query: " << pq->overhead
+            << " messages\n";
+  return 0;
+}

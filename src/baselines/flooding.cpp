@@ -1,0 +1,81 @@
+#include "baselines/flooding.h"
+
+#include <algorithm>
+
+namespace ares {
+
+QueryId FloodingNode::flood(const RangeQuery& q, int ttl) {
+  QueryId qid = (static_cast<QueryId>(id()) << 32) | next_seq_++;
+  FloodQueryMsg m;
+  m.id = qid;
+  m.origin = id();
+  m.query = q;
+  m.ttl = ttl;
+  handle_flood(m);  // local processing: match self, then fan out
+  return qid;
+}
+
+void FloodingNode::on_message(NodeId /*from*/, const Message& m) {
+  if (const auto* f = dynamic_cast<const FloodQueryMsg*>(&m)) {
+    handle_flood(*f);
+    return;
+  }
+  if (const auto* h = dynamic_cast<const FloodHitMsg*>(&m)) {
+    if (on_hit_) on_hit_(h->id, h->match);
+    return;
+  }
+}
+
+void FloodingNode::handle_flood(const FloodQueryMsg& m) {
+  if (!seen_.insert(m.id).second) return;  // duplicate: drop silently
+
+  if (m.query.matches(values_)) {
+    if (m.origin == id()) {
+      if (on_hit_) on_hit_(m.id, MatchRecord{id(), values_});
+    } else {
+      auto hit = std::make_unique<FloodHitMsg>();
+      hit->id = m.id;
+      hit->match = MatchRecord{id(), values_};
+      send(m.origin, std::move(hit));
+    }
+  }
+  if (m.ttl <= 0) return;
+  for (NodeId n : neighbors_) {
+    auto fwd = std::make_unique<FloodQueryMsg>(m);
+    fwd->ttl = m.ttl - 1;
+    ++forwarded_;
+    send(n, std::move(fwd));
+  }
+}
+
+void build_random_overlay(Network& net, std::size_t degree, Rng& rng) {
+  std::vector<FloodingNode*> nodes;
+  for (NodeId id : net.alive_ids())
+    if (auto* fn = net.find_as<FloodingNode>(id)) nodes.push_back(fn);
+  if (nodes.size() < 2) return;
+
+  // A node cannot have more distinct neighbors than peers exist.
+  degree = std::min(degree, nodes.size() - 1);
+
+  std::vector<std::unordered_set<NodeId>> links(nodes.size());
+  // Ring base guarantees connectivity...
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::size_t j = (i + 1) % nodes.size();
+    links[i].insert(nodes[j]->id());
+    links[j].insert(nodes[i]->id());
+  }
+  // ...random chords provide the expander-like fanout.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    while (links[i].size() < degree) {
+      std::size_t j = rng.index(nodes.size());
+      if (j == i) continue;
+      links[i].insert(nodes[j]->id());
+      links[j].insert(nodes[i]->id());
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    nodes[i]->set_neighbors(
+        std::vector<NodeId>(links[i].begin(), links[i].end()));
+}
+
+}  // namespace ares

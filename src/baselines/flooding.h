@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file flooding.h
+/// Unstructured-overlay flooding baseline (the paper's related work §2:
+/// "Zorilla is a resource discovery system based on an unstructured
+/// overlay, resembling the Gnutella network. This approach relies on
+/// message flooding to identify available resources, thus hampering its
+/// scalability").
+///
+/// Nodes sit in a random graph of fixed degree; a query floods with a TTL,
+/// every node seeing it for the first time forwards it to all neighbors and
+/// answers the originator directly if it matches. The comparison bench
+/// (bench/baseline_comparison) measures message cost and delivery against
+/// the cell-overlay protocol at equal workloads.
+
+#include <functional>
+#include <unordered_set>
+
+#include "core/messages.h"
+#include "sim/network.h"
+#include "space/query.h"
+
+namespace ares {
+
+struct FloodQueryMsg final : Message {
+  QueryId id = 0;
+  NodeId origin = kInvalidNode;
+  RangeQuery query;
+  int ttl = 0;
+
+  const char* type_name() const override { return "flood.query"; }
+  std::size_t wire_size() const override {
+    return 8 + 6 + 1 + 16 * static_cast<std::size_t>(query.dimensions());
+  }
+};
+
+struct FloodHitMsg final : Message {
+  QueryId id = 0;
+  MatchRecord match;
+
+  const char* type_name() const override { return "flood.hit"; }
+  std::size_t wire_size() const override { return 8 + 6 + 8 * match.values.size(); }
+};
+
+class FloodingNode final : public Node {
+ public:
+  explicit FloodingNode(Point values) : values_(std::move(values)) {}
+
+  const Point& values() const { return values_; }
+  void set_neighbors(std::vector<NodeId> n) { neighbors_ = std::move(n); }
+  const std::vector<NodeId>& neighbors() const { return neighbors_; }
+
+  /// Called at the originator whenever a hit arrives for one of its queries.
+  using HitFn = std::function<void(QueryId, const MatchRecord&)>;
+  void set_hit_callback(HitFn fn) { on_hit_ = std::move(fn); }
+
+  /// Floods a query with the given TTL; hits stream back asynchronously.
+  QueryId flood(const RangeQuery& q, int ttl);
+
+  void on_message(NodeId from, const Message& m) override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  void handle_flood(const FloodQueryMsg& m);
+
+  Point values_;
+  std::vector<NodeId> neighbors_;
+  std::unordered_set<QueryId> seen_;
+  HitFn on_hit_;
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+/// Wires every live FloodingNode into a connected random graph where each
+/// node has at least `degree` links (links are symmetric).
+void build_random_overlay(Network& net, std::size_t degree, Rng& rng);
+
+}  // namespace ares

@@ -1,0 +1,59 @@
+#include "baselines/slicing.h"
+
+namespace ares {
+
+SlicingNode::SlicingNode(double attribute, SimTime period, Rng rng)
+    : attribute_(attribute), slice_value_(0.0), period_(period), rng_(rng) {
+  slice_value_ = rng_.uniform();  // uniformly random initial slice value
+}
+
+void SlicingNode::start() {
+  SimTime phase = static_cast<SimTime>(
+      rng_.below(static_cast<std::uint64_t>(period_) + 1));
+  after(phase, [this] { tick(); });
+}
+
+void SlicingNode::tick() {
+  if (!peers_.empty() && !exchange_open_) {
+    NodeId peer = peers_[rng_.index(peers_.size())];
+    auto m = std::make_unique<SliceExchangeMsg>();
+    m->is_reply = false;
+    m->attribute = attribute_;
+    m->slice_value = slice_value_;
+    proposed_ = slice_value_;
+    exchange_open_ = true;
+    send(peer, std::move(m));
+  }
+  after(period_, [this] { tick(); });
+}
+
+void SlicingNode::on_message(NodeId from, const Message& m) {
+  const auto* ex = dynamic_cast<const SliceExchangeMsg*>(&m);
+  if (ex == nullptr) return;
+
+  if (!ex->is_reply) {
+    auto reply = std::make_unique<SliceExchangeMsg>();
+    reply->is_reply = true;
+    reply->attribute = attribute_;
+    reply->slice_value = slice_value_;  // pre-swap value, requester may adopt
+    if (misordered(attribute_, slice_value_, ex->attribute, ex->slice_value)) {
+      reply->swapped = true;
+      slice_value_ = ex->slice_value;  // adopt the requester's value
+    } else {
+      reply->swapped = false;
+    }
+    send(from, std::move(reply));
+    return;
+  }
+
+  // Reply to our own open exchange.
+  if (!exchange_open_) return;
+  exchange_open_ = false;
+  if (ex->swapped && slice_value_ == proposed_) {
+    // Complete the swap unless a concurrent exchange already changed us
+    // (the protocol is self-correcting, so dropping the stale swap is fine).
+    slice_value_ = ex->slice_value;
+  }
+}
+
+}  // namespace ares

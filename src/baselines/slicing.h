@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file slicing.h
+/// Gossip-based ordered slicing baseline [Jelasity & Kermarrec 2006] — the
+/// closest related system the paper discusses (§2): nodes sort themselves
+/// along one attribute by swapping uniformly random "slice values" whenever
+/// two peers find them out of order w.r.t. their attributes. After
+/// convergence, a node's slice value approximates its normalized attribute
+/// rank, so "the top fraction f" selects itself.
+///
+/// The paper's contrast, which bench/baseline_comparison quantifies:
+///   - slicing answers "give me the best f%", not "give me sigma nodes
+///     matching a multi-attribute range";
+///   - it is single-attribute;
+///   - EVERY node gossips continuously for EVERY metric of interest — the
+///     whole overlay collaborates in answering any query.
+
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace ares {
+
+struct SliceExchangeMsg final : Message {
+  bool is_reply = false;
+  double attribute = 0.0;
+  double slice_value = 0.0;
+  /// In a reply: whether the responder accepted the proposed swap (and
+  /// therefore `slice_value` carries its pre-swap value for the requester).
+  bool swapped = false;
+
+  const char* type_name() const override {
+    return is_reply ? "slice.reply" : "slice.request";
+  }
+  std::size_t wire_size() const override { return 1 + 8 + 8 + 1 + 6; }
+};
+
+class SlicingNode final : public Node {
+ public:
+  /// \param attribute the (single) metric to sort on
+  /// \param period    gossip period
+  SlicingNode(double attribute, SimTime period, Rng rng);
+
+  /// Peer-sampling substrate: a static random sample stands in for the
+  /// underlying CYCLON layer (well-mixed assumption of the original paper).
+  void set_peers(std::vector<NodeId> peers) { peers_ = std::move(peers); }
+
+  double attribute() const { return attribute_; }
+  double slice_value() const { return slice_value_; }
+
+  /// True when this node believes it belongs to the top `fraction` slice.
+  bool in_top_slice(double fraction) const { return slice_value_ >= 1.0 - fraction; }
+
+  void start() override;
+  void on_message(NodeId from, const Message& m) override;
+
+ private:
+  void tick();
+  /// Swap rule: slice values must be ordered like attributes.
+  static bool misordered(double attr_a, double slice_a, double attr_b,
+                         double slice_b) {
+    return (attr_a - attr_b) * (slice_a - slice_b) < 0.0;
+  }
+
+  double attribute_;
+  double slice_value_;
+  SimTime period_;
+  Rng rng_;
+  std::vector<NodeId> peers_;
+  double proposed_ = 0.0;  // slice value in flight during an exchange
+  bool exchange_open_ = false;
+};
+
+}  // namespace ares

@@ -1,0 +1,17 @@
+#include "common/hashing.h"
+
+namespace ares {
+
+std::uint64_t hash_u32_vector(const std::vector<std::uint32_t>& v) {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint32_t x : v) h = hash_mix(h, x);
+  return h;
+}
+
+std::uint64_t hash_u64_vector(const std::vector<std::uint64_t>& v) {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint64_t x : v) h = hash_mix(h, x);
+  return h;
+}
+
+}  // namespace ares

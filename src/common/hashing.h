@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file hashing.h
+/// Stable, seedable hashing utilities (FNV-1a based) used for cell keys and
+/// the DHT key space. Stability across runs/platforms matters because test
+/// expectations and experiment seeds depend on it; std::hash gives no such
+/// guarantee.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ares {
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over raw bytes, continuing from a previous hash state. Named
+/// distinctly from the string overload: a `const char*` would otherwise
+/// prefer the void* conversion and misread its second argument as a length.
+constexpr std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                                    std::uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over a string.
+inline std::uint64_t fnv1a(std::string_view s, std::uint64_t h = kFnvOffset) {
+  return fnv1a_bytes(s.data(), s.size(), h);
+}
+
+/// Mixes one 64-bit word into a hash state (splitmix-style finalizer).
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+/// Hash of an integer vector (order-sensitive).
+std::uint64_t hash_u32_vector(const std::vector<std::uint32_t>& v);
+
+/// Hash of an integer vector (order-sensitive).
+std::uint64_t hash_u64_vector(const std::vector<std::uint64_t>& v);
+
+}  // namespace ares

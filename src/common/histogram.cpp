@@ -1,0 +1,58 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace ares {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  assert(!edges_.empty());
+  assert(std::is_sorted(edges_.begin(), edges_.end()));
+  counts_.assign(edges_.size(), 0);
+}
+
+Histogram Histogram::fixed_width(double width, std::size_t count) {
+  std::vector<double> edges(count);
+  for (std::size_t i = 0; i < count; ++i) edges[i] = width * static_cast<double>(i);
+  return Histogram(std::move(edges));
+}
+
+std::size_t Histogram::bucket_of(double value) const {
+  // First edge > value, minus one; clamp below the first edge into bucket 0.
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  if (it == edges_.begin()) return 0;
+  return static_cast<std::size_t>(it - edges_.begin()) - 1;
+}
+
+void Histogram::add(double value) {
+  ++counts_[bucket_of(value)];
+  ++total_;
+}
+
+double Histogram::fraction(std::size_t bucket) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bucket]) / static_cast<double>(total_);
+}
+
+std::string Histogram::label(std::size_t bucket) const {
+  char buf[64];
+  if (bucket + 1 == edges_.size()) {
+    std::snprintf(buf, sizeof(buf), ">=%g", edges_[bucket]);
+  } else {
+    // Integer-style "lo-hi" label when edges are whole numbers (the paper's
+    // figures use inclusive integer bucket labels such as "11-20").
+    double lo = edges_[bucket];
+    double hi = edges_[bucket + 1];
+    if (lo == static_cast<double>(static_cast<long long>(lo)) &&
+        hi == static_cast<double>(static_cast<long long>(hi))) {
+      std::snprintf(buf, sizeof(buf), "%lld-%lld", static_cast<long long>(lo),
+                    static_cast<long long>(hi) - 1);
+    } else {
+      std::snprintf(buf, sizeof(buf), "[%g,%g)", lo, hi);
+    }
+  }
+  return buf;
+}
+
+}  // namespace ares

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file histogram.h
+/// Simple bucketed histogram used to reproduce the paper's load- and
+/// neighbor-distribution figures (Fig. 9 and Fig. 10), which report the
+/// percentage of nodes falling in fixed-width buckets.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ares {
+
+/// A histogram over fixed, caller-defined bucket edges.
+///
+/// Buckets are [edge[i], edge[i+1]) with a final overflow bucket
+/// [edge.back(), +inf). Values below edge[0] land in bucket 0.
+class Histogram {
+ public:
+  /// \param edges strictly increasing bucket lower edges; must be non-empty.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Convenience: `count` equal-width buckets of width `width` starting at 0.
+  static Histogram fixed_width(double width, std::size_t count);
+
+  void add(double value);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bucket) const { return counts_[bucket]; }
+  std::uint64_t total() const { return total_; }
+
+  /// Fraction (0..1) of samples in the given bucket; 0 if empty histogram.
+  double fraction(std::size_t bucket) const;
+
+  /// Human-readable label for a bucket, e.g. "10-19" or ">=100".
+  std::string label(std::size_t bucket) const;
+
+  /// Index of the bucket a value falls in.
+  std::size_t bucket_of(double value) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ares

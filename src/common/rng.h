@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All randomness in ares flows through Rng so that every simulation,
+/// experiment and test is reproducible from a single seed. The engine is
+/// xoshiro256** seeded via splitmix64 (fast, high quality, and stable across
+/// platforms, unlike std::mt19937's distribution implementations).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ares {
+
+/// Deterministic random number generator with convenience sampling helpers.
+///
+/// Copyable (copies fork the stream state) and cheap to pass by reference.
+class Rng {
+ public:
+  /// Seeds the generator. Identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal sample (Box-Muller; deterministic, no cached spare).
+  double normal();
+
+  /// Normal sample with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Zipf-like sample over ranks [0, n) with exponent s (s > 0): rank r is
+  /// drawn with probability proportional to 1/(r+1)^s.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Uniformly chosen element index of a non-empty container size.
+  std::size_t index(std::size_t size);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Forks an independent child stream (seeded from this stream).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ares

@@ -1,0 +1,56 @@
+#include "common/summary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ares {
+
+void Summary::add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sumsq_ += v * v;
+  sorted_valid_ = false;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double n = static_cast<double>(samples_.size());
+  double var = sumsq_ / n - (sum_ / n) * (sum_ / n);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::quantile(double q) const {
+  assert(!samples_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  // Nearest-rank on [0, n-1].
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  auto idx = static_cast<std::size_t>(std::llround(pos));
+  return sorted_[idx];
+}
+
+}  // namespace ares

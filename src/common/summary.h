@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file summary.h
+/// Sample accumulators: running moments plus exact percentiles over retained
+/// samples. Used by the experiment harness to report mean/percentile routing
+/// overhead, delivery, load, and neighbor counts.
+
+#include <cstdint>
+#include <vector>
+
+namespace ares {
+
+/// Accumulates double samples; O(n) memory (samples retained for quantiles).
+class Summary {
+ public:
+  void add(double v);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Population standard deviation; 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Exact quantile q in [0,1] by nearest-rank; requires at least one sample.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+};
+
+}  // namespace ares

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file types.h
+/// Fundamental identifier and value types shared across all ares subsystems.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ares {
+
+/// Identifier of a (simulated) network endpoint. Stable for the lifetime of a
+/// node incarnation; a node that leaves and rejoins receives a fresh NodeId
+/// (the paper's "re-enter under a different identity").
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Globally unique query identifier (assigned by the originating node).
+using QueryId = std::uint64_t;
+
+/// One attribute value. The paper assumes attribute values can be uniquely
+/// mapped to natural numbers; we adopt that mapping directly.
+using AttrValue = std::uint64_t;
+
+/// A node's position in the d-dimensional attribute space: one value per
+/// attribute/dimension, index i holding the value of attribute a_i.
+using Point = std::vector<AttrValue>;
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Convenience: seconds (double) -> SimTime.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Convenience: SimTime -> seconds (double).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace ares

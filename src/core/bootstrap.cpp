@@ -1,0 +1,104 @@
+#include "core/bootstrap.h"
+
+#include <unordered_map>
+
+#include "core/selection_node.h"
+#include "space/cells.h"
+
+namespace ares {
+namespace {
+
+/// Sibling-prefix bucket key: which slot population a member belongs to.
+/// depth = k+1 (dimensions considered), prefix = low k+1 bits of the
+/// member's half-signature inside its C_l cell.
+std::uint64_t bucket_key(int depth, std::uint32_t prefix) {
+  return (static_cast<std::uint64_t>(depth) << 32) | prefix;
+}
+
+std::uint32_t mask_low(int bits) {
+  return bits >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << bits) - 1);
+}
+
+}  // namespace
+
+void oracle_bootstrap(Network& net, const AttributeSpace& space,
+                      const OracleOptions& opt) {
+  Cells cells(space);
+  const int d = space.dimensions();
+  const int L = space.max_level();
+
+  // Snapshot all live protocol nodes.
+  std::vector<SelectionNode*> nodes;
+  std::vector<PeerDescriptor> descs;
+  for (NodeId id : net.alive_ids()) {
+    auto* sn = net.find_as<SelectionNode>(id);
+    if (sn == nullptr) continue;
+    nodes.push_back(sn);
+    descs.push_back(sn->descriptor());
+  }
+  const std::size_t n = nodes.size();
+  for (auto* sn : nodes) sn->routing().clear();
+
+  Rng& rng = net.sim().rng();
+
+  // --- neighborsZero: complete level-0 cell membership ---
+  if (opt.fill_zero) {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> zero_groups;
+    for (std::size_t i = 0; i < n; ++i)
+      zero_groups[cells.cell_key(descs[i].coord, 0)].push_back(i);
+    for (const auto& [key, members] : zero_groups) {
+      if (members.size() < 2) continue;
+      for (std::size_t i : members)
+        for (std::size_t j : members)
+          if (i != j) nodes[i]->routing().offer(descs[j]);
+    }
+  }
+
+  // --- N(l,k) slots: per level, group members by C_l cell, then bucket by
+  // half-signature prefixes so each node's sibling populations are direct
+  // lookups. The half-signature's bit j says which half of C_l the member
+  // occupies along dimension j (its level-(l-1) index parity).
+  for (int l = 1; l <= L; ++l) {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < n; ++i)
+      groups[cells.cell_key(descs[i].coord, l)].push_back(i);
+
+    std::vector<std::uint32_t> sig(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t s = 0;
+      for (int j = 0; j < d; ++j)
+        s |= (Cells::at_level(descs[i].coord[static_cast<std::size_t>(j)], l - 1) & 1u)
+             << j;
+      sig[i] = s;
+    }
+
+    for (const auto& [key, members] : groups) {
+      if (members.size() < 2) continue;
+      std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+      for (std::size_t i : members)
+        for (int k = 0; k < d; ++k)
+          buckets[bucket_key(k + 1, sig[i] & mask_low(k + 1))].push_back(i);
+
+      for (std::size_t i : members) {
+        for (int k = 0; k < d; ++k) {
+          // The sibling prefix: agree with us below dimension k, differ at k.
+          std::uint32_t p =
+              (sig[i] & mask_low(k)) | ((sig[i] ^ (std::uint32_t{1} << k)) &
+                                        (std::uint32_t{1} << k));
+          auto it = buckets.find(bucket_key(k + 1, p));
+          if (it == buckets.end()) continue;  // empty subcell
+          const auto& pop = it->second;
+          std::size_t take = std::min(opt.per_slot, pop.size());
+          if (take == pop.size()) {
+            for (std::size_t j : pop) nodes[i]->routing().offer(descs[j]);
+          } else {
+            for (std::size_t idx : rng.sample_indices(pop.size(), take))
+              nodes[i]->routing().offer(descs[pop[idx]]);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ares

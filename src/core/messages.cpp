@@ -1,0 +1,9 @@
+#include "core/messages.h"
+
+// Message types are header-only; this TU anchors their vtables.
+
+namespace ares {
+
+static_assert(kNoSigma > 0, "sigma sentinel must be positive");
+
+}  // namespace ares

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file messages.h
+/// The QUERY and REPLY wire formats of Figure 4(a) in the paper.
+///
+/// QUERY fields map 1:1 to the paper:
+///   id        -> QueryMsg::id
+///   address   -> QueryMsg::reply_to   (address of the last forwarder)
+///   ranges    -> QueryMsg::query      (vector of desired ranges per attribute)
+///   sigma     -> QueryMsg::sigma      (number of nodes to find; optional)
+///   level     -> QueryMsg::level      (cell level to explore; default max(l))
+///   dimensions-> QueryMsg::dims_mask  (set of dimensions to explore)
+///
+/// REPLY: id -> ReplyMsg::id, matching -> ReplyMsg::matching (address,values),
+/// sender is implicit in the simulated delivery.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "space/query.h"
+
+namespace ares {
+
+/// "σ = ∞": no threshold on the number of requested nodes.
+inline constexpr std::uint32_t kNoSigma = std::numeric_limits<std::uint32_t>::max();
+
+/// A discovered candidate: address plus attribute values.
+struct MatchRecord {
+  NodeId id = kInvalidNode;
+  Point values;
+};
+
+struct QueryMsg final : Message {
+  QueryId id = 0;
+  NodeId reply_to = kInvalidNode;  // last forwarder; replies go here
+  NodeId origin = kInvalidNode;    // originating node (measurement only)
+  RangeQuery query;
+  std::uint32_t sigma = kNoSigma;
+  /// Cell level to explore next. max(l) on creation; -1 marks a leaf probe
+  /// sent to a level-0 cohabitant that must only answer, not forward.
+  int level = 0;
+  /// Bit k set <=> dimension k may still be explored at `level`.
+  std::uint32_t dims_mask = 0;
+
+  const char* type_name() const override { return "select.query"; }
+  std::size_t wire_size() const override {
+    // id + addresses + sigma/level/dims + 2x8B per attribute range.
+    return 8 + 6 + 6 + 4 + 1 + 4 + 16 * static_cast<std::size_t>(query.dimensions());
+  }
+};
+
+/// Branch keepalive (engineering extension, see ProtocolConfig::
+/// query_timeout): a node working on a forwarded query heartbeats its
+/// parent so a fixed T(q) detects only true failures — without it, one
+/// dead node deep in a subtree delays every ancestor past its timeout and
+/// alive children get falsely declared dead.
+struct ProgressMsg final : Message {
+  QueryId id = 0;
+
+  const char* type_name() const override { return "select.progress"; }
+  std::size_t wire_size() const override { return 8 + 6; }
+};
+
+struct ReplyMsg final : Message {
+  QueryId id = 0;
+  std::vector<MatchRecord> matching;
+
+  const char* type_name() const override { return "select.reply"; }
+  std::size_t wire_size() const override {
+    std::size_t s = 8 + 4;
+    for (const auto& m : matching) s += 6 + 8 * m.values.size();
+    return s;
+  }
+};
+
+/// Mask with the lowest `d` bits set (dimensions 0..d-1 all explorable).
+constexpr std::uint32_t all_dims_mask(int d) {
+  return d >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << d) - 1);
+}
+
+}  // namespace ares

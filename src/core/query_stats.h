@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file query_stats.h
+/// Concrete QueryObserver collecting the paper's metrics:
+///   - routing overhead: query deliveries at nodes that did not match,
+///     excluding the originator (§6: "the average number of hops traveled by
+///     a query through nodes that did not match the query themselves");
+///   - hits: distinct matching nodes reached (delivery numerator);
+///   - duplicates: repeat visits of the same node by one query (the paper
+///     reports zero; our property tests assert it).
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/summary.h"
+#include "core/selection_node.h"
+
+namespace ares {
+
+class QueryStats final : public QueryObserver {
+ public:
+  struct PerQuery {
+    NodeId origin = kInvalidNode;
+    std::uint32_t overhead = 0;    // non-matching, non-origin deliveries
+    std::uint32_t hits = 0;        // distinct matching nodes visited
+    std::uint32_t duplicates = 0;  // repeat visits (any kind)
+    bool completed = false;
+    std::size_t result_size = 0;
+    std::unordered_set<NodeId> visited;          // iff track_visited
+    std::unordered_set<NodeId> matched_visited;  // iff track_visited
+  };
+
+  /// \param track_visited keep per-query visited sets (exact duplicate and
+  ///        delivery accounting). Disable for very large sweeps; duplicates
+  ///        then read 0 and `hits` counts deliveries, which is identical as
+  ///        long as the protocol keeps its exactly-once property.
+  explicit QueryStats(bool track_visited = true) : track_visited_(track_visited) {}
+
+  void on_query_visited(QueryId q, NodeId node, bool matched,
+                        bool is_origin) override;
+  void on_query_completed(QueryId q, NodeId origin,
+                          const std::vector<MatchRecord>& matches) override;
+
+  const PerQuery* find(QueryId q) const;
+  const std::unordered_map<QueryId, PerQuery>& per_query() const { return queries_; }
+
+  std::uint64_t total_overhead() const { return total_overhead_; }
+  std::uint64_t total_hits() const { return total_hits_; }
+  std::uint64_t total_duplicates() const { return total_duplicates_; }
+  std::uint64_t completed_count() const { return completed_; }
+
+  /// Mean routing overhead per observed query.
+  double mean_overhead() const;
+
+  void clear();
+
+ private:
+  bool track_visited_;
+  std::unordered_map<QueryId, PerQuery> queries_;
+  std::uint64_t total_overhead_ = 0;
+  std::uint64_t total_hits_ = 0;
+  std::uint64_t total_duplicates_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ares

@@ -1,0 +1,134 @@
+#include "core/routing_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace ares {
+
+RoutingTable::RoutingTable(const Cells& cells, CellCoord self_coord, NodeId self_id,
+                           RoutingConfig cfg)
+    : cells_(cells), self_coord_(std::move(self_coord)), self_id_(self_id), cfg_(cfg) {
+  slots_.resize(static_cast<std::size_t>(levels()) * static_cast<std::size_t>(dims()));
+}
+
+std::size_t RoutingTable::slot_index(int level, int dim) const {
+  assert(level >= 1 && level <= levels());
+  assert(dim >= 0 && dim < dims());
+  return static_cast<std::size_t>(level - 1) * static_cast<std::size_t>(dims()) +
+         static_cast<std::size_t>(dim);
+}
+
+void RoutingTable::insert_sorted(std::vector<PeerDescriptor>& v,
+                                 const PeerDescriptor& d, std::size_t cap) {
+  for (auto& e : v) {
+    if (e.id == d.id) {
+      if (d.age < e.age) e = d;
+      std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+        return a.age != b.age ? a.age < b.age : a.id < b.id;
+      });
+      return;
+    }
+  }
+  v.push_back(d);
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.age != b.age ? a.age < b.age : a.id < b.id;
+  });
+  if (cap != 0 && v.size() > cap) v.resize(cap);
+}
+
+void RoutingTable::offer(const PeerDescriptor& d) {
+  if (d.id == self_id_) return;
+  auto slot = cells_.classify(self_coord_, d.coord);
+  if (!slot) return;  // defensive; classification always succeeds
+  if (slot->level == 0) {
+    insert_sorted(zero_, d, cfg_.zero_capacity);
+  } else {
+    insert_sorted(slots_[slot_index(slot->level, slot->dim)], d, cfg_.slot_capacity);
+  }
+}
+
+void RoutingTable::remove(NodeId id) {
+  auto drop = [id](std::vector<PeerDescriptor>& v) {
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [id](const PeerDescriptor& e) { return e.id == id; }),
+            v.end());
+  };
+  drop(zero_);
+  for (auto& s : slots_) drop(s);
+}
+
+void RoutingTable::age_all() {
+  for (auto& e : zero_) ++e.age;
+  for (auto& s : slots_)
+    for (auto& e : s) ++e.age;
+}
+
+void RoutingTable::drop_older_than(std::uint32_t max_age) {
+  auto prune = [max_age](std::vector<PeerDescriptor>& v) {
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [max_age](const PeerDescriptor& e) { return e.age > max_age; }),
+            v.end());
+  };
+  prune(zero_);
+  for (auto& s : slots_) prune(s);
+}
+
+void RoutingTable::clear() {
+  zero_.clear();
+  for (auto& s : slots_) s.clear();
+}
+
+const PeerDescriptor* RoutingTable::neighbor(int level, int dim) const {
+  const auto& s = slots_[slot_index(level, dim)];
+  return s.empty() ? nullptr : &s.front();
+}
+
+const PeerDescriptor* RoutingTable::alternate(
+    int level, int dim, const std::vector<NodeId>& excluded) const {
+  for (const auto& e : slots_[slot_index(level, dim)]) {
+    if (std::find(excluded.begin(), excluded.end(), e.id) == excluded.end()) return &e;
+  }
+  return nullptr;
+}
+
+const PeerDescriptor* RoutingTable::best_for_region(
+    int level, int dim, const std::vector<NodeId>& excluded,
+    const Region& target) const {
+  const PeerDescriptor* fallback = nullptr;
+  for (const auto& e : slots_[slot_index(level, dim)]) {
+    if (std::find(excluded.begin(), excluded.end(), e.id) != excluded.end()) continue;
+    if (target.contains(e.coord)) return &e;
+    if (fallback == nullptr) fallback = &e;
+  }
+  return fallback;
+}
+
+const std::vector<PeerDescriptor>& RoutingTable::slot(int level, int dim) const {
+  return slots_[slot_index(level, dim)];
+}
+
+std::size_t RoutingTable::link_count() const {
+  std::unordered_set<NodeId> ids;
+  for (const auto& e : zero_) ids.insert(e.id);
+  for (const auto& s : slots_)
+    for (const auto& e : s) ids.insert(e.id);
+  return ids.size();
+}
+
+std::size_t RoutingTable::primary_link_count() const {
+  std::unordered_set<NodeId> ids;
+  for (const auto& e : zero_) ids.insert(e.id);
+  for (const auto& s : slots_)
+    if (!s.empty()) ids.insert(s.front().id);
+  return ids.size();
+}
+
+std::size_t RoutingTable::populated_slots() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_)
+    if (!s.empty()) ++n;
+  return n;
+}
+
+}  // namespace ares

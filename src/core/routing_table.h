@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file routing_table.h
+/// A node's links (§4.1): the neighborsZero set (every known cohabitant of
+/// its level-0 cell) plus, per neighboring subcell N(l,k), a small list of
+/// candidate neighbors — the first is the paper's n(l,k), the rest are
+/// backups used by the timeout-and-reforward recovery (§4.3).
+///
+/// Entries carry gossip ages; the table keeps the youngest descriptor per
+/// peer and can purge stale entries, which is how dead links wash out under
+/// churn ("the overlay merely reconfigures to repair the broken links").
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gossip/peer.h"
+#include "space/cells.h"
+
+namespace ares {
+
+struct RoutingConfig {
+  /// Candidates kept per N(l,k) slot (primary + backups).
+  std::size_t slot_capacity = 3;
+  /// Cap on the neighborsZero set; 0 = unbounded. The paper expects level-0
+  /// cells to be small ("only nodes strictly identical to each other").
+  std::size_t zero_capacity = 0;
+};
+
+class RoutingTable {
+ public:
+  RoutingTable(const Cells& cells, CellCoord self_coord, NodeId self_id,
+               RoutingConfig cfg);
+
+  int levels() const { return cells_.space().max_level(); }
+  int dims() const { return cells_.space().dimensions(); }
+
+  /// Classifies `d` relative to this node and stores it in the right slot
+  /// (or neighborsZero). Duplicate ids are refreshed with the younger
+  /// descriptor. Self is ignored.
+  void offer(const PeerDescriptor& d);
+
+  /// Removes a peer from every slot (known dead).
+  void remove(NodeId id);
+
+  /// Ages every entry by one gossip cycle.
+  void age_all();
+
+  /// Drops entries older than `max_age` cycles.
+  void drop_older_than(std::uint32_t max_age);
+
+  void clear();
+
+  /// The paper's n(l,k): primary (youngest) candidate for slot (level,dim);
+  /// nullptr when no node of that subcell is known (possibly an empty cell).
+  const PeerDescriptor* neighbor(int level, int dim) const;
+
+  /// Youngest slot candidate whose id is not in `excluded`; nullptr if none.
+  const PeerDescriptor* alternate(int level, int dim,
+                                  const std::vector<NodeId>& excluded) const;
+
+  /// Like alternate(), but prefers a candidate whose coordinates lie inside
+  /// `target` (a forwarded query's region): such a neighbor matches the
+  /// query itself, saving one overhead hop. Falls back to the youngest
+  /// non-excluded candidate. This is a local optimization the paper leaves
+  /// open (it keeps exactly one link per subcell); see
+  /// bench/ablation_query_shape.
+  const PeerDescriptor* best_for_region(int level, int dim,
+                                        const std::vector<NodeId>& excluded,
+                                        const Region& target) const;
+
+  /// All candidates of a slot, youngest first.
+  const std::vector<PeerDescriptor>& slot(int level, int dim) const;
+
+  /// The neighborsZero set (known cohabitants of this node's level-0 cell).
+  const std::vector<PeerDescriptor>& zero() const { return zero_; }
+
+  /// Number of distinct peers linked (zero set + slot entries, deduped).
+  std::size_t link_count() const;
+
+  /// The paper's Fig. 10 notion of "neighbors per node": the neighborsZero
+  /// list plus one link per populated N(l,k) slot (primaries only, deduped).
+  std::size_t primary_link_count() const;
+
+  /// Number of slots with at least one candidate.
+  std::size_t populated_slots() const;
+
+  const CellCoord& self_coord() const { return self_coord_; }
+
+ private:
+  std::size_t slot_index(int level, int dim) const;
+  static void insert_sorted(std::vector<PeerDescriptor>& v, const PeerDescriptor& d,
+                            std::size_t cap);
+
+  const Cells& cells_;
+  CellCoord self_coord_;
+  NodeId self_id_;
+  RoutingConfig cfg_;
+  std::vector<std::vector<PeerDescriptor>> slots_;  // [(level-1)*d + dim]
+  std::vector<PeerDescriptor> zero_;
+};
+
+}  // namespace ares

@@ -1,0 +1,323 @@
+#include "core/selection_node.h"
+
+#include <cassert>
+
+namespace ares {
+
+SelectionNode::SelectionNode(const AttributeSpace& space, Point values,
+                             ProtocolConfig cfg, std::vector<PeerDescriptor> bootstrap,
+                             Rng rng, QueryObserver* observer)
+    : space_(space),
+      cells_(space),
+      values_(std::move(values)),
+      coord_(space.coord_of(values_)),
+      cfg_(cfg),
+      bootstrap_(std::move(bootstrap)),
+      rng_(rng),
+      observer_(observer) {
+  assert(static_cast<int>(values_.size()) == space.dimensions());
+}
+
+PeerDescriptor SelectionNode::descriptor() const {
+  return PeerDescriptor{id(), values_, coord_, 0};
+}
+
+void SelectionNode::start() {
+  rt_ = std::make_unique<RoutingTable>(cells_, coord_, id(), cfg_.routing);
+
+  auto send_fn = [this](NodeId to, MessagePtr m) { send(to, std::move(m)); };
+  cyclon_ = std::make_unique<Cyclon>(descriptor(), cfg_.cyclon, rng_, send_fn);
+  vicinity_ =
+      std::make_unique<Vicinity>(descriptor(), cells_, cfg_.vicinity, rng_, send_fn);
+
+  cyclon_->seed(bootstrap_);
+  vicinity_->seed(bootstrap_, cyclon_->view());
+  for (const auto& c : bootstrap_) rt_->offer(c);
+  bootstrap_.clear();
+
+  if (cfg_.gossip_enabled) {
+    // Random initial phase desynchronizes cycles across nodes.
+    SimTime phase = static_cast<SimTime>(
+        rng_.below(static_cast<std::uint64_t>(cfg_.gossip_period) + 1));
+    after(phase, [this] { gossip_tick(); });
+  }
+}
+
+void SelectionNode::gossip_tick() {
+  // Two gossip initiations per cycle, one per layer (§6: "each node
+  // initiates exactly two gossips").
+  cyclon_->tick();
+  vicinity_->tick(cyclon_->view());
+  rt_->age_all();
+  rt_->drop_older_than(cfg_.rt_max_age);
+  refresh_routing();
+  after(cfg_.gossip_period, [this] { gossip_tick(); });
+}
+
+void SelectionNode::refresh_routing() {
+  for (const auto& d : cyclon_->view().entries()) rt_->offer(d);
+  for (const auto& d : vicinity_->view().entries()) rt_->offer(d);
+}
+
+void SelectionNode::set_values(Point values) {
+  assert(static_cast<int>(values.size()) == space_.dimensions());
+  values_ = std::move(values);
+  coord_ = space_.coord_of(values_);
+  if (rt_ == nullptr) return;  // not started yet
+  // Re-place ourselves: every link classifies differently now.
+  std::vector<PeerDescriptor> known;
+  for (const auto& e : rt_->zero()) known.push_back(e);
+  for (int l = 1; l <= rt_->levels(); ++l)
+    for (int k = 0; k < rt_->dims(); ++k)
+      for (const auto& e : rt_->slot(l, k)) known.push_back(e);
+  rt_ = std::make_unique<RoutingTable>(cells_, coord_, id(), cfg_.routing);
+  for (const auto& e : known) rt_->offer(e);
+  // Recreate gossip layers with the new self profile; views carry over.
+  auto send_fn = [this](NodeId to, MessagePtr m) { send(to, std::move(m)); };
+  auto cyclon_entries = cyclon_->view().entries();
+  auto vicinity_entries = vicinity_->view().entries();
+  cyclon_ = std::make_unique<Cyclon>(descriptor(), cfg_.cyclon, rng_, send_fn);
+  cyclon_->seed(cyclon_entries);
+  vicinity_ =
+      std::make_unique<Vicinity>(descriptor(), cells_, cfg_.vicinity, rng_, send_fn);
+  vicinity_->seed(vicinity_entries, cyclon_->view());
+}
+
+// ---- query protocol -----------------------------------------------------
+
+bool SelectionNode::matches_self(const RangeQuery& q) const {
+  return q.matches(values_) && q.matches_dynamic(dynamic_values_);
+}
+
+QueryId SelectionNode::submit(const RangeQuery& q, std::uint32_t sigma,
+                              CompletionFn done) {
+  assert(q.dimensions() == space_.dimensions());
+  assert(sigma > 0);
+  QueryId qid = (static_cast<QueryId>(id()) << 32) | next_query_seq_++;
+  QueryMsg qm;
+  qm.id = qid;
+  qm.reply_to = id();
+  qm.origin = id();
+  qm.query = q;
+  qm.sigma = sigma;
+  qm.level = space_.max_level();
+  qm.dims_mask = all_dims_mask(space_.dimensions());
+  handle_query(id(), qm, /*is_origin=*/true, std::move(done));
+  return qid;
+}
+
+void SelectionNode::on_message(NodeId from, const Message& m) {
+  if (cyclon_ != nullptr && cyclon_->handle(from, m)) {
+    refresh_routing();
+    return;
+  }
+  if (vicinity_ != nullptr && vicinity_->handle(from, m, cyclon_->view())) {
+    refresh_routing();
+    return;
+  }
+  if (const auto* q = dynamic_cast<const QueryMsg*>(&m)) {
+    handle_query(from, *q, /*is_origin=*/false, nullptr);
+    return;
+  }
+  if (const auto* r = dynamic_cast<const ReplyMsg*>(&m)) {
+    handle_reply(from, *r);
+    return;
+  }
+  if (const auto* p = dynamic_cast<const ProgressMsg*>(&m)) {
+    handle_progress(from, *p);
+    return;
+  }
+}
+
+void SelectionNode::handle_progress(NodeId from, const ProgressMsg& p) {
+  auto it = active_.find(p.id);
+  if (it == active_.end()) return;
+  auto w = it->second.waiting.find(from);
+  if (w == it->second.waiting.end()) return;
+  w->second.last_heard = sim().now();
+}
+
+void SelectionNode::keepalive_tick(QueryId qid) {
+  auto it = active_.find(qid);
+  if (it == active_.end() || it->second.is_origin) return;
+  auto msg = std::make_unique<ProgressMsg>();
+  msg->id = qid;
+  send(it->second.parent, std::move(msg));
+  after(std::max<SimTime>(1, cfg_.query_timeout / 2),
+        [this, qid] { keepalive_tick(qid); });
+}
+
+void SelectionNode::handle_query(NodeId from, const QueryMsg& qm, bool is_origin,
+                                 CompletionFn done) {
+  const bool matched = matches_self(qm.query);
+  if (observer_ != nullptr)
+    observer_->on_query_visited(qm.id, id(), matched, is_origin);
+
+  if (completed_.contains(qm.id) || active_.contains(qm.id)) {
+    // Duplicate delivery (possible only with timeout-based retransmission):
+    // answer idempotently with nothing new.
+    auto r = std::make_unique<ReplyMsg>();
+    r->id = qm.id;
+    send(from, std::move(r));
+    return;
+  }
+
+  auto [it, inserted] = active_.emplace(qm.id, QueryState{});
+  QueryState& st = it->second;
+  st.msg = qm;
+  st.region = qm.query.to_region(space_);
+  st.parent = qm.reply_to;
+  st.is_origin = is_origin;
+  st.done = std::move(done);
+  if (matched) st.matching.emplace(id(), MatchRecord{id(), values_});
+
+  // Heartbeat the parent while we work on its branch (see ProgressMsg):
+  // an immediate ack, then periodic keepalives until we reply.
+  if (!is_origin && cfg_.query_timeout > 0) keepalive_tick(qm.id);
+
+  if (st.matching.size() < st.msg.sigma) {
+    continue_query(st);
+  } else {
+    finish(st);
+  }
+}
+
+void SelectionNode::continue_query(QueryState& st) {
+  QueryMsg& q = st.msg;
+  const int d = space_.dimensions();
+
+  while (q.level > 0) {
+    // Ascending dimension scan: required for the exactly-once invariant
+    // (see the correctness sketch in the header).
+    for (int k = 0; k < d; ++k) {
+      const std::uint32_t bit = std::uint32_t{1} << k;
+      if ((q.dims_mask & bit) == 0) continue;
+      if (!st.region.intersects(cells_.neighbor_region(coord_, q.level, k))) continue;
+      const PeerDescriptor* n =
+          cfg_.query_aware_forwarding
+              ? rt_->best_for_region(q.level, k, st.failed, st.region)
+              : rt_->alternate(q.level, k, st.failed);
+      if (n == nullptr) continue;  // empty subcell (or no live link known)
+      q.dims_mask &= ~bit;
+      dispatch(st, n->id, Outstanding{q.level, k});
+      return;  // depth-first: one branch outstanding at a time
+    }
+    --q.level;
+    q.dims_mask = all_dims_mask(d);
+  }
+
+  if (q.level == 0) {
+    // Probe every matching cohabitant of our level-0 cell not yet known to
+    // match (Fig. 5, forward lines 10-17).
+    for (const auto& n : rt_->zero()) {
+      if (!q.query.matches(n.values)) continue;
+      if (st.matching.contains(n.id)) continue;
+      if (st.waiting.contains(n.id)) continue;
+      bool failed = false;
+      for (NodeId f : st.failed) failed = failed || (f == n.id);
+      if (failed) continue;
+      dispatch(st, n.id, Outstanding{0, -1});
+    }
+    // The zero phase runs once; -1 disables further forwarding exactly like
+    // the paper's "q.level >= 0" guard combined with its matching-filter.
+    q.level = -1;
+  }
+
+  if (st.waiting.empty()) finish(st);
+}
+
+void SelectionNode::dispatch(QueryState& st, NodeId to, Outstanding slot) {
+  auto m = std::make_unique<QueryMsg>();
+  m->id = st.msg.id;
+  m->reply_to = id();
+  m->origin = st.msg.origin;
+  m->query = st.msg.query;
+  m->sigma = st.msg.sigma;
+  if (slot.dim < 0 && slot.level == 0) {
+    m->level = -1;  // leaf probe: answer only, never forward
+    m->dims_mask = 0;
+  } else {
+    m->level = st.msg.level;
+    m->dims_mask = st.msg.dims_mask;
+  }
+  if (observer_ != nullptr)
+    observer_->on_query_forwarded(st.msg.id, id(), to, slot.level, slot.dim);
+  slot.last_heard = sim().now();
+  st.waiting.emplace(to, slot);
+  if (cfg_.query_timeout > 0) {
+    QueryId qid = st.msg.id;
+    after(cfg_.query_timeout, [this, qid, to] { on_timeout(qid, to); });
+  }
+  send(to, std::move(m));
+}
+
+void SelectionNode::on_timeout(QueryId qid, NodeId to) {
+  auto it = active_.find(qid);
+  if (it == active_.end()) return;
+  QueryState& st = it->second;
+  auto w = st.waiting.find(to);
+  if (w == st.waiting.end()) return;  // already answered
+  // Keepalives reset the deadline: only true silence for a full T(q)
+  // declares the branch dead. Re-arm otherwise.
+  const SimTime deadline = w->second.last_heard + cfg_.query_timeout;
+  if (sim().now() < deadline) {
+    after(deadline - sim().now(), [this, qid, to] { on_timeout(qid, to); });
+    return;
+  }
+  Outstanding slot = w->second;
+  st.waiting.erase(w);
+  st.failed.push_back(to);
+  // Treat the peer as failed: purge it from every local structure so later
+  // queries do not stumble over the same dead link.
+  rt_->remove(to);
+  if (cyclon_ != nullptr) cyclon_->remove(to);
+  if (vicinity_ != nullptr) vicinity_->remove(to);
+
+  if (cfg_.retry_alternates && slot.dim >= 0) {
+    if (const PeerDescriptor* alt = rt_->alternate(slot.level, slot.dim, st.failed)) {
+      dispatch(st, alt->id, slot);
+      return;
+    }
+  }
+  if (!st.waiting.empty()) return;
+  if (st.matching.size() < st.msg.sigma && st.msg.level >= 0) {
+    continue_query(st);
+  } else {
+    finish(st);
+  }
+}
+
+void SelectionNode::handle_reply(NodeId from, const ReplyMsg& r) {
+  auto it = active_.find(r.id);
+  if (it == active_.end()) return;  // late reply after timeout/finish
+  QueryState& st = it->second;
+  for (const auto& m : r.matching) st.matching.emplace(m.id, m);
+  st.waiting.erase(from);
+  if (!st.waiting.empty()) return;
+  if (st.matching.size() < st.msg.sigma && st.msg.level >= 0) {
+    continue_query(st);
+  } else {
+    finish(st);
+  }
+}
+
+void SelectionNode::finish(QueryState& st) {
+  const QueryId qid = st.msg.id;
+  std::vector<MatchRecord> matches;
+  matches.reserve(st.matching.size());
+  for (auto& [nid, rec] : st.matching) matches.push_back(rec);
+
+  if (st.is_origin) {
+    if (observer_ != nullptr) observer_->on_query_completed(qid, id(), matches);
+    if (st.done) st.done(matches);
+  } else {
+    auto r = std::make_unique<ReplyMsg>();
+    r->id = qid;
+    r->matching = std::move(matches);
+    send(st.parent, std::move(r));
+  }
+  completed_.insert(qid);
+  active_.erase(qid);  // invalidates st; must be last
+}
+
+}  // namespace ares

@@ -1,0 +1,179 @@
+#pragma once
+
+/// \file selection_node.h
+/// The protocol node: a compute resource that represents *itself* in the
+/// overlay (no delegation) and implements the query-routing state machine of
+/// Figure 5 plus the two-layer gossip maintenance of §5.
+///
+/// Correctness sketch (verified by property tests in
+/// tests/core/routing_properties_test.cpp): with converged routing tables
+/// and no churn, a query visits every matching node exactly once. The
+/// N(l,k) subcells of all levels plus C_0 partition the space around any
+/// node. The DFS scans dimensions in ascending order and clears a dimension
+/// bit exactly when it forwards along it; a receiver Y in N(l,k)(X) shares
+/// X's half-assignment below dimension k, so for any dimension k' < k left
+/// set in the mask, N(l,k')(Y) equals N(l,k')(X) and X left it set only
+/// because the (deterministic) overlap test failed — Y's test fails
+/// identically. Hence explored subregions never overlap, and the union of
+/// regions delegated from any node reconstructs its whole enclosing cell.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/messages.h"
+#include "core/routing_table.h"
+#include "gossip/cyclon.h"
+#include "gossip/vicinity.h"
+#include "sim/network.h"
+
+namespace ares {
+
+/// Tunables for one node. Defaults mirror the paper's Table 1.
+struct ProtocolConfig {
+  bool gossip_enabled = true;
+  SimTime gossip_period = 10 * kSecond;
+  CyclonConfig cyclon;
+  VicinityConfig vicinity;
+  RoutingConfig routing;
+  /// Routing-table entries older than this many gossip cycles are purged.
+  /// Mirrors VicinityConfig::max_age (routing entries are refreshed from
+  /// the vicinity view each cycle and carry its ages).
+  std::uint32_t rt_max_age = 50;
+  /// The paper's T(q): when a forwarded branch is silent this long, the
+  /// neighbor is considered failed. 0 disables timeouts (the paper's §6.6
+  /// measurement mode, where a broken-link branch is simply dropped).
+  /// SIZE IT GENEROUSLY: a child replies only after its whole subtree
+  /// completes (the DFS is sequential), so T(q) must exceed the worst-case
+  /// subtree latency (~2 x RTT x subtree size). A premature timeout treats
+  /// an alive neighbor as dead — and purges it from the routing table and
+  /// gossip views, actively damaging a healthy overlay.
+  SimTime query_timeout = 0;
+  /// With timeouts enabled, retry the subcell through a backup neighbor.
+  bool retry_alternates = true;
+  /// Extension (off by default = paper-faithful): when forwarding into a
+  /// subcell, prefer a known candidate that itself lies inside the query
+  /// region, saving one non-matching hop. Measured in
+  /// bench/ablation_query_shape.
+  bool query_aware_forwarding = false;
+};
+
+/// Experiment hook observing the query protocol globally.
+class QueryObserver {
+ public:
+  virtual ~QueryObserver() = default;
+  /// A node received the query (origin included, with is_origin=true).
+  virtual void on_query_visited(QueryId /*q*/, NodeId /*node*/, bool /*matched*/,
+                                bool /*is_origin*/) {}
+  /// `from` forwarded the query into its subcell N(level,dim) via `to`
+  /// (dim = -1 for a level-0 leaf probe).
+  virtual void on_query_forwarded(QueryId /*q*/, NodeId /*from*/, NodeId /*to*/,
+                                  int /*level*/, int /*dim*/) {}
+  /// The originator assembled the final candidate set.
+  virtual void on_query_completed(QueryId /*q*/, NodeId /*origin*/,
+                                  const std::vector<MatchRecord>& /*matches*/) {}
+};
+
+class SelectionNode final : public Node {
+ public:
+  using CompletionFn = std::function<void(const std::vector<MatchRecord>&)>;
+
+  /// \param space attribute space; must outlive the node
+  /// \param values this node's attribute values (one per dimension)
+  /// \param bootstrap descriptors of introducer nodes (may be empty for the
+  ///        first node); used to seed both gossip layers
+  /// \param observer optional global measurement hook (may be nullptr)
+  SelectionNode(const AttributeSpace& space, Point values, ProtocolConfig cfg,
+                std::vector<PeerDescriptor> bootstrap, Rng rng,
+                QueryObserver* observer = nullptr);
+
+  // -- resource-owner API -------------------------------------------------
+
+  const Point& values() const { return values_; }
+  const CellCoord& coord() const { return coord_; }
+
+  /// Updates this node's (routed) attribute values. The node re-places
+  /// itself in the cell grid and rebuilds its links; the new profile
+  /// propagates through gossip ("no registry node must be updated").
+  void set_values(Point values);
+
+  /// Dynamic attributes checked locally by queries with dynamic filters
+  /// (paper §4.2 footnote 1); never routed on.
+  void set_dynamic_values(std::vector<AttrValue> v) { dynamic_values_ = std::move(v); }
+  const std::vector<AttrValue>& dynamic_values() const { return dynamic_values_; }
+
+  // -- user/query API -----------------------------------------------------
+
+  /// Issues a query at this node ("a query can be issued at any node").
+  /// `done` fires at completion with the collected candidate set; under the
+  /// drop failure mode a query whose branches died may never complete.
+  QueryId submit(const RangeQuery& q, std::uint32_t sigma = kNoSigma,
+                 CompletionFn done = nullptr);
+
+  // -- introspection (tests, oracle bootstrap, experiments) ----------------
+
+  RoutingTable& routing() { return *rt_; }
+  const RoutingTable& routing() const { return *rt_; }
+  const Cyclon& cyclon() const { return *cyclon_; }
+  const Vicinity& vicinity() const { return *vicinity_; }
+  PeerDescriptor descriptor() const;
+  std::size_t active_queries() const { return active_.size(); }
+
+  // -- sim::Node ----------------------------------------------------------
+
+  void start() override;
+  void on_message(NodeId from, const Message& m) override;
+
+ private:
+  struct Outstanding {
+    int level = 0;
+    int dim = -1;  // -1: level-0 probe (no alternate retry possible)
+    SimTime last_heard = 0;  // refreshed by keepalives/replies
+  };
+
+  struct QueryState {
+    QueryMsg msg;  // local mutable copy: level and dims_mask evolve
+    Region region;
+    NodeId parent = kInvalidNode;
+    bool is_origin = false;
+    CompletionFn done;
+    std::unordered_map<NodeId, MatchRecord> matching;
+    std::unordered_map<NodeId, Outstanding> waiting;
+    std::vector<NodeId> failed;
+  };
+
+  bool matches_self(const RangeQuery& q) const;
+  void handle_query(NodeId from, const QueryMsg& qm, bool is_origin,
+                    CompletionFn done);
+  void handle_reply(NodeId from, const ReplyMsg& r);
+  void handle_progress(NodeId from, const ProgressMsg& p);
+  void keepalive_tick(QueryId qid);
+  void continue_query(QueryState& st);
+  void dispatch(QueryState& st, NodeId to, Outstanding slot);
+  void on_timeout(QueryId qid, NodeId to);
+  void finish(QueryState& st);
+  void gossip_tick();
+  void refresh_routing();
+
+  const AttributeSpace& space_;
+  Cells cells_;
+  Point values_;
+  CellCoord coord_;
+  std::vector<AttrValue> dynamic_values_;
+  ProtocolConfig cfg_;
+  std::vector<PeerDescriptor> bootstrap_;
+  Rng rng_;
+  QueryObserver* observer_;
+
+  // Created in start(): they need the NodeId the network assigns on attach.
+  std::unique_ptr<RoutingTable> rt_;
+  std::unique_ptr<Cyclon> cyclon_;
+  std::unique_ptr<Vicinity> vicinity_;
+
+  std::unordered_map<QueryId, QueryState> active_;
+  std::unordered_set<QueryId> completed_;
+  std::uint32_t next_query_seq_ = 0;
+};
+
+}  // namespace ares

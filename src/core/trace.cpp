@@ -1,0 +1,64 @@
+#include "core/trace.h"
+
+namespace ares {
+
+void QueryTracer::on_query_visited(QueryId q, NodeId node, bool matched,
+                                   bool is_origin) {
+  Trace& t = traces_[q];
+  if (is_origin) t.origin = node;
+  t.visited.emplace(node, matched);
+  if (next_ != nullptr) next_->on_query_visited(q, node, matched, is_origin);
+}
+
+void QueryTracer::on_query_forwarded(QueryId q, NodeId from, NodeId to, int level,
+                                     int dim) {
+  traces_[q].edges.push_back(Edge{from, to, level, dim});
+  if (next_ != nullptr) next_->on_query_forwarded(q, from, to, level, dim);
+}
+
+void QueryTracer::on_query_completed(QueryId q, NodeId origin,
+                                     const std::vector<MatchRecord>& matches) {
+  Trace& t = traces_[q];
+  t.origin = origin;
+  t.completed = true;
+  t.result_size = matches.size();
+  if (next_ != nullptr) next_->on_query_completed(q, origin, matches);
+}
+
+const QueryTracer::Trace* QueryTracer::find(QueryId q) const {
+  auto it = traces_.find(q);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+void QueryTracer::render_subtree(const Trace& t, NodeId node, int depth,
+                                 std::string& out) const {
+  for (const Edge& e : t.edges) {
+    if (e.from != node) continue;
+    out.append(static_cast<std::size_t>(depth) * 2 + 2, ' ');
+    out += "-> " + std::to_string(e.to);
+    if (e.dim < 0) {
+      out += " via C0 probe";
+    } else {
+      out += " via N(" + std::to_string(e.level) + "," + std::to_string(e.dim) + ")";
+    }
+    auto v = t.visited.find(e.to);
+    out += (v != t.visited.end() && v->second) ? " [match]" : " [no match]";
+    out += "\n";
+    render_subtree(t, e.to, depth + 1, out);
+  }
+}
+
+std::string QueryTracer::render(QueryId q) const {
+  const Trace* t = find(q);
+  if (t == nullptr) return "(no trace)";
+  std::string out = "origin " + std::to_string(t->origin);
+  auto v = t->visited.find(t->origin);
+  out += (v != t->visited.end() && v->second) ? " [match]" : " [no match]";
+  out += "\n";
+  render_subtree(*t, t->origin, 0, out);
+  if (t->completed)
+    out += "completed with " + std::to_string(t->result_size) + " matches\n";
+  return out;
+}
+
+}  // namespace ares

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file trace.h
+/// Query tracing: records the depth-first dissemination tree of each query
+/// (§4.2: "query propagation follows a depth-first tree rooted at the
+/// originating node ... created dynamically each time a new query is
+/// issued"). Useful for debugging routing issues and for reproducing the
+/// paper's Figure 3 walk-through; see tests/core/trace_test.cpp.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/query_stats.h"
+
+namespace ares {
+
+/// Observer recording visits and forward edges per query. Can wrap another
+/// observer (e.g. the Grid's QueryStats) so both see every event.
+class QueryTracer final : public QueryObserver {
+ public:
+  struct Edge {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    int level = 0;
+    int dim = -1;  // -1: level-0 leaf probe
+  };
+
+  struct Trace {
+    NodeId origin = kInvalidNode;
+    std::vector<Edge> edges;           // in dispatch order
+    std::map<NodeId, bool> visited;    // node -> matched
+    bool completed = false;
+    std::size_t result_size = 0;
+  };
+
+  explicit QueryTracer(QueryObserver* next = nullptr) : next_(next) {}
+
+  void on_query_visited(QueryId q, NodeId node, bool matched,
+                        bool is_origin) override;
+  void on_query_forwarded(QueryId q, NodeId from, NodeId to, int level,
+                          int dim) override;
+  void on_query_completed(QueryId q, NodeId origin,
+                          const std::vector<MatchRecord>& matches) override;
+
+  const Trace* find(QueryId q) const;
+  const std::map<QueryId, Trace>& traces() const { return traces_; }
+  void clear() { traces_.clear(); }
+
+  /// ASCII rendering of the dissemination tree, one node per line:
+  ///   origin 3 [match]
+  ///     -> 17 via N(3,0) [no match]
+  ///        -> 4 via N(3,1) [match]
+  ///     -> 9 via C0 probe [match]
+  std::string render(QueryId q) const;
+
+ private:
+  void render_subtree(const Trace& t, NodeId node, int depth,
+                      std::string& out) const;
+
+  QueryObserver* next_;
+  std::map<QueryId, Trace> traces_;
+};
+
+}  // namespace ares

@@ -1,0 +1,148 @@
+#include "dht/chord.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ares {
+
+void ChordNode::install(RingId predecessor, NodeId successor,
+                        std::vector<std::pair<RingId, NodeId>> fingers) {
+  predecessor_ = predecessor;
+  successor_ = successor;
+  fingers_ = std::move(fingers);
+  std::sort(fingers_.begin(), fingers_.end());
+}
+
+bool ChordNode::owns(DhtKey key) const {
+  return ring_in_half_open(key, predecessor_, ring_id_);
+}
+
+NodeId ChordNode::next_hop(DhtKey key) const {
+  // Closest preceding finger: among fingers inside (self, key], the one
+  // furthest clockwise from self. Clockwise distance handles ring wrap.
+  NodeId best = successor_;
+  RingId best_dist = 0;
+  for (const auto& [fid, addr] : fingers_) {
+    if (!ring_in_half_open(fid, ring_id_, key)) continue;
+    RingId dist = fid - ring_id_;  // modular arithmetic wraps correctly
+    if (dist >= best_dist) {
+      best_dist = dist;
+      best = addr;
+    }
+  }
+  return best;
+}
+
+void ChordNode::put(DhtKey key, ResourceRecord rec) {
+  if (owns(key)) {
+    store_local(key, rec);
+    return;
+  }
+  auto m = std::make_unique<DhtPutMsg>();
+  m->key = key;
+  m->record = std::move(rec);
+  send(next_hop(key), std::move(m));
+}
+
+void ChordNode::store_local(DhtKey key, const ResourceRecord& rec) {
+  auto& bucket = store_[key];
+  for (const auto& r : bucket)
+    if (r.node == rec.node) return;  // idempotent re-publish
+  bucket.push_back(rec);
+}
+
+std::uint64_t ChordNode::get(DhtKey key, GetCallback cb) {
+  std::uint64_t rid = next_request_++;
+  pending_[rid] = std::move(cb);
+  if (owns(key)) {
+    // Local hit: answer synchronously without network traffic.
+    auto it = store_.find(key);
+    static const std::vector<ResourceRecord> kEmpty;
+    auto cb_it = pending_.find(rid);
+    GetCallback f = std::move(cb_it->second);
+    pending_.erase(cb_it);
+    f(it == store_.end() ? kEmpty : it->second);
+    return rid;
+  }
+  auto m = std::make_unique<DhtGetMsg>();
+  m->key = key;
+  m->origin = id();
+  m->request_id = rid;
+  send(next_hop(key), std::move(m));
+  return rid;
+}
+
+void ChordNode::route_or_answer(const DhtGetMsg& m) {
+  if (!owns(m.key)) {
+    auto fwd = std::make_unique<DhtGetMsg>(m);
+    send(next_hop(m.key), std::move(fwd));
+    return;
+  }
+  auto r = std::make_unique<DhtRecordsMsg>();
+  r->request_id = m.request_id;
+  r->key = m.key;
+  if (auto it = store_.find(m.key); it != store_.end()) r->records = it->second;
+  send(m.origin, std::move(r));
+}
+
+void ChordNode::on_message(NodeId /*from*/, const Message& m) {
+  if (const auto* put_msg = dynamic_cast<const DhtPutMsg*>(&m)) {
+    if (owns(put_msg->key)) {
+      store_local(put_msg->key, put_msg->record);
+    } else {
+      send(next_hop(put_msg->key), std::make_unique<DhtPutMsg>(*put_msg));
+    }
+    return;
+  }
+  if (const auto* get_msg = dynamic_cast<const DhtGetMsg*>(&m)) {
+    route_or_answer(*get_msg);
+    return;
+  }
+  if (const auto* rec = dynamic_cast<const DhtRecordsMsg*>(&m)) {
+    auto it = pending_.find(rec->request_id);
+    if (it == pending_.end()) return;
+    GetCallback cb = std::move(it->second);
+    pending_.erase(it);
+    cb(rec->records);
+    return;
+  }
+}
+
+void build_ring(Network& net) {
+  std::vector<ChordNode*> nodes;
+  for (NodeId id : net.alive_ids())
+    if (auto* cn = net.find_as<ChordNode>(id)) nodes.push_back(cn);
+  if (nodes.empty()) return;
+  std::sort(nodes.begin(), nodes.end(),
+            [](const ChordNode* a, const ChordNode* b) {
+              return a->ring_id() < b->ring_id();
+            });
+  const std::size_t n = nodes.size();
+
+  // Successor lookup over the sorted ring.
+  auto successor_of = [&](RingId target) -> ChordNode* {
+    auto it = std::lower_bound(nodes.begin(), nodes.end(), target,
+                               [](const ChordNode* a, RingId t) {
+                                 return a->ring_id() < t;
+                               });
+    return it == nodes.end() ? nodes.front() : *it;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ChordNode* self = nodes[i];
+    RingId pred = nodes[(i + n - 1) % n]->ring_id();
+    NodeId succ = nodes[(i + 1) % n]->id();
+    std::vector<std::pair<RingId, NodeId>> fingers;
+    for (int b = 0; b < 64; ++b) {
+      RingId target = self->ring_id() + (RingId{1} << b);  // wraps naturally
+      ChordNode* f = successor_of(target);
+      if (f == self) continue;
+      fingers.emplace_back(f->ring_id(), f->id());
+    }
+    std::sort(fingers.begin(), fingers.end());
+    fingers.erase(std::unique(fingers.begin(), fingers.end()), fingers.end());
+    self->install(pred, succ, std::move(fingers));
+  }
+}
+
+}  // namespace ares

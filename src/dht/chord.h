@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file chord.h
+/// A Chord-style structured overlay used as the substrate of the DHT-based
+/// resource-selection baseline. Keys are owned by the first node clockwise
+/// from them ((predecessor, self] rule); routing uses classic
+/// closest-preceding-finger greedy hops, each a real simulated message, so
+/// per-node "messages processed" load is measured faithfully.
+///
+/// The ring is built statically by build_ring() (the paper's comparison runs
+/// against a converged Bamboo deployment; join/stabilize dynamics are not
+/// part of the measured experiment).
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/hashing.h"
+#include "sim/network.h"
+
+namespace ares {
+
+/// A registered compute resource: its address plus full attribute vector
+/// (SWORD stores the complete record so range servers can filter locally).
+struct ResourceRecord {
+  NodeId node = kInvalidNode;
+  Point values;
+};
+
+struct DhtPutMsg final : Message {
+  DhtKey key = 0;
+  ResourceRecord record;
+  const char* type_name() const override { return "dht.put"; }
+  std::size_t wire_size() const override { return 8 + 6 + 8 * record.values.size(); }
+};
+
+struct DhtGetMsg final : Message {
+  DhtKey key = 0;
+  NodeId origin = kInvalidNode;
+  std::uint64_t request_id = 0;
+  const char* type_name() const override { return "dht.get"; }
+  std::size_t wire_size() const override { return 8 + 6 + 8; }
+};
+
+struct DhtRecordsMsg final : Message {
+  std::uint64_t request_id = 0;
+  DhtKey key = 0;
+  std::vector<ResourceRecord> records;
+  const char* type_name() const override { return "dht.records"; }
+  std::size_t wire_size() const override {
+    std::size_t s = 16;
+    for (const auto& r : records) s += 6 + 8 * r.values.size();
+    return s;
+  }
+};
+
+class ChordNode final : public Node {
+ public:
+  explicit ChordNode(RingId ring_id) : ring_id_(ring_id) {}
+
+  RingId ring_id() const { return ring_id_; }
+
+  /// Installs converged routing state (see build_ring()).
+  void install(RingId predecessor, NodeId successor,
+               std::vector<std::pair<RingId, NodeId>> fingers);
+
+  /// True when this node owns `key` under the (predecessor, self] rule.
+  bool owns(DhtKey key) const;
+
+  /// Routes a record to the key's owner (fire and forget).
+  void put(DhtKey key, ResourceRecord rec);
+
+  using GetCallback = std::function<void(const std::vector<ResourceRecord>&)>;
+
+  /// Routes a fetch to the key's owner; the owner answers this node
+  /// directly. Returns the request id.
+  std::uint64_t get(DhtKey key, GetCallback cb);
+
+  const std::unordered_map<DhtKey, std::vector<ResourceRecord>>& store() const {
+    return store_;
+  }
+
+  void on_message(NodeId from, const Message& m) override;
+
+ private:
+  /// Next hop toward `key`: the closest preceding finger, else successor.
+  NodeId next_hop(DhtKey key) const;
+  void store_local(DhtKey key, const ResourceRecord& rec);
+  void route_or_answer(const DhtGetMsg& m);
+
+  RingId ring_id_;
+  RingId predecessor_ = 0;
+  NodeId successor_ = kInvalidNode;
+  /// Fingers sorted by ring id (deduped); each is (ring position, address).
+  std::vector<std::pair<RingId, NodeId>> fingers_;
+  std::unordered_map<DhtKey, std::vector<ResourceRecord>> store_;
+  std::unordered_map<std::uint64_t, GetCallback> pending_;
+  std::uint64_t next_request_ = 1;
+};
+
+/// Installs a perfectly converged ring over every live ChordNode in `net`:
+/// predecessor/successor links plus 64 finger targets (self + 2^i).
+void build_ring(Network& net);
+
+}  // namespace ares

@@ -1,0 +1,21 @@
+#include "dht/hashing.h"
+
+namespace ares {
+
+RingId ring_hash_node(NodeId id) {
+  return hash_mix(hash_mix(kFnvOffset, 0x52494E47ULL /*'RING'*/), id);
+}
+
+DhtKey sword_key(int dim, AttrValue value) {
+  std::uint64_t h = hash_mix(kFnvOffset, 0x53574F52ULL /*'SWOR'*/);
+  h = hash_mix(h, static_cast<std::uint64_t>(dim));
+  return hash_mix(h, value);
+}
+
+bool ring_in_half_open(RingId x, RingId a, RingId b) {
+  if (a == b) return true;  // full ring: single-node case owns everything
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapped interval
+}
+
+}  // namespace ares

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file hashing.h
+/// Ring arithmetic and key derivation for the DHT baseline (the Fig. 9(b)
+/// comparison system: SWORD-style resource records over a Chord-style ring;
+/// the paper used SWORD over Bamboo, see DESIGN.md §5).
+
+#include <cstdint>
+
+#include "common/hashing.h"
+#include "common/types.h"
+
+namespace ares {
+
+/// Position on the 2^64 identifier ring.
+using RingId = std::uint64_t;
+
+/// DHT storage key.
+using DhtKey = std::uint64_t;
+
+/// Ring position of a node (uniform via hash of its address).
+RingId ring_hash_node(NodeId id);
+
+/// SWORD key scheme: one key per (attribute dimension, attribute value), so
+/// the node responsible for a key owns all resources advertising that value
+/// — the delegation that concentrates load on popular values.
+DhtKey sword_key(int dim, AttrValue value);
+
+/// True when x lies in the half-open ring interval (a, b], wrapping at 2^64.
+bool ring_in_half_open(RingId x, RingId a, RingId b);
+
+}  // namespace ares

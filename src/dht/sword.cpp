@@ -1,0 +1,72 @@
+#include "dht/sword.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ares {
+
+void sword_publish(ChordNode& origin, NodeId owner, const Point& values) {
+  for (std::size_t dim = 0; dim < values.size(); ++dim)
+    origin.put(sword_key(static_cast<int>(dim), values[dim]),
+               ResourceRecord{owner, values});
+}
+
+int sword_pick_dimension(const RangeQuery& q) {
+  int first_partial = -1;
+  for (int d = 0; d < q.dimensions(); ++d) {
+    const AttrRange& r = q.range(d);
+    if (r.lo && r.hi) return d;  // fully bounded range: ideal iteration dim
+    if (!r.unconstrained() && first_partial < 0) first_partial = d;
+  }
+  return first_partial;
+}
+
+std::shared_ptr<SwordQuery> SwordQuery::start(ChordNode& origin, RangeQuery query,
+                                              int iterate_dim, AttrValue lo,
+                                              AttrValue hi, std::uint32_t sigma,
+                                              DoneFn done) {
+  assert(iterate_dim >= 0 && iterate_dim < query.dimensions());
+  assert(lo <= hi);
+  auto q = std::shared_ptr<SwordQuery>(
+      new SwordQuery(origin, std::move(query), iterate_dim, lo, hi, sigma,
+                     std::move(done)));
+  q->probe_next();
+  return q;
+}
+
+SwordQuery::SwordQuery(ChordNode& origin, RangeQuery query, int iterate_dim,
+                       AttrValue lo, AttrValue hi, std::uint32_t sigma, DoneFn done)
+    : origin_(origin), query_(std::move(query)), iterate_dim_(iterate_dim),
+      next_(lo), hi_(hi), sigma_(sigma), done_(std::move(done)) {}
+
+void SwordQuery::probe_next() {
+  if (result_.matches.size() >= sigma_) {
+    if (done_) done_(result_);
+    return;
+  }
+  if (next_ > hi_) {
+    result_.exhausted = true;
+    if (done_) done_(result_);
+    return;
+  }
+  DhtKey key = sword_key(iterate_dim_, next_);
+  ++next_;
+  ++result_.buckets_probed;
+  auto self = shared_from_this();
+  origin_.get(key, [self](const std::vector<ResourceRecord>& records) {
+    self->on_records(records);
+  });
+}
+
+void SwordQuery::on_records(const std::vector<ResourceRecord>& records) {
+  for (const auto& r : records) {
+    if (result_.matches.size() >= sigma_) break;
+    if (!query_.matches(r.values)) continue;  // range server filters locally
+    if (std::find(seen_.begin(), seen_.end(), r.node) != seen_.end()) continue;
+    seen_.push_back(r.node);
+    result_.matches.push_back(r);
+  }
+  probe_next();
+}
+
+}  // namespace ares

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file sword.h
+/// SWORD-style multi-attribute resource discovery over the Chord substrate
+/// (the paper's Fig. 9(b) baseline): every compute node publishes one full
+/// attribute record per dimension at key (dimension, value); a range query
+/// picks one constrained dimension and performs an *iterated search* over
+/// its value buckets — sequential DHT gets — until the requested number of
+/// nodes matching the whole query is found or the range is exhausted.
+
+#include <functional>
+#include <memory>
+
+#include "dht/chord.h"
+#include "space/query.h"
+
+namespace ares {
+
+/// Publishes `values` for compute node `owner` from chord node `origin`:
+/// one record per dimension at sword_key(dim, value).
+void sword_publish(ChordNode& origin, NodeId owner, const Point& values);
+
+struct SwordQueryResult {
+  std::vector<ResourceRecord> matches;
+  std::uint64_t buckets_probed = 0;
+  bool exhausted = false;  // range ran out before sigma was reached
+};
+
+/// Runs one iterated SWORD range search asynchronously. The driver keeps
+/// itself alive through the callback chain; simply discard the returned
+/// pointer if you only need the completion callback.
+///
+/// \param origin     chord node issuing the query
+/// \param query      the full multi-attribute query (records are filtered
+///                   against all of it)
+/// \param iterate_dim the dimension whose value range is iterated
+/// \param lo,hi      inclusive value bounds of the iterated range
+/// \param sigma      stop once this many distinct matching nodes are found
+class SwordQuery : public std::enable_shared_from_this<SwordQuery> {
+ public:
+  using DoneFn = std::function<void(const SwordQueryResult&)>;
+
+  static std::shared_ptr<SwordQuery> start(ChordNode& origin, RangeQuery query,
+                                           int iterate_dim, AttrValue lo,
+                                           AttrValue hi, std::uint32_t sigma,
+                                           DoneFn done);
+
+ private:
+  SwordQuery(ChordNode& origin, RangeQuery query, int iterate_dim, AttrValue lo,
+             AttrValue hi, std::uint32_t sigma, DoneFn done);
+  void probe_next();
+  void on_records(const std::vector<ResourceRecord>& records);
+
+  ChordNode& origin_;
+  RangeQuery query_;
+  int iterate_dim_;
+  AttrValue next_;
+  AttrValue hi_;
+  std::uint32_t sigma_;
+  DoneFn done_;
+  SwordQueryResult result_;
+  std::vector<NodeId> seen_;
+};
+
+/// Picks the iteration dimension for a query: the first constrained one
+/// (both bounds set preferred); returns -1 when fully unconstrained.
+int sword_pick_dimension(const RangeQuery& q);
+
+}  // namespace ares

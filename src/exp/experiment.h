@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file experiment.h
+/// Shared experiment runners used by the bench binaries: query sweeps with
+/// overhead/delivery accounting, delivery-over-time timelines for churn and
+/// failure runs, query-load measurement, and neighbor-count collection.
+
+#include <functional>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/summary.h"
+#include "core/grid.h"
+
+namespace ares::exp {
+
+struct QueryRunStats {
+  std::uint64_t queries = 0;
+  std::uint64_t completed = 0;
+  double mean_overhead = 0.0;   ///< non-matching hops per query
+  double mean_delivery = 0.0;   ///< matching nodes reached / ground truth
+  double mean_matches = 0.0;    ///< result-set size per completed query
+  double mean_latency_s = 0.0;  ///< completion latency (completed only)
+  std::uint64_t duplicates = 0; ///< repeat visits (must stay 0 without churn)
+};
+
+/// Runs every query in `queries` from `origins_per_query` random origins
+/// each, to completion (or `horizon`). Clears grid.stats() first.
+QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
+                          std::uint32_t sigma, std::size_t origins_per_query,
+                          SimTime horizon = 600 * kSecond);
+
+struct DeliveryPoint {
+  double t_seconds = 0.0;
+  double delivery = 0.0;
+  std::size_t ground_truth = 0;
+};
+
+/// Issues one generated query every `interval` from a random origin over
+/// `duration` of simulated time; each query's delivery (distinct matching
+/// nodes reached / matching nodes alive at issue) is read `settle` after its
+/// issue. Runs whatever background dynamics (gossip, churn drivers) are
+/// already scheduled in the grid's simulator.
+std::vector<DeliveryPoint> delivery_timeline(
+    Grid& grid, std::function<RangeQuery(Rng&)> query_gen, SimTime duration,
+    SimTime interval, SimTime settle, std::uint32_t sigma = kNoSigma);
+
+struct LoadResult {
+  std::vector<std::uint64_t> sent;      ///< query+reply messages sent, per node
+  std::vector<std::uint64_t> received;  ///< query+reply messages received, per node
+};
+
+/// Issues each query from `origins_per_query` random origins and returns the
+/// per-node query-protocol traffic (gossip excluded).
+LoadResult measure_load(Grid& grid, const std::vector<RangeQuery>& queries,
+                        std::uint32_t sigma, std::size_t origins_per_query);
+
+/// Per-node neighbor counts in the paper's Fig. 10 sense (neighborsZero plus
+/// one link per populated slot).
+Summary neighbor_counts(Grid& grid);
+
+/// Builds the paper's Fig. 9 style histogram: per-node counts normalized to
+/// the maximum count (percent of max), bucketed into ten 10 %-wide buckets.
+Histogram percent_of_max_histogram(const std::vector<std::uint64_t>& counts);
+
+}  // namespace ares::exp

@@ -1,0 +1,123 @@
+#include "exp/reporting.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+namespace ares::exp {
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      out += "| " + cell + std::string(width[c] - cell.size() + 1, ' ');
+    }
+    out += "|";
+    std::cout << out << "\n";
+  };
+  std::string rule = "+";
+  for (std::size_t c = 0; c < width.size(); ++c)
+    rule += std::string(width[c] + 2, '-') + "+";
+
+  std::cout << rule << "\n";
+  line(headers_);
+  std::cout << rule << "\n";
+  for (const auto& r : rows_) line(r);
+  std::cout << rule << "\n";
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  bool needs_quoting = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto line = [f](const std::vector<std::string>& cells) {
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ',';
+      out += csv_escape(cells[i]);
+    }
+    out += '\n';
+    std::fputs(out.c_str(), f);
+  };
+  line(headers_);
+  for (const auto& r : rows_) line(r);
+  std::fclose(f);
+  return true;
+}
+
+void print_experiment_header(const std::string& id, const std::string& title,
+                             const std::string& paper_expectation) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+  std::cout << "paper expectation: " << paper_expectation << "\n\n";
+}
+
+void print_defaults(std::size_t network_size, double selectivity,
+                    std::uint64_t sigma, int dimensions, int nesting_depth,
+                    double gossip_period_s, std::size_t gossip_cache) {
+  Table t({"parameter (Table 1)", "value"});
+  t.row({"Network size (N)", std::to_string(network_size)});
+  t.row({"Query selectivity (f)", fmt(selectivity, 3)});
+  t.row({"Max. no. requested nodes (sigma)",
+         sigma == std::numeric_limits<std::uint64_t>::max() ||
+                 sigma == std::numeric_limits<std::uint32_t>::max()
+             ? std::string("inf")
+             : std::to_string(sigma)});
+  t.row({"Dimensions (d)", std::to_string(dimensions)});
+  t.row({"Nesting depth (max(l))", std::to_string(nesting_depth)});
+  t.row({"Gossip period", fmt(gossip_period_s, 0) + " s"});
+  t.row({"Gossip cache size", std::to_string(gossip_cache)});
+  t.print();
+}
+
+bool maybe_export_csv(const Table& t, const std::string& name) {
+  const char* dir = std::getenv("ARES_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  bool ok = t.write_csv(path);
+  if (ok) std::cout << "(series exported to " << path << ")\n";
+  return ok;
+}
+
+void print_histogram(const std::string& caption, const Histogram& h) {
+  std::cout << caption << "\n";
+  Table t({"bucket", "% of samples", "count"});
+  for (std::size_t b = 0; b < h.bucket_count(); ++b)
+    t.row({h.label(b), fmt(100.0 * h.fraction(b), 2), std::to_string(h.count(b))});
+  t.print();
+}
+
+}  // namespace ares::exp

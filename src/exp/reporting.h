@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file reporting.h
+/// Console reporting for the bench binaries: fixed-width tables, series,
+/// histograms, and the paper's Table 1 defaults banner.
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace ares::exp {
+
+/// Formats a double with `prec` decimals.
+std::string fmt(double v, int prec = 2);
+
+/// Simple fixed-width console table, optionally exportable as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void row(std::vector<std::string> cells);
+  void print() const;
+
+  /// Writes the table as RFC-4180-style CSV (quoting cells that need it).
+  /// Returns false if the file cannot be written.
+  bool write_csv(const std::string& path) const;
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Banner for one experiment: id (e.g. "Figure 6"), a title, and the paper's
+/// qualitative expectation so the output is self-explaining.
+void print_experiment_header(const std::string& id, const std::string& title,
+                             const std::string& paper_expectation);
+
+/// Prints the paper's Table 1 (default simulation parameters) with the
+/// values this run actually uses.
+void print_defaults(std::size_t network_size, double selectivity,
+                    std::uint64_t sigma, int dimensions, int nesting_depth,
+                    double gossip_period_s, std::size_t gossip_cache);
+
+/// Prints a histogram as "bucket -> % of samples" rows.
+void print_histogram(const std::string& caption, const Histogram& h);
+
+/// If the ARES_CSV_DIR environment variable is set, writes the table to
+/// "<dir>/<name>.csv" (for plotting the figure series). Returns whether a
+/// file was written.
+bool maybe_export_csv(const Table& t, const std::string& name);
+
+}  // namespace ares::exp

@@ -1,0 +1,83 @@
+#include "gossip/cyclon.h"
+
+#include <algorithm>
+
+namespace ares {
+
+Cyclon::Cyclon(PeerDescriptor self, CyclonConfig cfg, Rng& rng, SendFn send)
+    : self_(std::move(self)), cfg_(cfg), rng_(rng), send_(std::move(send)),
+      view_(cfg.cache_size) {}
+
+void Cyclon::seed(const std::vector<PeerDescriptor>& contacts) {
+  for (const auto& c : contacts) {
+    if (c.id == self_.id) continue;
+    view_.insert_evicting_oldest(c);
+  }
+}
+
+void Cyclon::tick() {
+  if (view_.empty()) return;
+  view_.age_all();
+
+  // 1. Remove the oldest neighbor Q from the view; it is the shuffle target.
+  PeerDescriptor target = view_.take_oldest();
+  shuffle_partner_ = target.id;
+
+  // 2. Build the subset: self (age 0) plus up to shuffle_len-1 random others.
+  auto msg = std::make_unique<CyclonShuffleMsg>();
+  msg->is_reply = false;
+  msg->entries = view_.random_subset(rng_, cfg_.shuffle_len - 1);
+  PeerDescriptor me = self_;
+  me.age = 0;
+  msg->entries.push_back(me);
+
+  last_sent_ = msg->entries;
+  send_(target.id, std::move(msg));
+  // If the target is dead, the message is dropped and the dead link is
+  // already gone from the view — CYCLON's built-in failure handling.
+}
+
+bool Cyclon::handle(NodeId from, const Message& m) {
+  const auto* shuffle = dynamic_cast<const CyclonShuffleMsg*>(&m);
+  if (shuffle == nullptr) return false;
+
+  if (!shuffle->is_reply) {
+    // Answer with a random subset of our own view, then merge theirs.
+    auto reply = std::make_unique<CyclonShuffleMsg>();
+    reply->is_reply = true;
+    reply->entries = view_.random_subset(rng_, cfg_.shuffle_len);
+    std::vector<PeerDescriptor> sent = reply->entries;
+    send_(from, std::move(reply));
+    merge(from, shuffle->entries, sent);
+  } else {
+    if (from == shuffle_partner_) shuffle_partner_ = kInvalidNode;
+    merge(from, shuffle->entries, last_sent_);
+    last_sent_.clear();
+  }
+  return true;
+}
+
+void Cyclon::merge(NodeId peer, const std::vector<PeerDescriptor>& received,
+                   const std::vector<PeerDescriptor>& sent) {
+  (void)peer;
+  // CYCLON merge rule: discard self and duplicates; fill empty slots first,
+  // then replace entries that were part of the sent subset, then the oldest.
+  for (const auto& d : received) {
+    if (d.id == self_.id) continue;
+    if (view_.insert_or_refresh(d)) continue;  // had room / refreshed
+    // View full: replace one of the entries we shipped out, if still present.
+    bool replaced = false;
+    for (const auto& s : sent) {
+      if (s.id == d.id) continue;
+      if (view_.contains(s.id)) {
+        view_.remove(s.id);
+        view_.insert_or_refresh(d);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) view_.insert_evicting_oldest(d);
+  }
+}
+
+}  // namespace ares

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file cyclon.h
+/// The CYCLON shuffle protocol [Voulgaris et al. 2005] — the bottom gossip
+/// layer (§5): each node keeps K_c random links and periodically exchanges a
+/// few of them with its oldest neighbor, yielding a continuously refreshed
+/// random-graph overlay that is highly robust to partitioning. Dead peers
+/// wash out because a shuffle target is removed from the view before the
+/// exchange and only re-enters through a (live) reply.
+///
+/// Cyclon is embedded in a host sim::Node (composition): the host forwards
+/// matching messages to handle() and drives tick() from its gossip timer.
+
+#include <functional>
+
+#include "gossip/view.h"
+#include "sim/message.h"
+
+namespace ares {
+
+/// Shuffle request/reply carrying a subset of peer descriptors.
+struct CyclonShuffleMsg final : Message {
+  bool is_reply = false;
+  std::vector<PeerDescriptor> entries;
+
+  const char* type_name() const override {
+    return is_reply ? "cyclon.reply" : "cyclon.request";
+  }
+  std::size_t wire_size() const override {
+    std::size_t s = 16;
+    for (const auto& e : entries) s += descriptor_wire_size(e);
+    return s;
+  }
+};
+
+struct CyclonConfig {
+  std::size_t cache_size = 20;   // K_c
+  std::size_t shuffle_len = 8;   // descriptors exchanged per shuffle
+};
+
+class Cyclon {
+ public:
+  using SendFn = std::function<void(NodeId to, MessagePtr)>;
+
+  /// \param self descriptor of the hosting node (age ignored)
+  Cyclon(PeerDescriptor self, CyclonConfig cfg, Rng& rng, SendFn send);
+
+  /// Seeds the view with bootstrap contacts (e.g. the introducer node).
+  void seed(const std::vector<PeerDescriptor>& contacts);
+
+  /// Runs one shuffle cycle: age view, pick oldest neighbor, exchange.
+  void tick();
+
+  /// Handles an incoming shuffle message. Returns true if it was consumed.
+  bool handle(NodeId from, const Message& m);
+
+  const View& view() const { return view_; }
+
+  /// Purges a peer known to be unreachable.
+  void remove(NodeId id) { view_.remove(id); }
+
+ private:
+  void merge(NodeId peer, const std::vector<PeerDescriptor>& received,
+             const std::vector<PeerDescriptor>& sent);
+
+  PeerDescriptor self_;
+  CyclonConfig cfg_;
+  Rng& rng_;
+  SendFn send_;
+  View view_;
+  std::vector<PeerDescriptor> last_sent_;  // subset sent in the ongoing shuffle
+  NodeId shuffle_partner_ = kInvalidNode;
+};
+
+}  // namespace ares

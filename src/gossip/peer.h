@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file peer.h
+/// Peer descriptors circulated by the gossip layers. A descriptor carries the
+/// peer's address (NodeId), its attribute values (the second gossip layer
+/// associates links "with the attribute values of the node they represent",
+/// §5), and an age counter used for freshness-based replacement.
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "space/attribute_space.h"
+
+namespace ares {
+
+struct PeerDescriptor {
+  NodeId id = kInvalidNode;
+  Point values;      // attribute values of the peer
+  CellCoord coord;   // cached level-0 cell coordinates of `values`
+  std::uint32_t age = 0;
+
+  friend bool operator==(const PeerDescriptor& a, const PeerDescriptor& b) {
+    return a.id == b.id;  // identity comparison; ages/values may differ
+  }
+};
+
+inline PeerDescriptor make_descriptor(const AttributeSpace& space, NodeId id,
+                                      const Point& values, std::uint32_t age = 0) {
+  return PeerDescriptor{id, values, space.coord_of(values), age};
+}
+
+/// Approximate serialized descriptor size: 6-byte address + 8 bytes per
+/// attribute value + 2-byte age (mirrors the paper's ~320-byte gossip
+/// messages for d=5 and 8-entry exchanges).
+inline std::size_t descriptor_wire_size(const PeerDescriptor& d) {
+  return 6 + 8 * d.values.size() + 2;
+}
+
+}  // namespace ares

@@ -1,0 +1,159 @@
+#include "gossip/vicinity.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ares {
+
+Vicinity::Vicinity(PeerDescriptor self, const Cells& cells, VicinityConfig cfg,
+                   Rng& rng, SendFn send)
+    : self_(std::move(self)), cells_(cells), cfg_(cfg), rng_(rng),
+      send_(std::move(send)), view_(cfg.view_size) {}
+
+void Vicinity::tick(const View& cyclon_view) {
+  view_.age_all();
+  view_.drop_older_than(cfg_.max_age);
+
+  // Choose a partner: alternate exploitation (oldest vicinity entry) and
+  // exploration (random CYCLON entry).
+  PeerDescriptor target;
+  if (!explore_next_ && !view_.empty()) {
+    // Exploitation: like CYCLON, drop the (oldest) partner from the view
+    // before the exchange — a live partner re-enters via its reply (with a
+    // fresh age), a dead one silently washes out.
+    target = view_.take_oldest();
+  } else if (!cyclon_view.empty()) {
+    target = cyclon_view.entries()[rng_.index(cyclon_view.size())];
+  } else if (!view_.empty()) {
+    target = view_.take_oldest();
+  } else {
+    return;
+  }
+  explore_next_ = !explore_next_;
+
+  auto msg = std::make_unique<VicinityExchangeMsg>();
+  msg->is_reply = false;
+  msg->entries = subset_for(target, cyclon_view, cfg_.exchange_len);
+  send_(target.id, std::move(msg));
+}
+
+bool Vicinity::handle(NodeId from, const Message& m, const View& cyclon_view) {
+  const auto* ex = dynamic_cast<const VicinityExchangeMsg*>(&m);
+  if (ex == nullptr) return false;
+
+  if (!ex->is_reply) {
+    auto reply = std::make_unique<VicinityExchangeMsg>();
+    reply->is_reply = true;
+    // Reply with what is most useful to the requester. We know the
+    // requester's profile when its descriptor was in the request (Vicinity
+    // always includes self); otherwise fall back to a random subset.
+    const PeerDescriptor* requester = nullptr;
+    for (const auto& e : ex->entries)
+      if (e.id == from) requester = &e;
+    if (requester != nullptr) {
+      reply->entries = subset_for(*requester, cyclon_view, cfg_.exchange_len);
+    } else {
+      reply->entries = view_.random_subset(rng_, cfg_.exchange_len);
+    }
+    send_(from, std::move(reply));
+  }
+  merge(ex->entries, cyclon_view);
+  return true;
+}
+
+void Vicinity::merge(const std::vector<PeerDescriptor>& received,
+                     const View& cyclon_view) {
+  std::vector<PeerDescriptor> candidates = view_.entries();
+  candidates.insert(candidates.end(), received.begin(), received.end());
+  // Exploit the CYCLON stream as an extra candidate source (two-layer
+  // coupling from [9]): random entries occasionally fill empty slots.
+  candidates.insert(candidates.end(), cyclon_view.entries().begin(),
+                    cyclon_view.entries().end());
+  view_.assign(select_best(std::move(candidates), cfg_.view_size));
+}
+
+std::vector<PeerDescriptor> Vicinity::select_best(
+    std::vector<PeerDescriptor> candidates, std::size_t cap) const {
+  // Dedupe by id, keeping the youngest descriptor; drop self and expired.
+  std::map<NodeId, PeerDescriptor> by_id;
+  for (auto& c : candidates) {
+    if (c.id == self_.id || c.age > cfg_.max_age) continue;
+    auto [it, inserted] = by_id.try_emplace(c.id, c);
+    if (!inserted && c.age < it->second.age) it->second = c;
+  }
+
+  // Group by routing slot relative to self. Key order: level asc, dim asc —
+  // level-0 cohabitants first (neighborsZero must be complete), then the
+  // near subcells.
+  std::map<std::pair<int, int>, std::vector<PeerDescriptor>> groups;
+  for (auto& [id, d] : by_id) {
+    auto slot = cells_.classify(self_.coord, d.coord);
+    if (!slot) continue;  // defensive; cannot happen (see cells.h)
+    groups[{slot->level, slot->dim}].push_back(d);
+  }
+  for (auto& [key, g] : groups)
+    std::sort(g.begin(), g.end(), [](const PeerDescriptor& a, const PeerDescriptor& b) {
+      return a.age != b.age ? a.age < b.age : a.id < b.id;
+    });
+
+  // Round-robin across groups: first pass gives every slot one (young)
+  // representative; later passes add backups until capacity.
+  std::vector<PeerDescriptor> kept;
+  kept.reserve(cap);
+  for (std::size_t round = 0; kept.size() < cap; ++round) {
+    bool any = false;
+    for (auto& [key, g] : groups) {
+      if (round < g.size() && kept.size() < cap) {
+        kept.push_back(g[round]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return kept;
+}
+
+std::vector<PeerDescriptor> Vicinity::subset_for(const PeerDescriptor& target,
+                                                 const View& cyclon_view,
+                                                 std::size_t k) const {
+  std::map<NodeId, PeerDescriptor> by_id;
+  auto consider = [&](const PeerDescriptor& d) {
+    if (d.id == target.id) return;
+    auto [it, inserted] = by_id.try_emplace(d.id, d);
+    if (!inserted && d.age < it->second.age) it->second = d;
+  };
+  PeerDescriptor me = self_;
+  me.age = 0;
+  consider(me);  // always advertise ourselves
+  for (const auto& d : view_.entries()) consider(d);
+  for (const auto& d : cyclon_view.entries()) consider(d);
+
+  std::vector<PeerDescriptor> all;
+  all.reserve(by_id.size());
+  for (auto& [id, d] : by_id) all.push_back(d);
+
+  // Rank by usefulness to the target: lowest common-cell level first (level
+  // 0 = same zero cell = most useful), then youngest.
+  std::sort(all.begin(), all.end(),
+            [&](const PeerDescriptor& a, const PeerDescriptor& b) {
+              auto sa = cells_.classify(target.coord, a.coord);
+              auto sb = cells_.classify(target.coord, b.coord);
+              int la = sa ? sa->level : 1 << 20;
+              int lb = sb ? sb->level : 1 << 20;
+              if (la != lb) return la < lb;
+              if (a.age != b.age) return a.age < b.age;
+              return a.id < b.id;
+            });
+  if (all.size() > k) {
+    all.resize(k);
+    // Self must always be advertised (the remove-on-exploit washout relies
+    // on a live partner re-entering through its reply): if truncation cut
+    // it, put it back in the last slot.
+    bool has_self = false;
+    for (const auto& d : all) has_self = has_self || d.id == self_.id;
+    if (!has_self) all.back() = me;
+  }
+  return all;
+}
+
+}  // namespace ares

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file vicinity.h
+/// The selective top gossip layer (§5): like CYCLON, but links are kept
+/// "according to their attributes". Each node ranks candidate descriptors by
+/// how useful they are for its routing table — covering its level-0 cell and
+/// each neighboring subcell N(l,k) — and periodically exchanges the entries
+/// most useful to its partner. The CYCLON layer underneath continuously
+/// feeds random descriptors so the selection escapes local optima (this is
+/// the Voulgaris & van Steen two-layer design the paper builds on [9]).
+
+#include <functional>
+
+#include "gossip/view.h"
+#include "sim/message.h"
+#include "space/cells.h"
+
+namespace ares {
+
+struct VicinityExchangeMsg final : Message {
+  bool is_reply = false;
+  std::vector<PeerDescriptor> entries;
+
+  const char* type_name() const override {
+    return is_reply ? "vicinity.reply" : "vicinity.request";
+  }
+  std::size_t wire_size() const override {
+    std::size_t s = 16;
+    for (const auto& e : entries) s += descriptor_wire_size(e);
+    return s;
+  }
+};
+
+struct VicinityConfig {
+  std::size_t view_size = 20;     // K_v
+  std::size_t exchange_len = 10;  // descriptors exchanged per gossip
+  /// Entries older than this many cycles are dropped. Must comfortably
+  /// exceed the exploit-refresh period (~2 * view_size cycles: one exploit
+  /// exchange every other tick walks the view oldest-first), otherwise
+  /// links to sparsely populated subcells flap: they age out before their
+  /// refresh turn comes, and delivery to rare attribute corners suffers.
+  /// Dead entries lingering up to max_age are harmless — query timeouts
+  /// (§4.3) purge them actively on first contact.
+  std::uint32_t max_age = 50;
+};
+
+class Vicinity {
+ public:
+  using SendFn = std::function<void(NodeId to, MessagePtr)>;
+
+  Vicinity(PeerDescriptor self, const Cells& cells, VicinityConfig cfg, Rng& rng,
+           SendFn send);
+
+  /// Seeds the view with bootstrap contacts (runs them through the
+  /// selection function).
+  void seed(const std::vector<PeerDescriptor>& contacts, const View& cyclon_view) {
+    merge(contacts, cyclon_view);
+  }
+
+  /// One gossip cycle. Partners alternate between the oldest vicinity entry
+  /// (exploitation) and a random CYCLON entry (exploration).
+  void tick(const View& cyclon_view);
+
+  /// Handles an incoming exchange. Returns true if consumed.
+  bool handle(NodeId from, const Message& m, const View& cyclon_view);
+
+  const View& view() const { return view_; }
+  void remove(NodeId id) { view_.remove(id); }
+
+  /// The selection function: keeps up to `cap` descriptors maximizing
+  /// routing-slot coverage for this node — round-robin over slot groups
+  /// (same-C0 first, then N(l,k) by ascending level), youngest first within
+  /// a group. Exposed for tests.
+  std::vector<PeerDescriptor> select_best(std::vector<PeerDescriptor> candidates,
+                                          std::size_t cap) const;
+
+  /// Entries most useful to `target` (lowest common-cell level first),
+  /// drawn from our view, the CYCLON view, and ourselves.
+  std::vector<PeerDescriptor> subset_for(const PeerDescriptor& target,
+                                         const View& cyclon_view,
+                                         std::size_t k) const;
+
+ private:
+  void merge(const std::vector<PeerDescriptor>& received, const View& cyclon_view);
+
+  PeerDescriptor self_;
+  const Cells& cells_;
+  VicinityConfig cfg_;
+  Rng& rng_;
+  SendFn send_;
+  View view_;
+  bool explore_next_ = false;
+};
+
+}  // namespace ares

@@ -1,0 +1,79 @@
+#include "gossip/view.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ares {
+
+bool View::contains(NodeId id) const { return find(id) != nullptr; }
+
+const PeerDescriptor* View::find(NodeId id) const {
+  for (const auto& e : entries_)
+    if (e.id == id) return &e;
+  return nullptr;
+}
+
+bool View::insert_or_refresh(const PeerDescriptor& d) {
+  for (auto& e : entries_) {
+    if (e.id == d.id) {
+      if (d.age < e.age) e = d;  // younger descriptor wins
+      return true;
+    }
+  }
+  if (full()) return false;
+  entries_.push_back(d);
+  return true;
+}
+
+void View::insert_evicting_oldest(const PeerDescriptor& d) {
+  if (insert_or_refresh(d)) return;
+  entries_[oldest_index()] = d;
+}
+
+void View::remove(NodeId id) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const PeerDescriptor& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+void View::age_all() {
+  for (auto& e : entries_) ++e.age;
+}
+
+void View::drop_older_than(std::uint32_t max_age) {
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [max_age](const PeerDescriptor& e) { return e.age > max_age; }),
+      entries_.end());
+}
+
+std::size_t View::oldest_index() const {
+  assert(!entries_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i)
+    if (entries_[i].age > entries_[best].age) best = i;
+  return best;
+}
+
+PeerDescriptor View::take_oldest() {
+  std::size_t i = oldest_index();
+  PeerDescriptor d = entries_[i];
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+  return d;
+}
+
+std::vector<PeerDescriptor> View::random_subset(Rng& rng, std::size_t k) const {
+  k = std::min(k, entries_.size());
+  auto idx = rng.sample_indices(entries_.size(), k);
+  std::vector<PeerDescriptor> out;
+  out.reserve(k);
+  for (std::size_t i : idx) out.push_back(entries_[i]);
+  return out;
+}
+
+void View::assign(std::vector<PeerDescriptor> v) {
+  assert(v.size() <= capacity_);
+  entries_ = std::move(v);
+}
+
+}  // namespace ares

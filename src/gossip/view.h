@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file view.h
+/// A partial view: the small bounded set of peer descriptors each gossip
+/// layer maintains (the paper's K_c random links and K_v selective links).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "gossip/peer.h"
+
+namespace ares {
+
+class View {
+ public:
+  explicit View(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  const std::vector<PeerDescriptor>& entries() const { return entries_; }
+
+  bool contains(NodeId id) const;
+  const PeerDescriptor* find(NodeId id) const;
+
+  /// Adds `d` if absent; if present, keeps the younger of the two
+  /// descriptors (refreshing values). Returns false when the view is full
+  /// and `d` is absent (caller decides replacement policy).
+  bool insert_or_refresh(const PeerDescriptor& d);
+
+  /// Inserts `d`, evicting the oldest entry if full. Never stores duplicates
+  /// (refreshes instead).
+  void insert_evicting_oldest(const PeerDescriptor& d);
+
+  void remove(NodeId id);
+
+  /// Increments every entry's age by one.
+  void age_all();
+
+  /// Drops entries with age > max_age.
+  void drop_older_than(std::uint32_t max_age);
+
+  /// Index of the entry with the highest age (ties: first). Precondition:
+  /// !empty().
+  std::size_t oldest_index() const;
+
+  /// Removes and returns the oldest entry. Precondition: !empty().
+  PeerDescriptor take_oldest();
+
+  /// Up to `k` distinct entries chosen uniformly at random.
+  std::vector<PeerDescriptor> random_subset(Rng& rng, std::size_t k) const;
+
+  /// Replaces the whole content (used by selection-function merges); the
+  /// caller guarantees |v| <= capacity and no duplicates.
+  void assign(std::vector<PeerDescriptor> v);
+
+ private:
+  std::size_t capacity_;
+  std::vector<PeerDescriptor> entries_;
+};
+
+}  // namespace ares

@@ -1,0 +1,76 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ares {
+
+ChurnDriver::ChurnDriver(Network& net, NodeFactory factory)
+    : net_(net), factory_(std::move(factory)) {}
+
+std::vector<NodeId> ChurnDriver::pick_victims(std::size_t count) {
+  const auto& alive = net_.alive_ids();
+  std::vector<NodeId> eligible;
+  eligible.reserve(alive.size());
+  for (NodeId id : alive)
+    if (!protected_.contains(id)) eligible.push_back(id);
+  count = std::min(count, eligible.size());
+  auto idx = net_.sim().rng().sample_indices(eligible.size(), count);
+  std::vector<NodeId> victims;
+  victims.reserve(count);
+  for (std::size_t i : idx) victims.push_back(eligible[i]);
+  return victims;
+}
+
+std::size_t ChurnDriver::kill(std::size_t count) {
+  auto victims = pick_victims(count);
+  for (NodeId id : victims) net_.remove_node(id, /*graceful=*/false);
+  killed_ += victims.size();
+  return victims.size();
+}
+
+std::size_t ChurnDriver::fail_fraction(double fraction) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  auto n = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(net_.population())));
+  return kill(n);
+}
+
+void ChurnDriver::start_replacement_churn(double fraction, SimTime period) {
+  assert(factory_ != nullptr);
+  running_ = true;
+  churn_tick(fraction, period);
+}
+
+void ChurnDriver::churn_tick(double fraction, SimTime period) {
+  if (!running_) return;
+  net_.sim().schedule_after(period, [this, fraction, period] {
+    if (!running_) return;
+    auto n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(fraction * static_cast<double>(net_.population()))));
+    std::size_t removed = kill(n);
+    for (std::size_t i = 0; i < removed; ++i) {
+      net_.add_node(factory_());
+      ++added_;
+    }
+    churn_tick(fraction, period);
+  });
+}
+
+void ChurnDriver::start_decay(double fraction, SimTime period, int waves) {
+  running_ = true;
+  decay_tick(fraction, period, waves);
+}
+
+void ChurnDriver::decay_tick(double fraction, SimTime period, int waves_left) {
+  if (!running_ || waves_left <= 0) return;
+  net_.sim().schedule_after(period, [this, fraction, period, waves_left] {
+    if (!running_) return;
+    fail_fraction(fraction);
+    decay_tick(fraction, period, waves_left - 1);
+  });
+}
+
+}  // namespace ares

@@ -1,0 +1,19 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ares {
+
+void EventQueue::push(SimTime t, Action action) {
+  heap_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+EventQueue::Action EventQueue::pop() {
+  assert(!heap_.empty());
+  Action a = std::move(heap_.top().action);
+  heap_.pop();
+  return a;
+}
+
+}  // namespace ares

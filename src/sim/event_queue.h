@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file event_queue.h
+/// Min-heap of timestamped events. Ties are broken by insertion sequence so
+/// the simulation is fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ares {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Enqueues an action at absolute time `t` (must not precede earlier pops'
+  /// times; enforced by the Simulator, not here).
+  void push(SimTime t, Action action);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  SimTime next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event's action. Precondition: !empty().
+  Action pop();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    mutable Action action;  // moved out on pop; priority_queue top() is const
+
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ares

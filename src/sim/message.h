@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file message.h
+/// Base class for everything sent over the simulated network. Concrete
+/// protocol messages (gossip exchanges, QUERY/REPLY, DHT RPCs) derive from
+/// Message and report an approximate wire size so experiments can account
+/// for traffic the way the paper does (e.g. the 2,560 B/node/cycle gossip
+/// cost in §6).
+
+#include <cstddef>
+#include <memory>
+
+namespace ares {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Stable short name used for per-type traffic accounting.
+  virtual const char* type_name() const = 0;
+
+  /// Approximate serialized size in bytes.
+  virtual std::size_t wire_size() const = 0;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+}  // namespace ares

@@ -1,0 +1,74 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ares {
+
+Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency)
+    : sim_(sim), latency_(std::move(latency)) {
+  assert(latency_ != nullptr);
+}
+
+Network::~Network() = default;
+
+NodeId Network::add_node(std::unique_ptr<Node> node) {
+  assert(node != nullptr && !node->attached());
+  NodeId id = next_id_++;
+  node->network_ = this;
+  node->id_ = id;
+  Node* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  alive_cache_valid_ = false;
+  raw->start();
+  return id;
+}
+
+void Network::remove_node(NodeId id, bool graceful) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  if (graceful) it->second->stop();
+  nodes_.erase(it);
+  alive_cache_valid_ = false;
+}
+
+const std::vector<NodeId>& Network::alive_ids() const {
+  if (!alive_cache_valid_) {
+    alive_cache_.clear();
+    alive_cache_.reserve(nodes_.size());
+    for (const auto& [id, _] : nodes_) alive_cache_.push_back(id);
+    std::sort(alive_cache_.begin(), alive_cache_.end());
+    alive_cache_valid_ = true;
+  }
+  return alive_cache_;
+}
+
+Node* Network::find(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr m) {
+  assert(m != nullptr);
+  stats_.on_send(from, *m);
+  SimTime latency = latency_->sample(sim_.rng(), from, to);
+  // Ownership moves into the event closure; shared_ptr keeps the closure
+  // copyable (std::function requirement).
+  std::shared_ptr<Message> msg(m.release());
+  sim_.schedule_after(latency, [this, from, to, msg] {
+    Node* dst = find(to);
+    if (dst == nullptr) {
+      stats_.on_drop(*msg);
+      return;
+    }
+    stats_.on_deliver(to, *msg);
+    dst->on_message(from, *msg);
+  });
+}
+
+void Network::node_timer(NodeId id, SimTime delay, std::function<void()> fn) {
+  sim_.schedule_after(delay, [this, id, fn = std::move(fn)] {
+    if (alive(id)) fn();
+  });
+}
+}  // namespace ares

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file network.h
+/// The simulated fully-connected network (§3: "each node can reach any other
+/// node"). Owns all live nodes, assigns monotonically increasing NodeIds
+/// (never reused, so a rejoining node gets "a different identity" as in the
+/// paper's churn model), delivers messages with model-sampled latency, and
+/// drops messages addressed to dead nodes.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/latency.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace ares {
+
+class Network {
+ public:
+  Network(Simulator& sim, std::unique_ptr<LatencyModel> latency);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return sim_; }
+  NetworkStats& stats() { return stats_; }
+
+  /// Adds a node: assigns the next NodeId, attaches it, and calls start().
+  NodeId add_node(std::unique_ptr<Node> node);
+
+  /// Removes a node. `graceful` invokes stop() first (a leave); otherwise
+  /// this models a crash. In-flight messages to it are dropped on delivery.
+  void remove_node(NodeId id, bool graceful);
+
+  bool alive(NodeId id) const { return nodes_.contains(id); }
+  std::size_t population() const { return nodes_.size(); }
+
+  /// Live node ids in id order (rebuilt lazily; cheap between membership
+  /// changes). The returned reference is invalidated by add/remove.
+  const std::vector<NodeId>& alive_ids() const;
+
+  /// Typed access to a live node; nullptr when dead/unknown.
+  Node* find(NodeId id);
+  template <typename T>
+  T* find_as(NodeId id) {
+    return dynamic_cast<T*>(find(id));
+  }
+
+  /// Sends `m` from `from` to `to` with sampled latency. If `to` is dead at
+  /// delivery time, the message is counted as dropped.
+  void send(NodeId from, NodeId to, MessagePtr m);
+
+  /// Incarnation-safe timer for node `id`.
+  void node_timer(NodeId id, SimTime delay, std::function<void()> fn);
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  NetworkStats stats_;
+  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  NodeId next_id_ = 0;
+  mutable std::vector<NodeId> alive_cache_;
+  mutable bool alive_cache_valid_ = false;
+};
+
+}  // namespace ares

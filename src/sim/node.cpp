@@ -1,0 +1,18 @@
+#include "sim/node.h"
+
+#include "sim/network.h"
+
+namespace ares {
+
+// Node's convenience methods live here because they need the full Network
+// definition, which node.h only forward-declares.
+
+Simulator& Node::sim() const { return network_->sim(); }
+
+void Node::send(NodeId to, MessagePtr m) const { network_->send(id_, to, std::move(m)); }
+
+void Node::after(SimTime delay, std::function<void()> fn) const {
+  network_->node_timer(id_, delay, std::move(fn));
+}
+
+}  // namespace ares

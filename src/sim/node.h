@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file node.h
+/// Base class for simulated protocol endpoints. A Node is attached to a
+/// Network which assigns its NodeId; subclasses implement on_message() and
+/// use send()/after() to communicate and set timers. Timers are incarnation-
+/// safe: they silently lapse if the node has left the network.
+
+#include <functional>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace ares {
+
+class Network;
+class Simulator;
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  NodeId id() const { return id_; }
+  bool attached() const { return network_ != nullptr; }
+
+  /// Invoked once after the node joins the network (id assigned, send OK).
+  virtual void start() {}
+
+  /// Invoked on graceful departure (not on crash).
+  virtual void stop() {}
+
+  /// Handles a delivered message.
+  virtual void on_message(NodeId from, const Message& m) = 0;
+
+ protected:
+  Network& net() const { return *network_; }
+  Simulator& sim() const;
+
+  /// Sends a message to `to` (dropped at delivery time if `to` is dead).
+  void send(NodeId to, MessagePtr m) const;
+
+  /// Runs `fn` after `delay` unless this node has left the network by then.
+  void after(SimTime delay, std::function<void()> fn) const;
+
+ private:
+  friend class Network;
+  Network* network_ = nullptr;
+  NodeId id_ = kInvalidNode;
+};
+
+}  // namespace ares

@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace ares {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::schedule_at(SimTime t, EventQueue::Action action) {
+  queue_.push(std::max(t, now_), std::move(action));
+}
+
+void Simulator::schedule_after(SimTime delay, EventQueue::Action action) {
+  schedule_at(now_ + std::max<SimTime>(delay, 0), std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  auto action = queue_.pop();
+  ++executed_;
+  action();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(SimTime t) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    step();
+    ++n;
+  }
+  // Advance the clock to the horizon even if no event lands exactly there.
+  now_ = std::max(now_, t);
+  return n;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace ares

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file simulator.h
+/// The discrete-event simulation core: a virtual clock plus an event queue.
+/// This is our substitute for PeerSim (and, with different scale/latency
+/// parameters, for the DAS-3 emulation and the PlanetLab deployment); see
+/// DESIGN.md §5.
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace ares {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `action` at absolute virtual time `t` (clamped to now()).
+  void schedule_at(SimTime t, EventQueue::Action action);
+
+  /// Schedules `action` after `delay` (clamped to >= 0).
+  void schedule_after(SimTime delay, EventQueue::Action action);
+
+  /// Executes the next pending event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or the clock passes `t` (events at exactly
+  /// `t` are executed). Returns the number of events executed.
+  std::uint64_t run_until(SimTime t);
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::uint64_t run();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ares

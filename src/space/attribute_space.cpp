@@ -1,0 +1,81 @@
+#include "space/attribute_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ares {
+
+AttributeSpace::AttributeSpace(std::vector<DimensionSpec> dims, int max_level)
+    : dims_(std::move(dims)), max_level_(max_level) {
+  if (dims_.empty()) throw std::invalid_argument("AttributeSpace: need >= 1 dimension");
+  if (max_level_ < 1 || max_level_ > 20)
+    throw std::invalid_argument("AttributeSpace: max_level out of range [1,20]");
+  const std::size_t want = (std::size_t{1} << max_level_) - 1;
+  for (const auto& d : dims_) {
+    if (d.cuts.size() != want)
+      throw std::invalid_argument("AttributeSpace: dimension '" + d.name + "' needs " +
+                                  std::to_string(want) + " cuts, got " +
+                                  std::to_string(d.cuts.size()));
+    if (!std::is_sorted(d.cuts.begin(), d.cuts.end()) ||
+        std::adjacent_find(d.cuts.begin(), d.cuts.end()) != d.cuts.end())
+      throw std::invalid_argument("AttributeSpace: cuts must be strictly increasing");
+    if (!d.cuts.empty() && d.cuts.front() <= d.min_value)
+      throw std::invalid_argument("AttributeSpace: first cut must exceed min_value");
+  }
+}
+
+AttributeSpace AttributeSpace::uniform(int dimensions, int max_level, AttrValue lo,
+                                       AttrValue hi) {
+  if (dimensions < 1) throw std::invalid_argument("uniform: need >= 1 dimension");
+  if (hi <= lo) throw std::invalid_argument("uniform: hi must exceed lo");
+  const std::uint64_t n = std::uint64_t{1} << max_level;
+  std::vector<DimensionSpec> dims(static_cast<std::size_t>(dimensions));
+  for (int d = 0; d < dimensions; ++d) {
+    auto& spec = dims[static_cast<std::size_t>(d)];
+    spec.name = "attr" + std::to_string(d);
+    spec.min_value = lo;
+    spec.cuts.resize(n - 1);
+    for (std::uint64_t i = 1; i < n; ++i)
+      spec.cuts[i - 1] = lo + (hi - lo) * i / n;
+  }
+  return AttributeSpace(std::move(dims), max_level);
+}
+
+CellIndex AttributeSpace::cell_index(int d, AttrValue value) const {
+  const auto& cuts = dims_[static_cast<std::size_t>(d)].cuts;
+  // Cell i covers [edge(i-1), edge(i)); upper_bound gives the count of cuts
+  // <= value, which is exactly the cell index.
+  auto it = std::upper_bound(cuts.begin(), cuts.end(), value);
+  return static_cast<CellIndex>(it - cuts.begin());
+}
+
+CellCoord AttributeSpace::coord_of(const Point& p) const {
+  assert(static_cast<int>(p.size()) >= dimensions());
+  CellCoord c(static_cast<std::size_t>(dimensions()));
+  for (int d = 0; d < dimensions(); ++d)
+    c[static_cast<std::size_t>(d)] = cell_index(d, p[static_cast<std::size_t>(d)]);
+  return c;
+}
+
+AttrValue AttributeSpace::cell_value_lo(int d, CellIndex idx) const {
+  const auto& spec = dims_[static_cast<std::size_t>(d)];
+  if (idx == 0) return spec.min_value;
+  return spec.cuts[idx - 1];
+}
+
+std::optional<AttrValue> AttributeSpace::cell_value_hi(int d, CellIndex idx) const {
+  const auto& spec = dims_[static_cast<std::size_t>(d)];
+  if (idx >= spec.cuts.size()) return std::nullopt;  // open-ended last cell
+  return spec.cuts[idx] - 1;                         // inclusive upper bound
+}
+
+std::uint64_t AttributeSpace::cell_count(int level) const {
+  assert(level >= 0 && level <= max_level_);
+  const int bits_per_dim = max_level_ - level;
+  const int total_bits = bits_per_dim * dimensions();
+  if (total_bits >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t{1} << total_bits;
+}
+
+}  // namespace ares

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file attribute_space.h
+/// The d-dimensional attribute space A = A0 x A1 x ... x A(d-1) from §3 of
+/// the paper, together with its recursive cell partition (§4.1).
+///
+/// Each dimension is cut into 2^max_level level-0 intervals by an ordered
+/// boundary vector. Boundaries may be irregular ("one cell may range over
+/// memory between 0 and 128 MB, and another one between 4 GB and 8 GB") and
+/// the last interval is open-ended — the paper imposes no upper bound on
+/// attribute values.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ares {
+
+/// Level-0 cell index along one dimension.
+using CellIndex = std::uint32_t;
+
+/// Per-node vector of level-0 cell indices (one per dimension); the discrete
+/// coordinates of a node in the cell grid.
+using CellCoord = std::vector<CellIndex>;
+
+/// Describes one attribute dimension.
+struct DimensionSpec {
+  std::string name;
+  /// Lowest representable value of this attribute (values below are clamped).
+  AttrValue min_value = 0;
+  /// Interior cut points, strictly increasing, exactly 2^max_level - 1 of
+  /// them. Level-0 cell i covers [edge(i-1), edge(i)) with edge(-1) =
+  /// min_value; the last cell covers [edge(last), +inf).
+  std::vector<AttrValue> cuts;
+};
+
+/// Immutable description of the whole attribute space.
+class AttributeSpace {
+ public:
+  /// \param max_level the paper's max(l): nesting depth of the cell
+  ///        hierarchy. Each dimension has 2^max_level level-0 cells.
+  AttributeSpace(std::vector<DimensionSpec> dims, int max_level);
+
+  /// Regular grid: d dimensions, values in [lo, hi) cut into equal-width
+  /// level-0 cells (the final cell remains open-ended above hi).
+  static AttributeSpace uniform(int dimensions, int max_level, AttrValue lo,
+                                AttrValue hi);
+
+  int dimensions() const { return static_cast<int>(dims_.size()); }
+  int max_level() const { return max_level_; }
+  /// Number of level-0 cells per dimension (2^max_level).
+  CellIndex cells_per_dim() const { return CellIndex{1} << max_level_; }
+
+  const DimensionSpec& dim(int i) const { return dims_[static_cast<std::size_t>(i)]; }
+
+  /// Level-0 cell index of a value along dimension `d` (clamped into range).
+  CellIndex cell_index(int d, AttrValue value) const;
+
+  /// Level-0 cell coordinates of a point. Precondition: p.size() == d.
+  CellCoord coord_of(const Point& p) const;
+
+  /// Inclusive value interval covered by level-0 cell `idx` of dimension `d`.
+  /// The upper bound is empty for the open-ended last cell.
+  AttrValue cell_value_lo(int d, CellIndex idx) const;
+  std::optional<AttrValue> cell_value_hi(int d, CellIndex idx) const;
+
+  /// Total number of level-`l` cells in the space: (2^(max_level-l))^d.
+  /// Saturates at uint64 max for large d.
+  std::uint64_t cell_count(int level) const;
+
+ private:
+  std::vector<DimensionSpec> dims_;
+  int max_level_;
+};
+
+}  // namespace ares

@@ -1,0 +1,74 @@
+#include "space/cells.h"
+
+#include <cassert>
+
+namespace ares {
+
+bool Cells::same_cell(const CellCoord& a, const CellCoord& b, int level) const {
+  assert(a.size() == b.size());
+  for (std::size_t d = 0; d < a.size(); ++d)
+    if (at_level(a[d], level) != at_level(b[d], level)) return false;
+  return true;
+}
+
+Region Cells::cell_region(const CellCoord& c, int level) const {
+  std::vector<IndexInterval> ivs(c.size());
+  for (std::size_t d = 0; d < c.size(); ++d) {
+    CellIndex base = at_level(c[d], level) << level;
+    ivs[d] = {base, static_cast<CellIndex>(base + (CellIndex{1} << level) - 1)};
+  }
+  return Region(std::move(ivs));
+}
+
+Region Cells::neighbor_region(const CellCoord& c, int level, int dim) const {
+  assert(level >= 1 && level <= space_->max_level());
+  assert(dim >= 0 && dim < space_->dimensions());
+  const int half = level - 1;  // half of C_level == a C_(level-1)-scale slab
+  std::vector<IndexInterval> ivs(c.size());
+  for (int j = 0; j < static_cast<int>(c.size()); ++j) {
+    const CellIndex idx0 = c[static_cast<std::size_t>(j)];
+    CellIndex slab;  // level-(l-1) index of the slab this dimension spans
+    if (j < dim) {
+      slab = at_level(idx0, half);  // X's own half
+    } else if (j == dim) {
+      slab = at_level(idx0, half) ^ 1;  // the sibling half
+    } else {
+      // dims > k: the full extent of C_level.
+      CellIndex base = at_level(idx0, level) << level;
+      ivs[static_cast<std::size_t>(j)] = {
+          base, static_cast<CellIndex>(base + (CellIndex{1} << level) - 1)};
+      continue;
+    }
+    CellIndex base = slab << half;
+    ivs[static_cast<std::size_t>(j)] = {
+        base, static_cast<CellIndex>(base + (CellIndex{1} << half) - 1)};
+  }
+  return Region(std::move(ivs));
+}
+
+std::optional<CellSlot> Cells::classify(const CellCoord& self,
+                                        const CellCoord& other) const {
+  assert(self.size() == other.size());
+  // Smallest level at which the two share a cell. The whole space is the
+  // single C_max cell, so `level` is always well-defined.
+  int level = 0;
+  while (level < space_->max_level() && !same_cell(self, other, level)) ++level;
+  if (!same_cell(self, other, level)) return std::nullopt;  // defensive; unreachable
+  if (level == 0) return CellSlot{0, -1};
+  // `other` is in C_level(self) \ C_(level-1)(self): the slot dimension is the
+  // first dimension whose level-(l-1) half differs.
+  for (int j = 0; j < static_cast<int>(self.size()); ++j) {
+    auto s = static_cast<std::size_t>(j);
+    if (at_level(self[s], level - 1) != at_level(other[s], level - 1))
+      return CellSlot{level, j};
+  }
+  return std::nullopt;  // unreachable: levels differ => some half differs
+}
+
+std::uint64_t Cells::cell_key(const CellCoord& c, int level) const {
+  std::uint64_t h = hash_mix(kFnvOffset, static_cast<std::uint64_t>(level));
+  for (CellIndex idx0 : c) h = hash_mix(h, at_level(idx0, level));
+  return h;
+}
+
+}  // namespace ares

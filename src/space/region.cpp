@@ -1,0 +1,56 @@
+#include "space/region.h"
+
+#include <cassert>
+#include <limits>
+
+namespace ares {
+
+Region Region::whole(const AttributeSpace& space) {
+  std::vector<IndexInterval> ivs(static_cast<std::size_t>(space.dimensions()));
+  for (auto& iv : ivs) iv = {0, space.cells_per_dim() - 1};
+  return Region(std::move(ivs));
+}
+
+bool Region::contains(const CellCoord& c) const {
+  assert(c.size() == ivs_.size());
+  for (std::size_t d = 0; d < ivs_.size(); ++d)
+    if (!ivs_[d].contains(c[d])) return false;
+  return true;
+}
+
+bool Region::intersects(const Region& o) const {
+  assert(o.ivs_.size() == ivs_.size());
+  for (std::size_t d = 0; d < ivs_.size(); ++d)
+    if (!ivs_[d].intersects(o.ivs_[d])) return false;
+  return true;
+}
+
+Region Region::intersect(const Region& o) const {
+  assert(o.ivs_.size() == ivs_.size());
+  std::vector<IndexInterval> out(ivs_.size());
+  for (std::size_t d = 0; d < ivs_.size(); ++d) {
+    out[d].lo = std::max(ivs_[d].lo, o.ivs_[d].lo);
+    out[d].hi = std::min(ivs_[d].hi, o.ivs_[d].hi);
+  }
+  return Region(std::move(out));
+}
+
+bool Region::empty() const {
+  for (const auto& iv : ivs_)
+    if (iv.empty()) return true;
+  return ivs_.empty();
+}
+
+std::uint64_t Region::cell_volume() const {
+  if (empty()) return 0;
+  std::uint64_t v = 1;
+  for (const auto& iv : ivs_) {
+    std::uint64_t w = iv.width();
+    if (v > std::numeric_limits<std::uint64_t>::max() / w)
+      return std::numeric_limits<std::uint64_t>::max();
+    v *= w;
+  }
+  return v;
+}
+
+}  // namespace ares

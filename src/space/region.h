@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file region.h
+/// Axis-aligned boxes in level-0 cell index space. All cell/query overlap
+/// reasoning in the protocol reduces to interval algebra on these boxes.
+
+#include <cstdint>
+#include <vector>
+
+#include "space/attribute_space.h"
+
+namespace ares {
+
+/// Inclusive interval of level-0 cell indices along one dimension.
+struct IndexInterval {
+  CellIndex lo = 0;
+  CellIndex hi = 0;  // inclusive
+
+  bool contains(CellIndex i) const { return i >= lo && i <= hi; }
+  bool intersects(const IndexInterval& o) const { return lo <= o.hi && o.lo <= hi; }
+  bool empty() const { return lo > hi; }
+  std::uint64_t width() const { return empty() ? 0 : std::uint64_t{hi} - lo + 1; }
+
+  friend bool operator==(const IndexInterval&, const IndexInterval&) = default;
+};
+
+/// Axis-aligned box: one IndexInterval per dimension.
+class Region {
+ public:
+  Region() = default;
+  explicit Region(std::vector<IndexInterval> ivs) : ivs_(std::move(ivs)) {}
+
+  /// The whole level-0 grid of a space.
+  static Region whole(const AttributeSpace& space);
+
+  int dimensions() const { return static_cast<int>(ivs_.size()); }
+  const IndexInterval& interval(int d) const { return ivs_[static_cast<std::size_t>(d)]; }
+  IndexInterval& interval(int d) { return ivs_[static_cast<std::size_t>(d)]; }
+
+  bool contains(const CellCoord& c) const;
+  bool intersects(const Region& o) const;
+
+  /// Component-wise intersection (may produce an empty region).
+  Region intersect(const Region& o) const;
+
+  /// True when any interval is empty.
+  bool empty() const;
+
+  /// Number of level-0 cells covered (saturating).
+  std::uint64_t cell_volume() const;
+
+  friend bool operator==(const Region&, const Region&) = default;
+
+ private:
+  std::vector<IndexInterval> ivs_;
+};
+
+}  // namespace ares

@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file buffer.h
+/// Bounded binary writer/reader used by the wire codecs (wire/codecs.h).
+/// Encoding conventions: little-endian fixed-width integers, LEB128-style
+/// varints for counts and attribute values, and explicit presence bytes for
+/// optionals. Readers never trust input: every accessor checks bounds and
+/// flips a sticky error flag instead of reading past the end, so truncated
+/// or corrupt packets decode to a clean failure, never UB.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ares::wire {
+
+class Writer {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  /// Unsigned LEB128 (7 bits per byte, high bit = continuation).
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  /// Presence byte + payload.
+  void opt_u64(const std::optional<std::uint64_t>& v) {
+    u8(v.has_value() ? 1 : 0);
+    if (v) varint(*v);
+  }
+
+  void bytes_raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + len);
+  }
+
+  void str(const std::string& s) {
+    varint(s.size());
+    bytes_raw(s.data(), s.size());
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+  explicit Reader(const std::vector<std::uint8_t>& v) : Reader(v.data(), v.size()) {}
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == len_; }
+  std::size_t remaining() const { return len_ - pos_; }
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      std::uint8_t b = u8();
+      if (!ok_) return 0;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok_ = false;  // varint longer than 64 bits: corrupt
+    return 0;
+  }
+
+  std::optional<std::uint64_t> opt_u64() {
+    std::uint8_t present = u8();
+    if (!ok_ || present == 0) return std::nullopt;
+    if (present != 1) {
+      ok_ = false;  // presence byte must be 0/1
+      return std::nullopt;
+    }
+    return varint();
+  }
+
+  std::string str() {
+    std::uint64_t n = varint();
+    if (!ensure(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Reads a count that is about to size a container; rejects counts that
+  /// could not possibly fit in the remaining bytes (decompression-bomb and
+  /// bad-alloc guard).
+  std::uint64_t count(std::size_t min_bytes_per_element) {
+    std::uint64_t n = varint();
+    if (min_bytes_per_element > 0 &&
+        n > remaining() / std::max<std::size_t>(1, min_bytes_per_element)) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+
+ private:
+  bool ensure(std::uint64_t n) {
+    if (!ok_ || n > len_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ares::wire

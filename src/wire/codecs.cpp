@@ -1,0 +1,298 @@
+#include "wire/codecs.h"
+
+namespace ares::wire {
+namespace {
+
+// ---- field codecs ---------------------------------------------------------
+
+void put_point(Writer& w, const Point& p) {
+  w.varint(p.size());
+  for (AttrValue v : p) w.varint(v);
+}
+
+bool get_point(Reader& r, Point& p) {
+  std::uint64_t n = r.count(1);
+  if (!r.ok()) return false;
+  p.resize(static_cast<std::size_t>(n));
+  for (auto& v : p) v = r.varint();
+  return r.ok();
+}
+
+void put_coord(Writer& w, const CellCoord& c) {
+  w.varint(c.size());
+  for (CellIndex i : c) w.varint(i);
+}
+
+bool get_coord(Reader& r, CellCoord& c) {
+  std::uint64_t n = r.count(1);
+  if (!r.ok()) return false;
+  c.resize(static_cast<std::size_t>(n));
+  for (auto& i : c) i = static_cast<CellIndex>(r.varint());
+  return r.ok();
+}
+
+void put_descriptor(Writer& w, const PeerDescriptor& d) {
+  w.u32(d.id);
+  w.varint(d.age);
+  put_point(w, d.values);
+  put_coord(w, d.coord);
+}
+
+bool get_descriptor(Reader& r, PeerDescriptor& d) {
+  d.id = r.u32();
+  d.age = static_cast<std::uint32_t>(r.varint());
+  return get_point(r, d.values) && get_coord(r, d.coord) && r.ok();
+}
+
+void put_descriptors(Writer& w, const std::vector<PeerDescriptor>& v) {
+  w.varint(v.size());
+  for (const auto& d : v) put_descriptor(w, d);
+}
+
+bool get_descriptors(Reader& r, std::vector<PeerDescriptor>& v) {
+  std::uint64_t n = r.count(6);  // >= id(4) + age(1) + two counts
+  if (!r.ok()) return false;
+  v.resize(static_cast<std::size_t>(n));
+  for (auto& d : v)
+    if (!get_descriptor(r, d)) return false;
+  return true;
+}
+
+void put_query(Writer& w, const RangeQuery& q) {
+  w.varint(static_cast<std::uint64_t>(q.dimensions()));
+  for (int d = 0; d < q.dimensions(); ++d) {
+    w.opt_u64(q.range(d).lo);
+    w.opt_u64(q.range(d).hi);
+  }
+  const auto& filters = q.dynamic_filters();
+  w.varint(filters.size());
+  for (const auto& f : filters) {
+    w.varint(f.index);
+    w.opt_u64(f.range.lo);
+    w.opt_u64(f.range.hi);
+  }
+}
+
+bool get_query(Reader& r, RangeQuery& q) {
+  std::uint64_t d = r.count(2);  // two presence bytes per dimension minimum
+  if (!r.ok()) return false;
+  q = RangeQuery::any(static_cast<int>(d));
+  for (std::uint64_t i = 0; i < d; ++i) {
+    auto lo = r.opt_u64();
+    auto hi = r.opt_u64();
+    if (!r.ok()) return false;
+    q.with(static_cast<int>(i), lo, hi);
+  }
+  std::uint64_t filters = r.count(3);
+  if (!r.ok()) return false;
+  for (std::uint64_t i = 0; i < filters; ++i) {
+    std::uint64_t index = r.varint();
+    auto lo = r.opt_u64();
+    auto hi = r.opt_u64();
+    if (!r.ok()) return false;
+    q.with_dynamic(static_cast<std::size_t>(index), lo, hi);
+  }
+  return r.ok();
+}
+
+void put_record(Writer& w, const MatchRecord& m) {
+  w.u32(m.id);
+  put_point(w, m.values);
+}
+
+bool get_record(Reader& r, MatchRecord& m) {
+  m.id = r.u32();
+  return get_point(r, m.values) && r.ok();
+}
+
+void put_resource(Writer& w, const ResourceRecord& rec) {
+  w.u32(rec.node);
+  put_point(w, rec.values);
+}
+
+bool get_resource(Reader& r, ResourceRecord& rec) {
+  rec.node = r.u32();
+  return get_point(r, rec.values) && r.ok();
+}
+
+// ---- per-kind decoders ----------------------------------------------------
+
+MessagePtr decode_gossip(Reader& r, Kind kind) {
+  if (kind == Kind::kCyclonRequest || kind == Kind::kCyclonReply) {
+    auto m = std::make_unique<CyclonShuffleMsg>();
+    m->is_reply = kind == Kind::kCyclonReply;
+    if (!get_descriptors(r, m->entries)) return nullptr;
+    return m;
+  }
+  auto m = std::make_unique<VicinityExchangeMsg>();
+  m->is_reply = kind == Kind::kVicinityReply;
+  if (!get_descriptors(r, m->entries)) return nullptr;
+  return m;
+}
+
+MessagePtr decode_query(Reader& r) {
+  auto m = std::make_unique<QueryMsg>();
+  m->id = r.u64();
+  m->reply_to = r.u32();
+  m->origin = r.u32();
+  m->sigma = r.u32();
+  // level in [-1, 127] encoded with a +1 offset.
+  std::uint8_t lvl = r.u8();
+  m->level = static_cast<int>(lvl) - 1;
+  m->dims_mask = r.u32();
+  if (!get_query(r, m->query)) return nullptr;
+  return m;
+}
+
+MessagePtr decode_reply(Reader& r) {
+  auto m = std::make_unique<ReplyMsg>();
+  m->id = r.u64();
+  std::uint64_t n = r.count(5);
+  if (!r.ok()) return nullptr;
+  m->matching.resize(static_cast<std::size_t>(n));
+  for (auto& rec : m->matching)
+    if (!get_record(r, rec)) return nullptr;
+  return m;
+}
+
+MessagePtr decode_progress(Reader& r) {
+  auto m = std::make_unique<ProgressMsg>();
+  m->id = r.u64();
+  return m;
+}
+
+MessagePtr decode_dht(Reader& r, Kind kind) {
+  switch (kind) {
+    case Kind::kDhtPut: {
+      auto m = std::make_unique<DhtPutMsg>();
+      m->key = r.u64();
+      if (!get_resource(r, m->record)) return nullptr;
+      return m;
+    }
+    case Kind::kDhtGet: {
+      auto m = std::make_unique<DhtGetMsg>();
+      m->key = r.u64();
+      m->origin = r.u32();
+      m->request_id = r.u64();
+      return m;
+    }
+    default: {
+      auto m = std::make_unique<DhtRecordsMsg>();
+      m->request_id = r.u64();
+      m->key = r.u64();
+      std::uint64_t n = r.count(5);
+      if (!r.ok()) return nullptr;
+      m->records.resize(static_cast<std::size_t>(n));
+      for (auto& rec : m->records)
+        if (!get_resource(r, rec)) return nullptr;
+      return m;
+    }
+  }
+}
+
+}  // namespace
+
+bool encode(const Message& m, Writer& w) {
+  if (const auto* c = dynamic_cast<const CyclonShuffleMsg*>(&m)) {
+    w.u8(static_cast<std::uint8_t>(c->is_reply ? Kind::kCyclonReply
+                                               : Kind::kCyclonRequest));
+    put_descriptors(w, c->entries);
+    return true;
+  }
+  if (const auto* v = dynamic_cast<const VicinityExchangeMsg*>(&m)) {
+    w.u8(static_cast<std::uint8_t>(v->is_reply ? Kind::kVicinityReply
+                                               : Kind::kVicinityRequest));
+    put_descriptors(w, v->entries);
+    return true;
+  }
+  if (const auto* q = dynamic_cast<const QueryMsg*>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Kind::kQuery));
+    w.u64(q->id);
+    w.u32(q->reply_to);
+    w.u32(q->origin);
+    w.u32(q->sigma);
+    w.u8(static_cast<std::uint8_t>(q->level + 1));
+    w.u32(q->dims_mask);
+    put_query(w, q->query);
+    return true;
+  }
+  if (const auto* rp = dynamic_cast<const ReplyMsg*>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Kind::kReply));
+    w.u64(rp->id);
+    w.varint(rp->matching.size());
+    for (const auto& rec : rp->matching) put_record(w, rec);
+    return true;
+  }
+  if (const auto* p = dynamic_cast<const ProgressMsg*>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Kind::kProgress));
+    w.u64(p->id);
+    return true;
+  }
+  if (const auto* put_msg = dynamic_cast<const DhtPutMsg*>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Kind::kDhtPut));
+    w.u64(put_msg->key);
+    put_resource(w, put_msg->record);
+    return true;
+  }
+  if (const auto* get_msg = dynamic_cast<const DhtGetMsg*>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Kind::kDhtGet));
+    w.u64(get_msg->key);
+    w.u32(get_msg->origin);
+    w.u64(get_msg->request_id);
+    return true;
+  }
+  if (const auto* recs = dynamic_cast<const DhtRecordsMsg*>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Kind::kDhtRecords));
+    w.u64(recs->request_id);
+    w.u64(recs->key);
+    w.varint(recs->records.size());
+    for (const auto& rec : recs->records) put_resource(w, rec);
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  Writer w;
+  if (!encode(m, w)) return {};
+  return w.take();
+}
+
+MessagePtr decode(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  auto kind = static_cast<Kind>(r.u8());
+  if (!r.ok()) return nullptr;
+  MessagePtr out;
+  switch (kind) {
+    case Kind::kCyclonRequest:
+    case Kind::kCyclonReply:
+    case Kind::kVicinityRequest:
+    case Kind::kVicinityReply:
+      out = decode_gossip(r, kind);
+      break;
+    case Kind::kQuery:
+      out = decode_query(r);
+      break;
+    case Kind::kReply:
+      out = decode_reply(r);
+      break;
+    case Kind::kProgress:
+      out = decode_progress(r);
+      break;
+    case Kind::kDhtPut:
+    case Kind::kDhtGet:
+    case Kind::kDhtRecords:
+      out = decode_dht(r, kind);
+      break;
+    default:
+      return nullptr;
+  }
+  if (out == nullptr || !r.ok() || !r.at_end()) return nullptr;
+  return out;
+}
+
+MessagePtr decode(const std::vector<std::uint8_t>& bytes) {
+  return decode(bytes.data(), bytes.size());
+}
+
+}  // namespace ares::wire

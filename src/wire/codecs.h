@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file codecs.h
+/// Binary encode/decode for every protocol message. The simulator moves
+/// Message objects by pointer; a real deployment serializes them — these
+/// codecs define that format, and Message::wire_size() estimates are
+/// validated against actual encoded sizes by tests/wire/codec_test.cpp.
+///
+/// Frame layout: 1-byte message kind tag, then the kind-specific body.
+/// decode() returns nullptr on any malformed input (truncation, bad tags,
+/// bogus counts) — it never throws and never reads out of bounds.
+
+#include <memory>
+
+#include "core/messages.h"
+#include "dht/chord.h"
+#include "gossip/cyclon.h"
+#include "gossip/vicinity.h"
+#include "wire/buffer.h"
+
+namespace ares::wire {
+
+/// Message kind tags (stable on the wire; append only).
+enum class Kind : std::uint8_t {
+  kCyclonRequest = 1,
+  kCyclonReply = 2,
+  kVicinityRequest = 3,
+  kVicinityReply = 4,
+  kQuery = 5,
+  kReply = 6,
+  kProgress = 7,
+  kDhtPut = 8,
+  kDhtGet = 9,
+  kDhtRecords = 10,
+};
+
+/// Serializes any supported message; returns false for unknown types.
+bool encode(const Message& m, Writer& w);
+
+/// Convenience: encode into a fresh byte vector (empty on failure).
+std::vector<std::uint8_t> encode(const Message& m);
+
+/// Parses one message; nullptr when the input is malformed or trailing
+/// bytes remain.
+MessagePtr decode(const std::uint8_t* data, std::size_t len);
+MessagePtr decode(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ares::wire

@@ -1,0 +1,10 @@
+#include "workload/churn_schedule.h"
+
+// Presets are constexpr in the header; this TU exists to validate them once.
+
+namespace ares {
+
+static_assert(kChurnLight.fraction < kChurnGnutella.fraction);
+static_assert(kPlanetLabDecay.waves > 0);
+
+}  // namespace ares

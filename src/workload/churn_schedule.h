@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file churn_schedule.h
+/// Named membership-dynamics presets from the paper's evaluation.
+
+#include "common/types.h"
+
+namespace ares {
+
+/// Replacement churn: `fraction` of the population leaves ungracefully and
+/// re-enters under a new identity every `period`.
+struct ChurnSpec {
+  double fraction = 0.0;
+  SimTime period = 10 * kSecond;
+};
+
+/// §6.6: 0.1 % of nodes per 10 s.
+constexpr ChurnSpec kChurnLight{0.001, 10 * kSecond};
+
+/// §6.6: 0.2 % of nodes per 10 s — "corresponds to churn rates observed in
+/// Gnutella".
+constexpr ChurnSpec kChurnGnutella{0.002, 10 * kSecond};
+
+/// Decay waves without replacement.
+struct DecaySpec {
+  double fraction = 0.0;
+  SimTime period = 0;
+  int waves = 0;
+};
+
+/// §6.7 PlanetLab campaign: kill 10 % of the network every 20 minutes.
+constexpr DecaySpec kPlanetLabDecay{0.10, 20 * 60 * kSecond, 20};
+
+}  // namespace ares

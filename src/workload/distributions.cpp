@@ -1,0 +1,94 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ares {
+
+PointGen uniform_points(const AttributeSpace& space, AttrValue lo, AttrValue hi) {
+  const int d = space.dimensions();
+  return [d, lo, hi](Rng& rng) {
+    Point p(static_cast<std::size_t>(d));
+    for (auto& v : p) v = rng.range(lo, hi);
+    return p;
+  };
+}
+
+PointGen normal_points(const AttributeSpace& space, double mean, double stddev,
+                       AttrValue lo, AttrValue hi) {
+  const int d = space.dimensions();
+  return [d, mean, stddev, lo, hi](Rng& rng) {
+    Point p(static_cast<std::size_t>(d));
+    for (auto& v : p) {
+      double x = rng.normal(mean, stddev);
+      x = std::clamp(x, static_cast<double>(lo), static_cast<double>(hi));
+      v = static_cast<AttrValue>(std::llround(x));
+    }
+    return p;
+  };
+}
+
+PointGen hotspot_points(const AttributeSpace& space) {
+  return normal_points(space, 60.0, 10.0, 0, 80);
+}
+
+PointGen clustered_points(const AttributeSpace& space, std::size_t clusters,
+                          AttrValue lo, AttrValue hi, AttrValue spread,
+                          std::uint64_t seed) {
+  const int d = space.dimensions();
+  // Centers are fixed up front so every generated node shares them.
+  Rng centers_rng(seed);
+  std::vector<Point> centers(clusters);
+  for (auto& c : centers) {
+    c.resize(static_cast<std::size_t>(d));
+    for (auto& v : c) v = centers_rng.range(lo, hi);
+  }
+  return [centers, spread, lo, hi](Rng& rng) {
+    const Point& c = centers[rng.index(centers.size())];
+    Point p = c;
+    for (auto& v : p) {
+      AttrValue jitter = spread == 0 ? 0 : rng.range(0, 2 * spread);
+      AttrValue base = v >= spread ? v - spread : 0;
+      v = std::clamp<AttrValue>(base + jitter, lo, hi);
+    }
+    return p;
+  };
+}
+
+PointGen xtremlab_points(const AttributeSpace& space, AttrValue hi) {
+  const int d = space.dimensions();
+  return [d, hi](Rng& rng) {
+    // Latent host quality in [0,1): most volunteer hosts are low-end.
+    double quality = std::pow(rng.uniform(), 2.0);
+    Point p(static_cast<std::size_t>(d));
+    for (int k = 0; k < d; ++k) {
+      double v01 = 0.0;
+      switch (k % 4) {
+        case 0: {  // CPU family: 6 discrete tiers, Zipf-weighted, few fast.
+          std::uint64_t tier = rng.zipf(6, 1.2);  // 0 = most common (slow)
+          v01 = (static_cast<double>(tier) + 0.3 * quality) / 6.0;
+          break;
+        }
+        case 1: {  // Memory: power-of-two steps 0..6, heavy low tail.
+          std::uint64_t step = rng.zipf(7, 0.9);
+          double bump = quality > 0.7 ? 1.0 : 0.0;  // good hosts have more RAM
+          v01 = std::min(6.0, static_cast<double>(step) + bump) / 6.0;
+          break;
+        }
+        case 2: {  // Bandwidth: correlated with quality, jittered.
+          v01 = std::clamp(quality + rng.normal(0.0, 0.15), 0.0, 1.0);
+          break;
+        }
+        default: {  // Misc admin attribute: near-uniform.
+          v01 = rng.uniform();
+          break;
+        }
+      }
+      p[static_cast<std::size_t>(k)] =
+          static_cast<AttrValue>(std::llround(v01 * static_cast<double>(hi)));
+    }
+    return p;
+  };
+}
+
+}  // namespace ares

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file distributions.h
+/// Node-attribute distributions used by the paper's experiments:
+///   - uniform over [0,80] per attribute (§6.4 "each parameter of each node
+///     is selected randomly in the interval [0, 80]");
+///   - normal hotspot around coordinate (60,60,...,60) with stddev 10;
+///   - clustered (synthetic data centers: identical machines per cluster);
+///   - XtremLab/BOINC-like skewed host attributes (our stand-in for the
+///     proprietary XtremLab traces; see DESIGN.md §5): discrete CPU
+///     families, power-of-two memory with a heavy tail, Zipf-like bandwidth
+///     tiers, correlated across attributes the way real volunteer hosts are.
+
+#include <functional>
+
+#include "common/rng.h"
+#include "space/attribute_space.h"
+
+namespace ares {
+
+/// Generates attribute values for one new node.
+using PointGen = std::function<Point(Rng&)>;
+
+/// Every attribute independently uniform over [lo, hi].
+PointGen uniform_points(const AttributeSpace& space, AttrValue lo, AttrValue hi);
+
+/// Every attribute normal(mean, stddev), clamped to [lo, hi].
+PointGen normal_points(const AttributeSpace& space, double mean, double stddev,
+                       AttrValue lo, AttrValue hi);
+
+/// The paper's §6.4 hotspot: normal(60, 10) in [0, 80] on every dimension.
+PointGen hotspot_points(const AttributeSpace& space);
+
+/// `clusters` cluster centers drawn uniformly in [lo, hi]; each node copies a
+/// random center, jittered +/- `spread` per attribute. Models federations of
+/// near-identical machines.
+PointGen clustered_points(const AttributeSpace& space, std::size_t clusters,
+                          AttrValue lo, AttrValue hi, AttrValue spread,
+                          std::uint64_t seed);
+
+/// Skewed, correlated volunteer-host attributes scaled into [0, hi]:
+/// dimension k cycles through four archetypes —
+///   k % 4 == 0: discrete "CPU family" tiers (Zipf-weighted),
+///   k % 4 == 1: power-of-two "memory" sizes, heavy-tailed,
+///   k % 4 == 2: "bandwidth" tiers correlated with the host's quality,
+///   k % 4 == 3: near-uniform "misc" (disk, lib versions, ...).
+/// A per-node latent quality variable correlates the dimensions, matching
+/// the strong skew of the XtremLab BOINC traces.
+PointGen xtremlab_points(const AttributeSpace& space, AttrValue hi = 80);
+
+}  // namespace ares

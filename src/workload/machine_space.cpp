@@ -1,0 +1,65 @@
+#include "workload/machine_space.h"
+
+namespace ares {
+
+AttributeSpace machine_space() {
+  std::vector<DimensionSpec> dims(5);
+  // 8 level-0 cells per dimension => 7 interior cuts each.
+  dims[kCpuIsa] = {"cpu_isa", 0, {1, 2, 3, 4, 5, 6, 7}};
+  dims[kMemoryMb] = {"memory_mb", 0, {256, 512, 1024, 2048, 4096, 8192, 16384}};
+  dims[kBandwidthKbps] = {"bandwidth_kbps", 0,
+                          {64, 256, 512, 1024, 4096, 10240, 102400}};
+  dims[kDiskGb] = {"disk_gb", 0, {8, 32, 64, 128, 256, 512, 1024}};
+  dims[kOsCode] = {"os_code", 0, {150, 200, 300, 350, 400, 500, 700}};
+  return AttributeSpace(std::move(dims), /*max_level=*/3);
+}
+
+MachineGen machine_points() {
+  return [](Rng& rng) {
+    Point p(5);
+    // Archetype mix: embedded 20%, desktop 45%, workstation 25%, server 10%.
+    double archetype = rng.uniform();
+    if (archetype < 0.20) {  // embedded / SBC
+      p[kCpuIsa] = rng.chance(0.7) ? kIsaArm32 : kIsaArm64;
+      p[kMemoryMb] = rng.pick(std::vector<AttrValue>{128, 256, 512, 1024});
+      p[kBandwidthKbps] = rng.range(64, 1024);
+      p[kDiskGb] = rng.range(4, 32);
+      p[kOsCode] = kOsLinux + rng.below(80);  // linux 1xx band
+    } else if (archetype < 0.65) {  // desktop
+      p[kCpuIsa] = rng.chance(0.8) ? kIsaX86_64 : kIsaX86;
+      p[kMemoryMb] = rng.pick(std::vector<AttrValue>{2048, 4096, 8192, 16384});
+      p[kBandwidthKbps] = rng.range(512, 10240);
+      p[kDiskGb] = rng.range(64, 512);
+      p[kOsCode] = rng.chance(0.5) ? kOsWindows + rng.below(80)
+                                   : kOsLinux + rng.below(80);
+    } else if (archetype < 0.90) {  // workstation / mac
+      p[kCpuIsa] = rng.chance(0.6) ? kIsaX86_64 : kIsaArm64;
+      p[kMemoryMb] = rng.pick(std::vector<AttrValue>{8192, 16384, 32768});
+      p[kBandwidthKbps] = rng.range(4096, 102400);
+      p[kDiskGb] = rng.range(256, 2048);
+      p[kOsCode] = rng.chance(0.5) ? kOsMac + rng.below(80)
+                                   : kOsLinux + rng.below(80);
+    } else {  // server
+      p[kCpuIsa] = rng.chance(0.85) ? kIsaX86_64 : kIsaPpc64;
+      p[kMemoryMb] = rng.pick(std::vector<AttrValue>{16384, 32768, 65536, 131072});
+      p[kBandwidthKbps] = rng.range(102400, 1024000);
+      p[kDiskGb] = rng.range(512, 16384);
+      p[kOsCode] = kOsLinux + rng.below(80);
+    }
+    return p;
+  };
+}
+
+RangeQuery paper_example_query() {
+  // CPU = IA32 family, MEM in [4GB, inf), BANDWIDTH in [512 kb/s, inf),
+  // DISK in [128 GB, inf), OS in the "Linux 2.6.19 .. 2.6.20" band
+  // (generations mapped into the linux code band 100..149).
+  return RangeQuery::any(5)
+      .with(kCpuIsa, kIsaX86, kIsaX86_64)
+      .with(kMemoryMb, 4096, std::nullopt)
+      .with(kBandwidthKbps, 512, std::nullopt)
+      .with(kDiskGb, 128, std::nullopt)
+      .with(kOsCode, kOsLinux + 19, kOsLinux + 20);
+}
+
+}  // namespace ares

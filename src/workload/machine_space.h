@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file machine_space.h
+/// A realistic machine-description attribute space with IRREGULAR cell
+/// boundaries — the paper's §3/§4.1 example made concrete: "the attribute
+/// ranges of each cell do not have to be regular. One cell may range over
+/// memory between 0 and 128 MB, and another one between 4 GB and 8 GB."
+///
+/// Five dimensions (the paper's example query):
+///   0 kCpuIsa    discrete instruction-set codes
+///   1 kMemoryMb  RAM, power-of-two-ish boundaries, open-ended top
+///   2 kBandwidthKbps  uplink, from dial-up to data-center
+///   3 kDiskGb    scratch disk
+///   4 kOsCode    operating-system family x 100 + generation
+
+#include <functional>
+
+#include "common/rng.h"
+#include "space/attribute_space.h"
+#include "space/query.h"
+
+namespace ares {
+
+/// Dimension indices of the machine space.
+enum MachineDim : int {
+  kCpuIsa = 0,
+  kMemoryMb = 1,
+  kBandwidthKbps = 2,
+  kDiskGb = 3,
+  kOsCode = 4,
+};
+
+/// Instruction-set codes for dimension kCpuIsa.
+enum CpuIsa : AttrValue {
+  kIsaX86 = 0,
+  kIsaX86_64 = 1,
+  kIsaArm32 = 2,
+  kIsaArm64 = 3,
+  kIsaPpc64 = 4,
+  kIsaRiscv = 5,
+  kIsaMips = 6,
+  kIsaSparc = 7,
+};
+
+/// OS family base codes for dimension kOsCode: family*100 + generation.
+enum OsFamily : AttrValue {
+  kOsLinux = 100,
+  kOsBsd = 200,
+  kOsWindows = 300,
+  kOsMac = 400,
+  kOsSolaris = 500,
+  kOsOther = 700,
+};
+
+/// The 5-dimensional machine space with nesting depth 3 (8 level-0 cells
+/// per dimension) and irregular, semantically meaningful boundaries.
+AttributeSpace machine_space();
+
+/// Generates correlated machine profiles drawn from four archetypes
+/// (embedded boards, desktops, workstations, servers) with realistic
+/// attribute correlations (servers have more of everything).
+using MachineGen = std::function<Point(Rng&)>;
+MachineGen machine_points();
+
+/// The paper's §3 example query:
+///   CPU = IA32(+64), MEM >= 4 GB, BANDWIDTH >= 512 kb/s, DISK >= 128 GB,
+///   OS in the Linux 2.6.x generation band.
+RangeQuery paper_example_query();
+
+}  // namespace ares

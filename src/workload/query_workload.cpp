@@ -1,0 +1,120 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ares {
+
+RangeQuery query_from_region(const AttributeSpace& space, const Region& region) {
+  assert(region.dimensions() == space.dimensions());
+  RangeQuery q = RangeQuery::any(space.dimensions());
+  const CellIndex last = space.cells_per_dim() - 1;
+  for (int d = 0; d < space.dimensions(); ++d) {
+    const IndexInterval& iv = region.interval(d);
+    if (iv.lo == 0 && iv.hi >= last) continue;  // unconstrained
+    std::optional<AttrValue> lo;
+    if (iv.lo > 0) lo = space.cell_value_lo(d, iv.lo);
+    std::optional<AttrValue> hi = space.cell_value_hi(d, iv.hi);  // nullopt at top
+    q.with(d, lo, hi);
+  }
+  return q;
+}
+
+RangeQuery best_case_query(const AttributeSpace& space, double f, Rng& rng) {
+  assert(f > 0.0 && f <= 1.0);
+  const int d = space.dimensions();
+  const int L = space.max_level();
+  // Grow per-dimension dyadic widths 2^g_k round-robin until the box covers
+  // at least fraction f of the grid volume. Growth starts from the LAST
+  // dimension so that the dimensions that remain constrained are the first
+  // ones: the ascending-dimension DFS then locks those constraints in at the
+  // top level and every later forwarded representative already lies inside
+  // the query region — the paper's low, dimension-independent overhead
+  // depends on this (see EXPERIMENTS.md, Figure 8 discussion).
+  std::vector<int> g(static_cast<std::size_t>(d), 0);
+  double log2_target = std::log2(f) + static_cast<double>(L) * d;  // log2(f * 2^(L*d))
+  double have = 0.0;
+  for (int k = d - 1; have < log2_target; k = (k + d - 1) % d) {
+    bool progressed = false;
+    for (int tries = 0; tries < d; ++tries, k = (k + d - 1) % d) {
+      auto sk = static_cast<std::size_t>(k);
+      if (g[sk] < L) {
+        ++g[sk];
+        have += 1.0;
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) break;  // whole grid reached
+  }
+  // Random aligned placement per dimension.
+  std::vector<IndexInterval> ivs(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    auto sk = static_cast<std::size_t>(k);
+    CellIndex width = CellIndex{1} << g[sk];
+    CellIndex slots = space.cells_per_dim() >> g[sk];
+    CellIndex a = static_cast<CellIndex>(rng.below(slots));
+    ivs[sk] = {static_cast<CellIndex>(a * width),
+               static_cast<CellIndex>(a * width + width - 1)};
+  }
+  return query_from_region(space, Region(std::move(ivs)));
+}
+
+RangeQuery worst_case_query(const AttributeSpace& space, double f) {
+  assert(f > 0.0 && f <= 1.0);
+  const int d = space.dimensions();
+  const CellIndex n = space.cells_per_dim();
+  const CellIndex mid = n / 2;
+  // A cell-aligned box centered on the grid midpoint: it crosses the split
+  // of every dimension at every level ("every dimension and cell level is
+  // represented"), so the DFS must fan out along all of them. Cell
+  // alignment keeps the selectivity exact at cell granularity; the
+  // straddling (unaligned) variant is measured separately in
+  // bench/ablation_query_shape.
+  double per_dim = std::pow(f, 1.0 / d) * static_cast<double>(n);
+  auto w = static_cast<CellIndex>(std::llround(per_dim));
+  w = std::clamp<CellIndex>(w, 2, n);
+  std::vector<IndexInterval> ivs(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    CellIndex lo = mid - w / 2;
+    CellIndex hi = lo + w - 1;  // crosses `mid` since w >= 2 and lo < mid
+    ivs[static_cast<std::size_t>(k)] = {lo, hi};
+  }
+  return query_from_region(space, Region(std::move(ivs)));
+}
+
+RangeQuery empirical_query(const AttributeSpace& space,
+                           const std::vector<Point>& sample, double f,
+                           int constrain_dims, Rng& rng) {
+  assert(!sample.empty());
+  assert(f > 0.0 && f <= 1.0);
+  const int d = space.dimensions();
+  constrain_dims = std::clamp(constrain_dims, 1, d);
+  RangeQuery q = RangeQuery::any(d);
+  auto dims = rng.sample_indices(static_cast<std::size_t>(d),
+                                 static_cast<std::size_t>(constrain_dims));
+  const double per_dim = std::pow(f, 1.0 / constrain_dims);
+  for (std::size_t dim : dims) {
+    std::vector<AttrValue> vals;
+    vals.reserve(sample.size());
+    for (const auto& p : sample) vals.push_back(p[dim]);
+    std::sort(vals.begin(), vals.end());
+    auto len = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(per_dim * vals.size())));
+    len = std::min(len, vals.size());
+    std::size_t start = len < vals.size() ? rng.index(vals.size() - len + 1) : 0;
+    q.with(static_cast<int>(dim), vals[start], vals[start + len - 1]);
+  }
+  return q;
+}
+
+double measured_selectivity(const RangeQuery& q, const std::vector<Point>& points) {
+  if (points.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& p : points)
+    if (q.matches(p)) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(points.size());
+}
+
+}  // namespace ares

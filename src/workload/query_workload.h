@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file query_workload.h
+/// Query generators reproducing the paper's workloads (§6):
+///   - best case: the query region is a boundary-aligned dyadic box that
+///     lies entirely within a single cell ("satisfied by the nodes in a
+///     single cell");
+///   - worst case: the region is centered on the grid midpoint so it crosses
+///     the split of every dimension at every level ("every dimension and
+///     cell level is represented");
+///   - empirical: a query targeting a fraction f of a concrete node sample
+///     (used with skewed distributions, e.g. the Fig. 9(b) DHT comparison).
+///
+/// Selectivity f is defined as the fraction of nodes matching the query;
+/// for uniform node distributions the region's volume fraction equals the
+/// expected selectivity.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "space/query.h"
+
+namespace ares {
+
+/// Converts a level-0 index region to the (boundary-snapped) value-range
+/// query covering exactly that region. Dimensions spanning the full grid
+/// become unconstrained; regions touching the top cell get an open upper
+/// bound (the space is unbounded above, paper §4.1).
+RangeQuery query_from_region(const AttributeSpace& space, const Region& region);
+
+/// Best-case query of volume fraction ~f at a random aligned position.
+RangeQuery best_case_query(const AttributeSpace& space, double f, Rng& rng);
+
+/// Worst-case query of volume fraction ~f centered on the grid midpoint.
+RangeQuery worst_case_query(const AttributeSpace& space, double f);
+
+/// Query targeting fraction ~f of `sample`, constraining `constrain_dims`
+/// randomly chosen dimensions to empirical quantile windows.
+RangeQuery empirical_query(const AttributeSpace& space,
+                           const std::vector<Point>& sample, double f,
+                           int constrain_dims, Rng& rng);
+
+/// Fraction of `points` matching `q`.
+double measured_selectivity(const RangeQuery& q, const std::vector<Point>& points);
+
+}  // namespace ares

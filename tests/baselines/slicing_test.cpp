@@ -1,0 +1,127 @@
+#include "baselines/slicing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ares {
+namespace {
+
+class SlicingTest : public ::testing::Test {
+ protected:
+  SlicingTest() : sim(2), net(sim, std::make_unique<ConstantLatency>(kMillisecond)) {}
+
+  void build(std::size_t n) {
+    Rng seeder(11);
+    for (std::size_t i = 0; i < n; ++i) {
+      double attr = seeder.uniform(0, 100);
+      attrs.push_back(attr);
+      ids.push_back(net.add_node(
+          std::make_unique<SlicingNode>(attr, 10 * kSecond, seeder.fork())));
+    }
+    for (NodeId id : ids) node(id).set_peers(ids);
+  }
+
+  SlicingNode& node(NodeId id) { return *net.find_as<SlicingNode>(id); }
+
+  /// Mean |slice_value - true normalized rank| across nodes.
+  double mean_rank_error() {
+    auto sorted = attrs;
+    std::sort(sorted.begin(), sorted.end());
+    double err = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      auto rank = static_cast<double>(
+          std::lower_bound(sorted.begin(), sorted.end(), attrs[i]) -
+          sorted.begin());
+      double expected = rank / static_cast<double>(ids.size());
+      err += std::abs(node(ids[i]).slice_value() - expected);
+    }
+    return err / static_cast<double>(ids.size());
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<NodeId> ids;
+  std::vector<double> attrs;
+};
+
+TEST_F(SlicingTest, SliceValuesConvergeTowardRanks) {
+  build(150);
+  double before = mean_rank_error();
+  sim.run_until(400 * kSecond);  // 40 cycles
+  double after = mean_rank_error();
+  EXPECT_LT(after, before / 3);
+  EXPECT_LT(after, 0.08);
+}
+
+TEST_F(SlicingTest, OrderingMostlyCorrectAfterConvergence) {
+  build(100);
+  sim.run_until(400 * kSecond);
+  // For random node pairs, slice order should agree with attribute order.
+  Rng rng(3);
+  int agree = 0, total = 0;
+  for (int t = 0; t < 500; ++t) {
+    NodeId a = ids[rng.index(ids.size())];
+    NodeId b = ids[rng.index(ids.size())];
+    if (a == b || node(a).attribute() == node(b).attribute()) continue;
+    ++total;
+    bool attr_less = node(a).attribute() < node(b).attribute();
+    bool slice_less = node(a).slice_value() < node(b).slice_value();
+    if (attr_less == slice_less) ++agree;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(agree) / total, 0.9);
+}
+
+TEST_F(SlicingTest, TopSliceRecall) {
+  build(200);
+  sim.run_until(500 * kSecond);
+  const double f = 0.2;
+  auto sorted = attrs;
+  std::sort(sorted.begin(), sorted.end());
+  double cut = sorted[static_cast<std::size_t>((1.0 - f) * sorted.size())];
+  std::size_t truth = 0, correct = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    bool is_top = attrs[i] >= cut;
+    if (is_top) {
+      ++truth;
+      if (node(ids[i]).in_top_slice(f)) ++correct;
+    }
+  }
+  ASSERT_GT(truth, 0u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(truth), 0.75);
+}
+
+TEST_F(SlicingTest, WholeOverlayGossipsContinuously) {
+  // The cost property the paper criticizes: traffic scales with N x time
+  // even with zero queries.
+  build(100);
+  sim.run_until(100 * kSecond);
+  auto early = net.stats().sent();
+  sim.run_until(200 * kSecond);
+  auto later = net.stats().sent();
+  EXPECT_GT(early, 100u * 5u);        // everyone active
+  EXPECT_GT(later, early + 100 * 5);  // and it never stops
+}
+
+TEST_F(SlicingTest, SliceValuesConserved) {
+  // Swaps permute the initial slice values; the multiset is invariant
+  // (up to in-flight exchanges, none once the sim drains).
+  build(50);
+  std::vector<double> initial;
+  for (NodeId id : ids) initial.push_back(node(id).slice_value());
+  std::sort(initial.begin(), initial.end());
+  sim.run_until(300 * kSecond);
+  // Drain in-flight replies without initiating new exchanges is not
+  // directly possible; instead check values are a subset of [0,1] and the
+  // count matches — plus spot-check conservation approximately via sum.
+  double sum0 = 0, sum1 = 0;
+  for (double v : initial) sum0 += v;
+  std::vector<double> now;
+  for (NodeId id : ids) now.push_back(node(id).slice_value());
+  for (double v : now) sum1 += v;
+  EXPECT_NEAR(sum0, sum1, 1.5);  // small slack for swaps resolved in flight
+}
+
+}  // namespace
+}  // namespace ares

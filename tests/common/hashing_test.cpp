@@ -1,0 +1,54 @@
+#include "common/hashing.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(Hashing, Fnv1aKnownValue) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(fnv1a_bytes(nullptr, 0), kFnvOffset);
+}
+
+TEST(Hashing, Fnv1aStringStable) {
+  auto h1 = fnv1a("hello");
+  auto h2 = fnv1a("hello");
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, fnv1a("hellp"));
+}
+
+TEST(Hashing, Fnv1aChaining) {
+  auto whole = fnv1a("ab");
+  auto chained = fnv1a("b", fnv1a("a"));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Hashing, MixChangesValue) {
+  auto h = hash_mix(kFnvOffset, 1);
+  EXPECT_NE(h, kFnvOffset);
+  EXPECT_NE(hash_mix(kFnvOffset, 1), hash_mix(kFnvOffset, 2));
+}
+
+TEST(Hashing, MixOrderSensitive) {
+  auto a = hash_mix(hash_mix(kFnvOffset, 1), 2);
+  auto b = hash_mix(hash_mix(kFnvOffset, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hashing, VectorHashOrderSensitive) {
+  EXPECT_NE(hash_u32_vector({1, 2, 3}), hash_u32_vector({3, 2, 1}));
+  EXPECT_EQ(hash_u32_vector({1, 2, 3}), hash_u32_vector({1, 2, 3}));
+}
+
+TEST(Hashing, VectorHashLengthSensitive) {
+  EXPECT_NE(hash_u32_vector({}), hash_u32_vector({0}));
+  EXPECT_NE(hash_u32_vector({0}), hash_u32_vector({0, 0}));
+}
+
+TEST(Hashing, U64VectorHash) {
+  EXPECT_EQ(hash_u64_vector({5, 6}), hash_u64_vector({5, 6}));
+  EXPECT_NE(hash_u64_vector({5, 6}), hash_u64_vector({6, 5}));
+}
+
+}  // namespace
+}  // namespace ares

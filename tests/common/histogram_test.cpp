@@ -1,0 +1,56 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(Histogram, BucketOfBasics) {
+  Histogram h({0.0, 10.0, 20.0});
+  EXPECT_EQ(h.bucket_of(0.0), 0u);
+  EXPECT_EQ(h.bucket_of(9.99), 0u);
+  EXPECT_EQ(h.bucket_of(10.0), 1u);
+  EXPECT_EQ(h.bucket_of(19.0), 1u);
+  EXPECT_EQ(h.bucket_of(20.0), 2u);
+  EXPECT_EQ(h.bucket_of(1e9), 2u);  // overflow bucket
+}
+
+TEST(Histogram, ValuesBelowFirstEdgeClampToBucketZero) {
+  Histogram h({5.0, 10.0});
+  EXPECT_EQ(h.bucket_of(-3.0), 0u);
+  EXPECT_EQ(h.bucket_of(4.9), 0u);
+}
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h({0.0, 1.0});
+  h.add(0.5);
+  h.add(0.7);
+  h.add(1.5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 3.0);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, FixedWidthFactory) {
+  auto h = Histogram::fixed_width(10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_EQ(h.bucket_of(35.0), 3u);
+  EXPECT_EQ(h.bucket_of(45.0), 4u);
+  EXPECT_EQ(h.bucket_of(1000.0), 4u);
+}
+
+TEST(Histogram, IntegerLabels) {
+  auto h = Histogram::fixed_width(10.0, 3);
+  EXPECT_EQ(h.label(0), "0-9");
+  EXPECT_EQ(h.label(1), "10-19");
+  EXPECT_EQ(h.label(2), ">=20");
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,46 @@
+#include "core/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(Messages, AllDimsMask) {
+  EXPECT_EQ(all_dims_mask(1), 0b1u);
+  EXPECT_EQ(all_dims_mask(5), 0b11111u);
+  EXPECT_EQ(all_dims_mask(32), ~std::uint32_t{0});
+}
+
+TEST(Messages, QueryDefaults) {
+  QueryMsg q;
+  EXPECT_EQ(q.sigma, kNoSigma);
+  EXPECT_EQ(q.reply_to, kInvalidNode);
+  EXPECT_STREQ(q.type_name(), "select.query");
+}
+
+TEST(Messages, QueryWireSizeGrowsWithDimensions) {
+  QueryMsg a, b;
+  a.query = RangeQuery::any(2);
+  b.query = RangeQuery::any(20);
+  EXPECT_LT(a.wire_size(), b.wire_size());
+}
+
+TEST(Messages, ReplyWireSizeGrowsWithMatches) {
+  ReplyMsg r;
+  auto base = r.wire_size();
+  r.matching.push_back({1, {1, 2, 3}});
+  EXPECT_GT(r.wire_size(), base);
+  auto one = r.wire_size();
+  r.matching.push_back({2, {1, 2, 3}});
+  EXPECT_GT(r.wire_size(), one);
+}
+
+TEST(Messages, TypeNamesPrefixedForLoadFiltering) {
+  QueryMsg q;
+  ReplyMsg r;
+  EXPECT_EQ(std::string(q.type_name()).substr(0, 7), "select.");
+  EXPECT_EQ(std::string(r.type_name()).substr(0, 7), "select.");
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,88 @@
+#include "core/query_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(QueryStats, CountsOverheadOnlyForNonMatchingNonOrigin) {
+  QueryStats s;
+  s.on_query_visited(1, 10, /*matched=*/false, /*is_origin=*/true);
+  s.on_query_visited(1, 11, false, false);
+  s.on_query_visited(1, 12, true, false);
+  const auto* pq = s.find(1);
+  ASSERT_NE(pq, nullptr);
+  EXPECT_EQ(pq->overhead, 1u);
+  EXPECT_EQ(pq->hits, 1u);
+  EXPECT_EQ(pq->origin, 10u);
+}
+
+TEST(QueryStats, MatchingOriginCountsAsHit) {
+  QueryStats s;
+  s.on_query_visited(1, 10, true, true);
+  EXPECT_EQ(s.find(1)->hits, 1u);
+  EXPECT_EQ(s.find(1)->overhead, 0u);
+}
+
+TEST(QueryStats, DuplicateVisitsDetected) {
+  QueryStats s(/*track_visited=*/true);
+  s.on_query_visited(1, 11, true, false);
+  s.on_query_visited(1, 11, true, false);
+  const auto* pq = s.find(1);
+  EXPECT_EQ(pq->duplicates, 1u);
+  EXPECT_EQ(pq->hits, 1u);  // never double-counted
+  EXPECT_EQ(s.total_duplicates(), 1u);
+}
+
+TEST(QueryStats, UntrackedModeCountsDeliveries) {
+  QueryStats s(/*track_visited=*/false);
+  s.on_query_visited(1, 11, true, false);
+  s.on_query_visited(1, 11, true, false);  // duplicate undetectable
+  const auto* pq = s.find(1);
+  EXPECT_EQ(pq->duplicates, 0u);
+  EXPECT_EQ(pq->hits, 2u);
+  EXPECT_TRUE(pq->visited.empty());
+}
+
+TEST(QueryStats, CompletionRecordsResultSize) {
+  QueryStats s;
+  std::vector<MatchRecord> matches{{1, {1}}, {2, {2}}};
+  s.on_query_completed(7, 99, matches);
+  const auto* pq = s.find(7);
+  ASSERT_NE(pq, nullptr);
+  EXPECT_TRUE(pq->completed);
+  EXPECT_EQ(pq->result_size, 2u);
+  EXPECT_EQ(pq->origin, 99u);
+  EXPECT_EQ(s.completed_count(), 1u);
+}
+
+TEST(QueryStats, SeparateQueriesSeparateRecords) {
+  QueryStats s;
+  s.on_query_visited(1, 10, true, false);
+  s.on_query_visited(2, 10, false, false);
+  EXPECT_EQ(s.find(1)->hits, 1u);
+  EXPECT_EQ(s.find(2)->overhead, 1u);
+  EXPECT_EQ(s.per_query().size(), 2u);
+}
+
+TEST(QueryStats, MeanOverhead) {
+  QueryStats s;
+  s.on_query_visited(1, 10, false, false);
+  s.on_query_visited(1, 11, false, false);
+  s.on_query_visited(2, 12, false, false);
+  EXPECT_DOUBLE_EQ(s.mean_overhead(), 1.5);
+}
+
+TEST(QueryStats, ClearResetsEverything) {
+  QueryStats s;
+  s.on_query_visited(1, 10, true, false);
+  s.on_query_completed(1, 10, {});
+  s.clear();
+  EXPECT_EQ(s.find(1), nullptr);
+  EXPECT_EQ(s.total_hits(), 0u);
+  EXPECT_EQ(s.completed_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean_overhead(), 0.0);
+}
+
+}  // namespace
+}  // namespace ares

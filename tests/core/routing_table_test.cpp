@@ -1,0 +1,155 @@
+#include "core/routing_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+class RoutingTableTest : public ::testing::Test {
+ protected:
+  RoutingTableTest()
+      : space(AttributeSpace::uniform(2, 3, 0, 80)),
+        cells(space),
+        self(make_descriptor(space, 1, {5, 5})),
+        rt(cells, self.coord, self.id, RoutingConfig{}) {}
+
+  PeerDescriptor make(NodeId id, AttrValue x, AttrValue y, std::uint32_t age = 0) {
+    return make_descriptor(space, id, {x, y}, age);
+  }
+
+  AttributeSpace space;
+  Cells cells;
+  PeerDescriptor self;
+  RoutingTable rt;
+};
+
+TEST_F(RoutingTableTest, ZeroCellPlacement) {
+  rt.offer(make(2, 6, 6));  // same level-0 cell (0,0)
+  ASSERT_EQ(rt.zero().size(), 1u);
+  EXPECT_EQ(rt.zero()[0].id, 2u);
+  EXPECT_EQ(rt.link_count(), 1u);
+}
+
+TEST_F(RoutingTableTest, SlotPlacementMatchesClassification) {
+  PeerDescriptor far = make(3, 75, 5);  // other half along dim 0 => N(3,0)
+  rt.offer(far);
+  auto slot = cells.classify(self.coord, far.coord);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slot->level, 3);
+  EXPECT_EQ(slot->dim, 0);
+  ASSERT_NE(rt.neighbor(3, 0), nullptr);
+  EXPECT_EQ(rt.neighbor(3, 0)->id, 3u);
+  EXPECT_EQ(rt.neighbor(3, 1), nullptr);
+}
+
+TEST_F(RoutingTableTest, SelfIgnored) {
+  rt.offer(self);
+  EXPECT_EQ(rt.link_count(), 0u);
+}
+
+TEST_F(RoutingTableTest, SlotCapacityKeepsYoungest) {
+  rt.offer(make(2, 75, 5, 5));
+  rt.offer(make(3, 76, 5, 1));
+  rt.offer(make(4, 77, 5, 3));
+  rt.offer(make(5, 78, 5, 2));  // capacity 3: age-5 entry must fall out
+  const auto& s = rt.slot(3, 0);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].id, 3u);  // youngest first
+  for (const auto& e : s) EXPECT_NE(e.id, 2u);
+}
+
+TEST_F(RoutingTableTest, OfferRefreshesAge) {
+  rt.offer(make(2, 75, 5, 8));
+  rt.offer(make(2, 75, 5, 1));
+  EXPECT_EQ(rt.slot(3, 0).size(), 1u);
+  EXPECT_EQ(rt.slot(3, 0)[0].age, 1u);
+}
+
+TEST_F(RoutingTableTest, AlternateSkipsExcluded) {
+  rt.offer(make(2, 75, 5, 0));
+  rt.offer(make(3, 76, 5, 1));
+  const PeerDescriptor* alt = rt.alternate(3, 0, {2});
+  ASSERT_NE(alt, nullptr);
+  EXPECT_EQ(alt->id, 3u);
+  EXPECT_EQ(rt.alternate(3, 0, {2, 3}), nullptr);
+}
+
+TEST_F(RoutingTableTest, RemovePurgesEverywhere) {
+  rt.offer(make(2, 6, 6));
+  rt.offer(make(2, 6, 6));
+  rt.offer(make(3, 75, 5));
+  rt.remove(3);
+  EXPECT_EQ(rt.neighbor(3, 0), nullptr);
+  rt.remove(2);
+  EXPECT_TRUE(rt.zero().empty());
+}
+
+TEST_F(RoutingTableTest, AgingAndPurge) {
+  rt.offer(make(2, 75, 5, 0));
+  for (int i = 0; i < 5; ++i) rt.age_all();
+  EXPECT_EQ(rt.slot(3, 0)[0].age, 5u);
+  rt.drop_older_than(4);
+  EXPECT_EQ(rt.neighbor(3, 0), nullptr);
+}
+
+TEST_F(RoutingTableTest, LinkCountsDedupe) {
+  rt.offer(make(2, 6, 6));
+  rt.offer(make(3, 75, 5));
+  rt.offer(make(4, 76, 6));  // same slot as 3 (backup)
+  EXPECT_EQ(rt.link_count(), 3u);
+  EXPECT_EQ(rt.primary_link_count(), 2u);  // zero member + one slot primary
+  EXPECT_EQ(rt.populated_slots(), 1u);
+}
+
+TEST_F(RoutingTableTest, ZeroCapacityCap) {
+  RoutingConfig cfg;
+  cfg.zero_capacity = 2;
+  RoutingTable capped(cells, self.coord, self.id, cfg);
+  capped.offer(make(2, 6, 6, 3));
+  capped.offer(make(3, 6, 7, 1));
+  capped.offer(make(4, 7, 6, 2));
+  EXPECT_EQ(capped.zero().size(), 2u);
+  EXPECT_EQ(capped.zero()[0].id, 3u);  // youngest retained
+}
+
+TEST_F(RoutingTableTest, ClearEmptiesEverything) {
+  rt.offer(make(2, 6, 6));
+  rt.offer(make(3, 75, 5));
+  rt.clear();
+  EXPECT_EQ(rt.link_count(), 0u);
+  EXPECT_EQ(rt.populated_slots(), 0u);
+}
+
+TEST_F(RoutingTableTest, BestForRegionPrefersInsideCandidate) {
+  // Slot N(3,0): two candidates, only the second lies in the target region.
+  rt.offer(make(2, 45, 5, 0));   // younger, outside target
+  rt.offer(make(3, 75, 75, 5));  // older, inside target
+  Region target({{7, 7}, {7, 7}});
+  const PeerDescriptor* best = rt.best_for_region(3, 0, {}, target);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->id, 3u);
+}
+
+TEST_F(RoutingTableTest, BestForRegionFallsBackToYoungest) {
+  rt.offer(make(2, 45, 5, 1));
+  rt.offer(make(3, 46, 5, 0));
+  Region target({{7, 7}, {7, 7}});  // nobody inside
+  const PeerDescriptor* best = rt.best_for_region(3, 0, {}, target);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->id, 3u);  // youngest
+}
+
+TEST_F(RoutingTableTest, BestForRegionHonorsExclusions) {
+  rt.offer(make(2, 75, 75, 0));
+  Region target({{7, 7}, {7, 7}});
+  EXPECT_EQ(rt.best_for_region(3, 0, {2}, target), nullptr);
+}
+
+TEST_F(RoutingTableTest, AllSlotsAddressable) {
+  // Exercise every (level, dim) accessor of a 2-dim, 3-level table.
+  for (int l = 1; l <= 3; ++l)
+    for (int k = 0; k < 2; ++k) EXPECT_EQ(rt.neighbor(l, k), nullptr);
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/grid.h"
+#include "workload/distributions.h"
+
+namespace ares {
+namespace {
+
+Grid::Config small_config(std::size_t n = 200, std::uint64_t seed = 3) {
+  Grid::Config cfg{.space = AttributeSpace::uniform(2, 3, 0, 80)};
+  cfg.nodes = n;
+  cfg.oracle = true;
+  cfg.latency = "lan";
+  cfg.seed = seed;
+  cfg.protocol.gossip_enabled = false;
+  return cfg;
+}
+
+TEST(SelectionProtocol, FindsAllMatchingNodes) {
+  auto cfg = small_config();
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto q = RangeQuery::any(2).with(0, 40, std::nullopt).with(1, 20, 59);
+  auto truth = grid.ground_truth(q);
+  ASSERT_FALSE(truth.empty());
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  std::set<NodeId> got;
+  for (const auto& m : out.matches) got.insert(m.id);
+  EXPECT_EQ(got, std::set<NodeId>(truth.begin(), truth.end()));
+}
+
+TEST(SelectionProtocol, ResultRecordsCarryValues) {
+  auto cfg = small_config();
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto q = RangeQuery::any(2).with(0, 40, std::nullopt);
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  for (const auto& m : out.matches) {
+    EXPECT_EQ(m.values, grid.node(m.id).values());
+    EXPECT_TRUE(q.matches(m.values));
+  }
+}
+
+TEST(SelectionProtocol, ExactlyOnceVisits) {
+  auto cfg = small_config();
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto q = RangeQuery::any(2).with(0, 10, 70).with(1, 10, 70);
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  const auto* pq = grid.stats().find(out.id);
+  ASSERT_NE(pq, nullptr);
+  EXPECT_EQ(pq->duplicates, 0u);
+}
+
+TEST(SelectionProtocol, SigmaStopsEarly) {
+  auto cfg = small_config(400);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto q = RangeQuery::any(2);  // everything matches
+  auto out = grid.run_query(grid.random_node(), q, /*sigma=*/5);
+  ASSERT_TRUE(out.completed);
+  EXPECT_GE(out.matches.size(), 5u);
+  // Far fewer visits than the population.
+  const auto* pq = grid.stats().find(out.id);
+  ASSERT_NE(pq, nullptr);
+  EXPECT_LT(pq->hits + pq->overhead, 100u);
+}
+
+TEST(SelectionProtocol, SigmaOneSelfMatchAnswersLocally) {
+  auto cfg = small_config();
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  // Find an origin that matches the query itself.
+  auto q = RangeQuery::any(2);
+  NodeId origin = grid.node_ids().front();
+  auto before = grid.net().stats().sent();
+  auto out = grid.run_query(origin, q, /*sigma=*/1);
+  ASSERT_TRUE(out.completed);
+  ASSERT_EQ(out.matches.size(), 1u);
+  EXPECT_EQ(out.matches[0].id, origin);
+  EXPECT_EQ(grid.net().stats().sent(), before);  // zero network traffic
+}
+
+TEST(SelectionProtocol, EmptyResultQueryCompletes) {
+  auto cfg = small_config();
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  // Space has no values above 80 because the generator caps at 80, but the
+  // last cell is open-ended: query far beyond any generated value.
+  auto q = RangeQuery::any(2).with(0, 5000, std::nullopt);
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.matches.empty());
+}
+
+TEST(SelectionProtocol, QueryFromEveryOriginFindsSameSet) {
+  auto cfg = small_config(120);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto q = RangeQuery::any(2).with(0, 60, std::nullopt).with(1, 0, 39);
+  auto truth = grid.ground_truth(q);
+  std::set<NodeId> expected(truth.begin(), truth.end());
+  for (NodeId origin : grid.node_ids()) {
+    auto out = grid.run_query(origin, q);
+    ASSERT_TRUE(out.completed) << "origin " << origin;
+    std::set<NodeId> got;
+    for (const auto& m : out.matches) got.insert(m.id);
+    EXPECT_EQ(got, expected) << "origin " << origin;
+  }
+}
+
+TEST(SelectionProtocol, UnconstrainedQueryReachesEveryone) {
+  auto cfg = small_config(150);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto out = grid.run_query(grid.random_node(), RangeQuery::any(2));
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.matches.size(), 150u);
+}
+
+TEST(SelectionProtocol, DynamicFiltersCheckedLocally) {
+  auto cfg = small_config(100);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  // Give every node a dynamic attribute; only even ids pass the filter.
+  for (NodeId id : grid.node_ids())
+    grid.node(id).set_dynamic_values({id % 2 == 0 ? 100u : 10u});
+  auto q = RangeQuery::any(2).with(0, 40, std::nullopt);
+  q.with_dynamic(0, 50, std::nullopt);
+  auto truth = grid.ground_truth(q);
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.matches.size(), truth.size());
+  for (const auto& m : out.matches) EXPECT_EQ(m.id % 2, 0u);
+}
+
+TEST(SelectionProtocol, AttributeChangeIsVisibleAfterRebootstrap) {
+  auto cfg = small_config(100);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  NodeId mover = grid.node_ids().front();
+  // Move the node into a distinctive corner and refresh the overlay.
+  grid.node(mover).set_values({79, 79});
+  grid.rebootstrap();
+  auto q = RangeQuery::any(2).with(0, 75, std::nullopt).with(1, 75, std::nullopt);
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  bool found = false;
+  for (const auto& m : out.matches) found = found || m.id == mover;
+  EXPECT_TRUE(found);
+}
+
+TEST(SelectionProtocol, OverheadSmallForCellAlignedQuery) {
+  auto cfg = small_config(500);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  // One full level-0 cell: [10,19]x[10,19] is exactly cell (1,1).
+  auto q = RangeQuery::any(2).with(0, 10, 19).with(1, 10, 19);
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  const auto* pq = grid.stats().find(out.id);
+  ASSERT_NE(pq, nullptr);
+  // Routing descends at most max(l) levels through non-matching nodes.
+  EXPECT_LE(pq->overhead, 6u);
+}
+
+TEST(SelectionProtocol, ConcurrentQueriesDoNotInterfere) {
+  auto cfg = small_config(200);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto q1 = RangeQuery::any(2).with(0, 0, 39);
+  auto q2 = RangeQuery::any(2).with(1, 40, std::nullopt);
+  auto t1 = grid.ground_truth(q1).size();
+  auto t2 = grid.ground_truth(q2).size();
+  std::size_t r1 = 0, r2 = 0;
+  grid.node(grid.random_node()).submit(q1, kNoSigma, [&](const auto& m) { r1 = m.size(); });
+  grid.node(grid.random_node()).submit(q2, kNoSigma, [&](const auto& m) { r2 = m.size(); });
+  grid.sim().run();
+  EXPECT_EQ(r1, t1);
+  EXPECT_EQ(r2, t2);
+}
+
+TEST(SelectionProtocol, QueryAwareForwardingPreservesExactness) {
+  auto cfg = small_config(400);
+  cfg.protocol.query_aware_forwarding = true;
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto q = RangeQuery::any(2).with(0, 40, std::nullopt).with(1, 10, 69);
+  auto truth = grid.ground_truth(q);
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  std::set<NodeId> got;
+  for (const auto& m : out.matches) got.insert(m.id);
+  EXPECT_EQ(got, std::set<NodeId>(truth.begin(), truth.end()));
+  const auto* pq = grid.stats().find(out.id);
+  EXPECT_EQ(pq->duplicates, 0u);
+}
+
+TEST(SelectionProtocol, QueryAwareForwardingNeverCostsMore) {
+  // Same grid, same queries, aware vs unaware: overhead must not grow.
+  double overhead[2];
+  for (int aware = 0; aware < 2; ++aware) {
+    auto cfg = small_config(500);
+    cfg.protocol.query_aware_forwarding = aware == 1;
+    Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+    Rng rng(9);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 10; ++i) {
+      auto q = RangeQuery::any(2).with(0, 25, 74);
+      auto out = grid.run_query(grid.random_node(), q);
+      total += grid.stats().find(out.id)->overhead;
+    }
+    overhead[aware] = static_cast<double>(total);
+  }
+  EXPECT_LE(overhead[1], overhead[0]);
+}
+
+TEST(SelectionProtocol, LatencyIsPositiveAndBounded) {
+  auto cfg = small_config();
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto out = grid.run_query(grid.random_node(), RangeQuery::any(2).with(0, 0, 29));
+  ASSERT_TRUE(out.completed);
+  EXPECT_GT(out.latency, 0);
+  EXPECT_LT(out.latency, 60 * kSecond);
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,163 @@
+#include "dht/chord.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+class ChordTest : public ::testing::Test {
+ protected:
+  ChordTest() : sim(1), net(sim, std::make_unique<ConstantLatency>(kMillisecond)) {}
+
+  void build(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto node = std::make_unique<ChordNode>(ring_hash_node(static_cast<NodeId>(i)));
+      ids.push_back(net.add_node(std::move(node)));
+    }
+    build_ring(net);
+  }
+
+  ChordNode& chord(NodeId id) { return *net.find_as<ChordNode>(id); }
+
+  /// The node that should own `key` per the sorted ring (test oracle).
+  NodeId expected_owner(DhtKey key) {
+    NodeId best = kInvalidNode;
+    RingId best_dist = ~RingId{0};
+    for (NodeId id : ids) {
+      RingId rid = chord(id).ring_id();
+      RingId dist = rid - key;  // clockwise distance from key to node
+      if (dist <= best_dist) {
+        best_dist = dist;
+        best = id;
+      }
+    }
+    return best;
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<NodeId> ids;
+};
+
+TEST_F(ChordTest, OwnershipPartitionsKeySpace) {
+  build(30);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    DhtKey key = rng.next();
+    int owners = 0;
+    for (NodeId id : ids)
+      if (chord(id).owns(key)) ++owners;
+    EXPECT_EQ(owners, 1) << "key " << key;
+  }
+}
+
+TEST_F(ChordTest, OwnsMatchesSortedRingOracle) {
+  build(30);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    DhtKey key = rng.next();
+    EXPECT_TRUE(chord(expected_owner(key)).owns(key));
+  }
+}
+
+TEST_F(ChordTest, PutStoresAtOwner) {
+  build(20);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    DhtKey key = rng.next();
+    chord(ids[rng.index(ids.size())]).put(key, ResourceRecord{7, {1, 2}});
+  }
+  sim.run();
+  // Every stored record must be at its key's owner.
+  std::size_t stored = 0;
+  for (NodeId id : ids) {
+    for (const auto& [key, records] : chord(id).store()) {
+      EXPECT_TRUE(chord(id).owns(key));
+      stored += records.size();
+    }
+  }
+  EXPECT_EQ(stored, 50u);
+}
+
+TEST_F(ChordTest, PutIsIdempotentPerNode) {
+  build(10);
+  DhtKey key = 12345;
+  for (int i = 0; i < 3; ++i) chord(ids[0]).put(key, ResourceRecord{7, {1}});
+  sim.run();
+  NodeId owner = expected_owner(key);
+  ASSERT_TRUE(chord(owner).store().contains(key));
+  EXPECT_EQ(chord(owner).store().at(key).size(), 1u);
+}
+
+TEST_F(ChordTest, GetRoundTrip) {
+  build(25);
+  DhtKey key = 999;
+  chord(ids[3]).put(key, ResourceRecord{42, {5, 6}});
+  sim.run();
+  std::vector<ResourceRecord> got;
+  chord(ids[17]).get(key, [&](const std::vector<ResourceRecord>& r) { got = r; });
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].node, 42u);
+  EXPECT_EQ(got[0].values, (Point{5, 6}));
+}
+
+TEST_F(ChordTest, GetMissingKeyReturnsEmpty) {
+  build(10);
+  bool called = false;
+  chord(ids[0]).get(555, [&](const std::vector<ResourceRecord>& r) {
+    called = true;
+    EXPECT_TRUE(r.empty());
+  });
+  sim.run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(ChordTest, LocalGetNeedsNoNetwork) {
+  build(10);
+  DhtKey key = 0;
+  // Find a key the first node owns.
+  Rng rng(5);
+  for (;;) {
+    key = rng.next();
+    if (chord(ids[0]).owns(key)) break;
+  }
+  auto sent_before = net.stats().sent();
+  bool called = false;
+  chord(ids[0]).get(key, [&](const auto&) { called = true; });
+  EXPECT_TRUE(called);  // synchronous
+  EXPECT_EQ(net.stats().sent(), sent_before);
+}
+
+TEST_F(ChordTest, LookupHopsLogarithmic) {
+  build(128);
+  Rng rng(6);
+  // Count dht.get hops: messages of type dht.get per request.
+  for (int i = 0; i < 30; ++i) {
+    DhtKey key = rng.next();
+    chord(ids[rng.index(ids.size())]).get(key, [](const auto&) {});
+  }
+  sim.run();
+  const auto& by_type = net.stats().sent_by_type();
+  std::uint64_t get_msgs =
+      by_type.contains("dht.get") ? by_type.at("dht.get").count : 0;
+  // Average hops per lookup should be < ~2*log2(128) = 14.
+  EXPECT_LT(get_msgs, 30u * 14u);
+  EXPECT_GT(get_msgs, 0u);
+}
+
+TEST_F(ChordTest, SingleNodeOwnsEverything) {
+  build(1);
+  EXPECT_TRUE(chord(ids[0]).owns(0));
+  EXPECT_TRUE(chord(ids[0]).owns(~DhtKey{0}));
+  chord(ids[0]).put(77, ResourceRecord{1, {9}});
+  bool called = false;
+  chord(ids[0]).get(77, [&](const auto& r) {
+    called = true;
+    EXPECT_EQ(r.size(), 1u);
+  });
+  EXPECT_TRUE(called);
+}
+
+}  // namespace
+}  // namespace ares

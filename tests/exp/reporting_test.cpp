@@ -1,0 +1,98 @@
+#include "exp/reporting.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ares::exp {
+namespace {
+
+/// Captures std::cout during a callback.
+std::string capture(const std::function<void()>& fn) {
+  std::ostringstream oss;
+  auto* old = std::cout.rdbuf(oss.rdbuf());
+  fn();
+  std::cout.rdbuf(old);
+  return oss.str();
+}
+
+TEST(Reporting, FmtPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.5, 0), "2");
+  EXPECT_EQ(fmt(0.125, 3), "0.125");
+}
+
+TEST(Reporting, TableAlignsColumns) {
+  std::string out = capture([] {
+    Table t({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "123456"});
+    t.print();
+  });
+  EXPECT_NE(out.find("| name  | value  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1      |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 123456 |"), std::string::npos);
+}
+
+TEST(Reporting, TableToleratesShortRows) {
+  std::string out = capture([] {
+    Table t({"a", "b", "c"});
+    t.row({"only-one"});
+    t.print();
+  });
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(Reporting, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.row({"1", "plain"});
+  t.row({"2", "needs,quote"});
+  t.row({"3", "has \"quotes\""});
+  std::string path = ::testing::TempDir() + "/ares_reporting_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("2,\"needs,quote\"\n"), std::string::npos);
+  EXPECT_NE(content.find("3,\"has \"\"quotes\"\"\"\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Reporting, CsvUnwritablePathFails) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/xyz/out.csv"));
+}
+
+TEST(Reporting, ExperimentHeaderContainsExpectation) {
+  std::string out = capture(
+      [] { print_experiment_header("Figure 6", "title here", "stays flat"); });
+  EXPECT_NE(out.find("Figure 6"), std::string::npos);
+  EXPECT_NE(out.find("paper expectation: stays flat"), std::string::npos);
+}
+
+TEST(Reporting, DefaultsShowInfSigma) {
+  std::string out = capture([] {
+    print_defaults(1000, 0.125, std::numeric_limits<std::uint64_t>::max(), 5, 3,
+                   10.0, 20);
+  });
+  EXPECT_NE(out.find("inf"), std::string::npos);
+  EXPECT_NE(out.find("0.125"), std::string::npos);
+}
+
+TEST(Reporting, HistogramPrintsFractions) {
+  std::string out = capture([] {
+    Histogram h = Histogram::fixed_width(10.0, 2);
+    h.add(5);
+    h.add(5);
+    h.add(15);
+    print_histogram("caption", h);
+  });
+  EXPECT_NE(out.find("caption"), std::string::npos);
+  EXPECT_NE(out.find("66.67"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ares::exp

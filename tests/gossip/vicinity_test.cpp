@@ -1,0 +1,153 @@
+#include "gossip/vicinity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ares {
+namespace {
+
+class VicinityUnit : public ::testing::Test {
+ protected:
+  VicinityUnit()
+      : space(AttributeSpace::uniform(2, 3, 0, 80)), cells(space), rng(1) {}
+
+  PeerDescriptor make(NodeId id, AttrValue x, AttrValue y, std::uint32_t age = 0) {
+    return make_descriptor(space, id, {x, y}, age);
+  }
+
+  Vicinity make_vicinity(PeerDescriptor self, VicinityConfig cfg = {}) {
+    return Vicinity(std::move(self), cells, cfg, rng,
+                    [this](NodeId to, MessagePtr m) {
+                      outbox.emplace_back(to, std::move(m));
+                    });
+  }
+
+  AttributeSpace space;
+  Cells cells;
+  Rng rng;
+  std::vector<std::pair<NodeId, MessagePtr>> outbox;
+};
+
+TEST_F(VicinityUnit, SelectBestDropsSelfAndExpired) {
+  auto v = make_vicinity(make(1, 5, 5));
+  auto kept = v.select_best({make(1, 5, 5), make(2, 6, 6), make(3, 7, 7, 99)}, 10);
+  std::set<NodeId> ids;
+  for (const auto& d : kept) ids.insert(d.id);
+  EXPECT_FALSE(ids.contains(1));  // self
+  EXPECT_FALSE(ids.contains(3));  // over max_age
+  EXPECT_TRUE(ids.contains(2));
+}
+
+TEST_F(VicinityUnit, SelectBestDedupesKeepingYoungest) {
+  auto v = make_vicinity(make(1, 5, 5));
+  auto kept = v.select_best({make(2, 6, 6, 7), make(2, 6, 6, 1)}, 10);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].age, 1u);
+}
+
+TEST_F(VicinityUnit, SelectBestPrefersSlotCoverageOverCrowding) {
+  // Self at cell (0,0). Candidates: many level-0 cohabitants plus a single
+  // far node. Coverage round-robin must keep the far node even with a tight
+  // capacity.
+  auto v = make_vicinity(make(1, 5, 5));
+  std::vector<PeerDescriptor> cands;
+  for (NodeId i = 2; i < 10; ++i) cands.push_back(make(i, 6, 6));  // same C0
+  cands.push_back(make(50, 75, 75));  // opposite corner: N(3,0)
+  auto kept = v.select_best(cands, 4);
+  bool has_far = false;
+  for (const auto& d : kept) has_far = has_far || d.id == 50;
+  EXPECT_TRUE(has_far);
+}
+
+TEST_F(VicinityUnit, SelectBestHonorsCapacity) {
+  auto v = make_vicinity(make(1, 5, 5));
+  std::vector<PeerDescriptor> cands;
+  for (NodeId i = 2; i < 30; ++i) cands.push_back(make(i, (i * 7) % 80, (i * 3) % 80));
+  EXPECT_LE(v.select_best(cands, 6).size(), 6u);
+}
+
+TEST_F(VicinityUnit, SubsetForRanksByUsefulnessToTarget) {
+  auto v = make_vicinity(make(1, 5, 5));
+  View cyclon_view(8);
+  // Target lives at the opposite corner; candidate 30 co-habits the target's
+  // level-0 cell, candidate 31 is far from it.
+  cyclon_view.insert_or_refresh(make(30, 78, 78));
+  cyclon_view.insert_or_refresh(make(31, 2, 2));
+  auto subset = v.subset_for(make(99, 76, 77), cyclon_view, 2);
+  ASSERT_FALSE(subset.empty());
+  EXPECT_EQ(subset[0].id, 30u);
+}
+
+TEST_F(VicinityUnit, SubsetForAdvertisesSelf) {
+  auto v = make_vicinity(make(1, 5, 5));
+  View cyclon_view(8);
+  auto subset = v.subset_for(make(99, 5, 6), cyclon_view, 5);
+  bool has_self = false;
+  for (const auto& d : subset) has_self = has_self || d.id == 1;
+  EXPECT_TRUE(has_self);
+}
+
+TEST_F(VicinityUnit, SubsetForExcludesTarget) {
+  auto v = make_vicinity(make(1, 5, 5));
+  View cyclon_view(8);
+  cyclon_view.insert_or_refresh(make(99, 70, 70));
+  auto subset = v.subset_for(make(99, 70, 70), cyclon_view, 5);
+  for (const auto& d : subset) EXPECT_NE(d.id, 99u);
+}
+
+TEST_F(VicinityUnit, HandleRequestProducesReply) {
+  auto v = make_vicinity(make(1, 5, 5));
+  View cyclon_view(8);
+  VicinityExchangeMsg req;
+  req.is_reply = false;
+  req.entries = {make(7, 40, 40), make(8, 10, 70)};
+  EXPECT_TRUE(v.handle(7, req, cyclon_view));
+  ASSERT_EQ(outbox.size(), 1u);
+  EXPECT_EQ(outbox[0].first, 7u);
+  const auto* reply = dynamic_cast<const VicinityExchangeMsg*>(outbox[0].second.get());
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->is_reply);
+  // Request entries merged into the view.
+  EXPECT_TRUE(v.view().contains(8));
+}
+
+TEST_F(VicinityUnit, HandleReplyMergesWithoutResponding) {
+  auto v = make_vicinity(make(1, 5, 5));
+  View cyclon_view(8);
+  VicinityExchangeMsg reply;
+  reply.is_reply = true;
+  reply.entries = {make(9, 33, 44)};
+  EXPECT_TRUE(v.handle(9, reply, cyclon_view));
+  EXPECT_TRUE(outbox.empty());
+  EXPECT_TRUE(v.view().contains(9));
+}
+
+TEST_F(VicinityUnit, TickWithEmptyViewsIsNoop) {
+  auto v = make_vicinity(make(1, 5, 5));
+  View cyclon_view(8);
+  v.tick(cyclon_view);
+  EXPECT_TRUE(outbox.empty());
+}
+
+TEST_F(VicinityUnit, TickUsesCyclonForExploration) {
+  auto v = make_vicinity(make(1, 5, 5));
+  View cyclon_view(8);
+  cyclon_view.insert_or_refresh(make(42, 60, 60));
+  v.tick(cyclon_view);  // empty vicinity view: must fall back to cyclon
+  ASSERT_EQ(outbox.size(), 1u);
+  EXPECT_EQ(outbox[0].first, 42u);
+}
+
+TEST_F(VicinityUnit, IgnoresForeignMessages) {
+  auto v = make_vicinity(make(1, 5, 5));
+  View cyclon_view(8);
+  struct Other final : Message {
+    const char* type_name() const override { return "other"; }
+    std::size_t wire_size() const override { return 1; }
+  } other;
+  EXPECT_FALSE(v.handle(2, other, cyclon_view));
+}
+
+}  // namespace
+}  // namespace ares

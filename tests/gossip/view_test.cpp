@@ -1,0 +1,117 @@
+#include "gossip/view.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ares {
+namespace {
+
+PeerDescriptor desc(NodeId id, std::uint32_t age = 0) {
+  return PeerDescriptor{id, {1, 2}, {0, 0}, age};
+}
+
+TEST(View, InsertAndFind) {
+  View v(4);
+  EXPECT_TRUE(v.insert_or_refresh(desc(1)));
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_FALSE(v.contains(2));
+  ASSERT_NE(v.find(1), nullptr);
+  EXPECT_EQ(v.find(1)->id, 1u);
+}
+
+TEST(View, RefreshKeepsYounger) {
+  View v(4);
+  v.insert_or_refresh(desc(1, 5));
+  EXPECT_TRUE(v.insert_or_refresh(desc(1, 2)));
+  EXPECT_EQ(v.find(1)->age, 2u);
+  // An older duplicate must not overwrite.
+  v.insert_or_refresh(desc(1, 9));
+  EXPECT_EQ(v.find(1)->age, 2u);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(View, FullRejectsNewInsert) {
+  View v(2);
+  v.insert_or_refresh(desc(1));
+  v.insert_or_refresh(desc(2));
+  EXPECT_FALSE(v.insert_or_refresh(desc(3)));
+  EXPECT_TRUE(v.full());
+  // Refresh of an existing entry still succeeds when full.
+  EXPECT_TRUE(v.insert_or_refresh(desc(2, 0)));
+}
+
+TEST(View, EvictOldestReplaces) {
+  View v(2);
+  v.insert_or_refresh(desc(1, 9));
+  v.insert_or_refresh(desc(2, 1));
+  v.insert_evicting_oldest(desc(3, 0));
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_TRUE(v.contains(3));
+}
+
+TEST(View, Remove) {
+  View v(4);
+  v.insert_or_refresh(desc(1));
+  v.insert_or_refresh(desc(2));
+  v.remove(1);
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(View, AgeAllAndDrop) {
+  View v(4);
+  v.insert_or_refresh(desc(1, 0));
+  v.insert_or_refresh(desc(2, 5));
+  v.age_all();
+  EXPECT_EQ(v.find(1)->age, 1u);
+  EXPECT_EQ(v.find(2)->age, 6u);
+  v.drop_older_than(5);
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_FALSE(v.contains(2));
+}
+
+TEST(View, TakeOldest) {
+  View v(4);
+  v.insert_or_refresh(desc(1, 3));
+  v.insert_or_refresh(desc(2, 7));
+  v.insert_or_refresh(desc(3, 5));
+  PeerDescriptor oldest = v.take_oldest();
+  EXPECT_EQ(oldest.id, 2u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(View, RandomSubsetBounds) {
+  View v(8);
+  for (NodeId i = 0; i < 8; ++i) v.insert_or_refresh(desc(i));
+  Rng rng(1);
+  auto s = v.random_subset(rng, 3);
+  EXPECT_EQ(s.size(), 3u);
+  auto all = v.random_subset(rng, 100);
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(View, RandomSubsetDistinct) {
+  View v(8);
+  for (NodeId i = 0; i < 8; ++i) v.insert_or_refresh(desc(i));
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto s = v.random_subset(rng, 5);
+    std::set<NodeId> ids;
+    for (const auto& d : s) ids.insert(d.id);
+    EXPECT_EQ(ids.size(), 5u);
+  }
+}
+
+TEST(View, AssignReplacesContent) {
+  View v(4);
+  v.insert_or_refresh(desc(1));
+  v.assign({desc(7), desc(8)});
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_TRUE(v.contains(7));
+  EXPECT_EQ(v.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ares

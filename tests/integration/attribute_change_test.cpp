@@ -1,0 +1,120 @@
+/// The delegation-free property the paper leads with (§2): "when a node's
+/// properties change, or if the node fails, no registry node must be
+/// updated. The overlay merely reconfigures." These tests change a live
+/// node's attributes mid-run and check the gossip layers re-place it.
+
+#include <gtest/gtest.h>
+
+#include "core/grid.h"
+#include "workload/distributions.h"
+#include "workload/machine_space.h"
+
+namespace ares {
+namespace {
+
+Grid::Config gossip_cfg(std::size_t n) {
+  Grid::Config cfg{.space = AttributeSpace::uniform(2, 3, 0, 80)};
+  cfg.nodes = n;
+  cfg.oracle = false;
+  cfg.convergence = 600 * kSecond;
+  cfg.latency = "lan";
+  cfg.seed = 23;
+  cfg.protocol.gossip_enabled = true;
+  cfg.protocol.query_timeout = 5 * kSecond;
+  return cfg;
+}
+
+TEST(AttributeChange, NodeDiscoverableAtNewLocation) {
+  Grid grid(gossip_cfg(250), uniform_points(AttributeSpace::uniform(2, 3, 0, 80), 0, 80));
+  NodeId mover = grid.node_ids().front();
+  // An upgrade: the machine gains capacity and moves to the top corner.
+  grid.node(mover).set_values({79, 79});
+  // Let gossip re-advertise the new profile (no registry updated!).
+  grid.sim().run_until(grid.sim().now() + 400 * kSecond);
+
+  auto q = RangeQuery::any(2).with(0, 75, std::nullopt).with(1, 75, std::nullopt);
+  ASSERT_TRUE(q.matches(grid.node(mover).values()));
+  auto out = grid.run_query(grid.random_node(), q, kNoSigma, 300 * kSecond);
+  bool found = false;
+  for (const auto& m : out.matches) found = found || m.id == mover;
+  EXPECT_TRUE(found);
+}
+
+TEST(AttributeChange, NodeStopsMatchingOldProfileQueries) {
+  Grid grid(gossip_cfg(250), uniform_points(AttributeSpace::uniform(2, 3, 0, 80), 0, 80));
+  NodeId mover = grid.node_ids().front();
+  Point old_values = grid.node(mover).values();
+  grid.node(mover).set_values({79, 79});
+  grid.sim().run_until(grid.sim().now() + 400 * kSecond);
+
+  // A query matching exactly the old profile must not return the mover;
+  // even when a stale descriptor routes the query its way, the node checks
+  // its OWN (current) attributes — that is the whole point of
+  // self-representation.
+  auto q = RangeQuery::any(2)
+               .with(0, old_values[0], old_values[0])
+               .with(1, old_values[1], old_values[1]);
+  auto out = grid.run_query(grid.random_node(), q, kNoSigma, 300 * kSecond);
+  for (const auto& m : out.matches) EXPECT_NE(m.id, mover);
+}
+
+TEST(AttributeChange, RepeatedChangesConverge) {
+  Grid grid(gossip_cfg(200), uniform_points(AttributeSpace::uniform(2, 3, 0, 80), 0, 80));
+  NodeId mover = grid.node_ids().front();
+  for (AttrValue v : {10u, 40u, 70u}) {
+    grid.node(mover).set_values({v, v});
+    grid.sim().run_until(grid.sim().now() + 200 * kSecond);
+  }
+  grid.sim().run_until(grid.sim().now() + 300 * kSecond);
+  auto q = RangeQuery::any(2).with(0, 65, 75).with(1, 65, 75);
+  auto out = grid.run_query(grid.random_node(), q, kNoSigma, 300 * kSecond);
+  bool found = false;
+  for (const auto& m : out.matches) found = found || m.id == mover;
+  EXPECT_TRUE(found);
+  // And the result must carry the CURRENT values.
+  for (const auto& m : out.matches)
+    if (m.id == mover) EXPECT_EQ(m.values, (Point{70, 70}));
+}
+
+TEST(AttributeChange, DynamicAttributesNeverNeedReplacement) {
+  // Footnote 1's alternative for rapidly-changing attributes: dynamic
+  // values change every tick and are checked locally at query time — no
+  // gossip convergence needed at all.
+  Grid grid(gossip_cfg(150), uniform_points(AttributeSpace::uniform(2, 3, 0, 80), 0, 80));
+  for (NodeId id : grid.node_ids()) grid.node(id).set_dynamic_values({id});
+  // Flip every node's dynamic value right before the query.
+  for (NodeId id : grid.node_ids()) grid.node(id).set_dynamic_values({id % 7});
+  auto q = RangeQuery::any(2).with_dynamic(0, 3, std::nullopt);
+  auto truth = grid.ground_truth(q).size();
+  auto out = grid.run_query(grid.random_node(), q, kNoSigma, 300 * kSecond);
+  // No staleness window whatsoever: results reflect the instant values.
+  EXPECT_EQ(out.matches.size(), truth);
+}
+
+TEST(AttributeChange, WorksOnIrregularMachineSpace) {
+  Grid::Config cfg{.space = machine_space()};
+  cfg.nodes = 200;
+  cfg.oracle = false;
+  cfg.convergence = 600 * kSecond;
+  cfg.latency = "lan";
+  cfg.seed = 29;
+  cfg.protocol.gossip_enabled = true;
+  cfg.protocol.query_timeout = 5 * kSecond;
+  Grid grid(cfg, machine_points());
+
+  NodeId upgraded = grid.node_ids().front();
+  // RAM upgrade: 512 MB desktop -> 32 GB server-class.
+  Point v = grid.node(upgraded).values();
+  v[kMemoryMb] = 32768;
+  grid.node(upgraded).set_values(v);
+  grid.sim().run_until(grid.sim().now() + 400 * kSecond);
+
+  auto q = RangeQuery::any(5).with(kMemoryMb, 16384, std::nullopt);
+  auto out = grid.run_query(grid.random_node(), q, kNoSigma, 300 * kSecond);
+  bool found = false;
+  for (const auto& m : out.matches) found = found || m.id == upgraded;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,122 @@
+/// Regression tests for two failure modes found while reproducing the
+/// paper's gossip-mode behavior:
+///
+/// 1. LINK FLAPPING: vicinity entries aged out (max_age) faster than the
+///    exploit-exchange walk could refresh them (~2 x view_size cycles), so
+///    links to sparsely populated subcells — the only path to nodes with
+///    rare attribute combinations — kept disappearing. Delivery to rare
+///    corners plateaued far below 1 no matter how long the overlay
+///    converged.
+///
+/// 2. PREMATURE T(q): a child replies only after its whole (sequential)
+///    subtree completes; a timeout smaller than subtree latency declared
+///    alive neighbors dead, purged healthy links from routing tables and
+///    gossip views, and progressively wrecked the overlay on WAN latencies.
+
+#include <gtest/gtest.h>
+
+#include "core/grid.h"
+#include "workload/distributions.h"
+
+namespace ares {
+namespace {
+
+Grid::Config wan_gossip_config(SimTime timeout) {
+  Grid::Config cfg{.space = AttributeSpace::uniform(4, 3, 0, 80)};
+  cfg.nodes = 500;
+  cfg.oracle = false;
+  cfg.convergence = 600 * kSecond;
+  cfg.latency = "wan";
+  cfg.seed = 7;
+  cfg.protocol.gossip_enabled = true;
+  cfg.protocol.query_timeout = timeout;
+  return cfg;
+}
+
+RangeQuery rare_corner_query() {
+  // High CPU + high memory: nearly empty under the skewed distribution.
+  return RangeQuery::any(4).with(0, 50, std::nullopt).with(1, 55, std::nullopt);
+}
+
+TEST(RareCorner, GossipOverlayFindsRareNodes) {
+  auto cfg = wan_gossip_config(/*timeout=*/60 * kSecond);
+  Grid grid(cfg, xtremlab_points(cfg.space));
+  auto q = rare_corner_query();
+  auto truth = grid.ground_truth(q).size();
+  ASSERT_GT(truth, 0u);
+  std::size_t found_total = 0;
+  const int runs = 5;
+  for (int i = 0; i < runs; ++i) {
+    auto out = grid.run_query(grid.random_node(), q, kNoSigma, 300 * kSecond);
+    EXPECT_TRUE(out.completed);
+    found_total += out.matches.size();
+  }
+  // Mean delivery across runs must be essentially complete.
+  EXPECT_GE(static_cast<double>(found_total),
+            0.9 * static_cast<double>(truth * runs));
+}
+
+TEST(RareCorner, LinksToSparseSubcellsDoNotFlap) {
+  auto cfg = wan_gossip_config(0);
+  Grid grid(cfg, xtremlab_points(cfg.space));
+  auto q = rare_corner_query();
+  auto rare = grid.ground_truth(q);
+  ASSERT_FALSE(rare.empty());
+  // Sample the overlay at several instants: the rare nodes must stay known
+  // to someone (in-link count never drops to zero).
+  for (int sample = 0; sample < 4; ++sample) {
+    grid.sim().run_until(grid.sim().now() + 200 * kSecond);
+    for (NodeId m : rare) {
+      std::size_t in_links = 0;
+      for (NodeId v : grid.node_ids()) {
+        if (v == m) continue;
+        auto& rt = grid.node(v).routing();
+        for (const auto& e : rt.zero()) in_links += (e.id == m);
+        for (int l = 1; l <= 3; ++l)
+          for (int k = 0; k < 4; ++k)
+            for (const auto& e : rt.slot(l, k)) in_links += (e.id == m);
+      }
+      EXPECT_GT(in_links, 0u) << "node " << m << " unreferenced at sample "
+                              << sample;
+    }
+  }
+}
+
+TEST(PrematureTimeout, GenerousTimeoutDoesNotPurgeHealthyLinks) {
+  auto cfg = wan_gossip_config(120 * kSecond);
+  Grid grid(cfg, xtremlab_points(cfg.space));
+  auto before_links = [&] {
+    std::size_t total = 0;
+    for (NodeId id : grid.node_ids())
+      total += grid.node(id).routing().link_count();
+    return total;
+  };
+  std::size_t baseline = before_links();
+  for (int i = 0; i < 5; ++i)
+    grid.run_query(grid.random_node(), RangeQuery::any(4), kNoSigma,
+                   300 * kSecond);
+  // No failures happened; the queries must not have shrunk the overlay.
+  EXPECT_GE(before_links(), baseline * 95 / 100);
+}
+
+TEST(PrematureTimeout, TinyTimeoutOnWanIsDestructive) {
+  // Documents the failure mode (and guards the diagnosis): an absurdly
+  // small T(q) misdeclares alive children dead and strips their links.
+  auto cfg = wan_gossip_config(200 * kMillisecond);  // < one RTT
+  cfg.protocol.retry_alternates = true;
+  Grid grid(cfg, xtremlab_points(cfg.space));
+  auto count_links = [&] {
+    std::size_t total = 0;
+    for (NodeId id : grid.node_ids())
+      total += grid.node(id).routing().link_count();
+    return total;
+  };
+  std::size_t baseline = count_links();
+  for (int i = 0; i < 5; ++i)
+    grid.run_query(grid.random_node(), RangeQuery::any(4), kNoSigma,
+                   120 * kSecond);
+  EXPECT_LT(count_links(), baseline);  // healthy links were purged
+}
+
+}  // namespace
+}  // namespace ares

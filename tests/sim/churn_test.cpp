@@ -1,0 +1,92 @@
+#include "sim/churn.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+class IdleNode final : public Node {
+ public:
+  void on_message(NodeId, const Message&) override {}
+};
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  ChurnTest() : sim(1), net(sim, std::make_unique<ConstantLatency>(1)) {
+    for (int i = 0; i < 100; ++i) net.add_node(std::make_unique<IdleNode>());
+  }
+  Simulator sim;
+  Network net;
+};
+
+TEST_F(ChurnTest, KillRemovesExactCount) {
+  ChurnDriver churn(net);
+  EXPECT_EQ(churn.kill(10), 10u);
+  EXPECT_EQ(net.population(), 90u);
+  EXPECT_EQ(churn.total_killed(), 10u);
+}
+
+TEST_F(ChurnTest, KillClampsToPopulation) {
+  ChurnDriver churn(net);
+  EXPECT_EQ(churn.kill(1000), 100u);
+  EXPECT_EQ(net.population(), 0u);
+}
+
+TEST_F(ChurnTest, FailFractionRounds) {
+  ChurnDriver churn(net);
+  EXPECT_EQ(churn.fail_fraction(0.5), 50u);
+  EXPECT_EQ(net.population(), 50u);
+}
+
+TEST_F(ChurnTest, ProtectedNodesSpared) {
+  ChurnDriver churn(net);
+  NodeId keeper = net.alive_ids().front();
+  churn.protect(keeper);
+  churn.kill(99);
+  EXPECT_TRUE(net.alive(keeper));
+  EXPECT_EQ(net.population(), 1u);
+}
+
+TEST_F(ChurnTest, ReplacementChurnKeepsPopulation) {
+  ChurnDriver churn(net, [] { return std::make_unique<IdleNode>(); });
+  churn.start_replacement_churn(0.02, 10 * kSecond);
+  sim.run_until(100 * kSecond);
+  EXPECT_EQ(net.population(), 100u);
+  EXPECT_EQ(churn.total_killed(), churn.total_added());
+  EXPECT_EQ(churn.total_killed(), 10u * 2u);  // 2 nodes per tick, 10 ticks
+}
+
+TEST_F(ChurnTest, ReplacementChurnMinimumOne) {
+  ChurnDriver churn(net, [] { return std::make_unique<IdleNode>(); });
+  churn.start_replacement_churn(0.0001, 10 * kSecond);  // rounds to 0 -> 1
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(churn.total_killed(), 1u);
+}
+
+TEST_F(ChurnTest, StopHaltsChurn) {
+  ChurnDriver churn(net, [] { return std::make_unique<IdleNode>(); });
+  churn.start_replacement_churn(0.02, 10 * kSecond);
+  sim.run_until(30 * kSecond);
+  auto killed = churn.total_killed();
+  churn.stop();
+  sim.run_until(200 * kSecond);
+  EXPECT_EQ(churn.total_killed(), killed);
+}
+
+TEST_F(ChurnTest, DecayShrinksWithoutReplacement) {
+  ChurnDriver churn(net);
+  churn.start_decay(0.10, 60 * kSecond, 3);
+  sim.run_until(200 * kSecond);
+  // 100 -> 90 -> 81 -> 73 (rounding).
+  EXPECT_EQ(net.population(), 73u);
+}
+
+TEST_F(ChurnTest, DecayStopsAfterWaves) {
+  ChurnDriver churn(net);
+  churn.start_decay(0.10, 60 * kSecond, 2);
+  sim.run_until(1000 * kSecond);
+  EXPECT_EQ(net.population(), 81u);
+}
+
+}  // namespace
+}  // namespace ares

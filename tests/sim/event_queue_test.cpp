@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoOnTies) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.push(100, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  q.push(50, [] {});
+  q.push(20, [] {});
+  EXPECT_EQ(q.next_time(), 20);
+  q.pop();
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, SizeTracking) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,81 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(5 * kSecond, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 5 * kSecond);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime t2 = -1;
+  sim.schedule_at(10, [&] { sim.schedule_after(5, [&] { t2 = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(t2, 15);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(100, [&] { sim.schedule_at(1, [&] { ran = true; }); });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(-50, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] { ++count; });
+  sim.schedule_at(20, [&] { ++count; });
+  sim.schedule_at(30, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(55), 0u);
+  EXPECT_EQ(sim.now(), 55);
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutedEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, RngIsSeeded) {
+  Simulator a(123), b(123), c(456);
+  EXPECT_EQ(a.rng().next(), b.rng().next());
+  EXPECT_NE(a.rng().next(), c.rng().next());
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,110 @@
+#include "space/attribute_space.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ares {
+namespace {
+
+TEST(AttributeSpace, UniformFactoryShape) {
+  auto s = AttributeSpace::uniform(5, 3, 0, 80);
+  EXPECT_EQ(s.dimensions(), 5);
+  EXPECT_EQ(s.max_level(), 3);
+  EXPECT_EQ(s.cells_per_dim(), 8u);
+  EXPECT_EQ(s.dim(0).cuts.size(), 7u);
+}
+
+TEST(AttributeSpace, UniformCellIndexing) {
+  auto s = AttributeSpace::uniform(1, 3, 0, 80);  // cells of width 10
+  EXPECT_EQ(s.cell_index(0, 0), 0u);
+  EXPECT_EQ(s.cell_index(0, 9), 0u);
+  EXPECT_EQ(s.cell_index(0, 10), 1u);
+  EXPECT_EQ(s.cell_index(0, 79), 7u);
+  EXPECT_EQ(s.cell_index(0, 80), 7u);     // open-ended top cell
+  EXPECT_EQ(s.cell_index(0, 100000), 7u); // no upper bound on values
+}
+
+TEST(AttributeSpace, IrregularCuts) {
+  // The paper's example: one cell 0-128MB, another 4GB-8GB.
+  DimensionSpec mem{"memory_mb", 0, {128, 512, 1024, 2048, 4096, 8192, 16384}};
+  AttributeSpace s({mem}, 3);
+  EXPECT_EQ(s.cell_index(0, 64), 0u);
+  EXPECT_EQ(s.cell_index(0, 128), 1u);
+  EXPECT_EQ(s.cell_index(0, 5000), 5u);
+  EXPECT_EQ(s.cell_index(0, 999999), 7u);
+}
+
+TEST(AttributeSpace, CellValueBoundsRoundTrip) {
+  auto s = AttributeSpace::uniform(1, 3, 0, 80);
+  for (CellIndex i = 0; i < 8; ++i) {
+    AttrValue lo = s.cell_value_lo(0, i);
+    EXPECT_EQ(s.cell_index(0, lo), i);
+    auto hi = s.cell_value_hi(0, i);
+    if (hi) {
+      EXPECT_EQ(s.cell_index(0, *hi), i);
+      EXPECT_EQ(s.cell_index(0, *hi + 1), i + 1);
+    } else {
+      EXPECT_EQ(i, 7u);  // only the top cell is unbounded
+    }
+  }
+}
+
+TEST(AttributeSpace, CoordOfPoint) {
+  auto s = AttributeSpace::uniform(3, 3, 0, 80);
+  Point p{5, 45, 79};
+  CellCoord c = s.coord_of(p);
+  EXPECT_EQ(c, (CellCoord{0, 4, 7}));
+}
+
+TEST(AttributeSpace, CoordOfToleratesExtraTrailingValues) {
+  auto s = AttributeSpace::uniform(2, 3, 0, 80);
+  Point p{5, 45, 999};  // dynamic attributes appended beyond d
+  EXPECT_EQ(s.coord_of(p).size(), 2u);
+}
+
+TEST(AttributeSpace, CellCount) {
+  auto s = AttributeSpace::uniform(5, 3, 0, 80);
+  EXPECT_EQ(s.cell_count(3), 1u);            // whole space
+  EXPECT_EQ(s.cell_count(2), 32u);           // 2^5
+  EXPECT_EQ(s.cell_count(0), 32768u);        // 8^5
+}
+
+TEST(AttributeSpace, CellCountSaturates) {
+  auto s = AttributeSpace::uniform(25, 3, 0, 80);  // 75 bits > 64
+  EXPECT_EQ(s.cell_count(0), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(AttributeSpace, RejectsEmptyDimensions) {
+  EXPECT_THROW(AttributeSpace({}, 3), std::invalid_argument);
+}
+
+TEST(AttributeSpace, RejectsWrongCutCount) {
+  DimensionSpec d{"x", 0, {10, 20}};  // needs 7 cuts for max_level 3
+  EXPECT_THROW(AttributeSpace({d}, 3), std::invalid_argument);
+}
+
+TEST(AttributeSpace, RejectsUnsortedCuts) {
+  DimensionSpec d{"x", 0, {10, 5, 20, 30, 40, 50, 60}};
+  EXPECT_THROW(AttributeSpace({d}, 3), std::invalid_argument);
+}
+
+TEST(AttributeSpace, RejectsDuplicateCuts) {
+  DimensionSpec d{"x", 0, {10, 10, 20, 30, 40, 50, 60}};
+  EXPECT_THROW(AttributeSpace({d}, 3), std::invalid_argument);
+}
+
+TEST(AttributeSpace, RejectsBadUniformArgs) {
+  EXPECT_THROW(AttributeSpace::uniform(0, 3, 0, 80), std::invalid_argument);
+  EXPECT_THROW(AttributeSpace::uniform(2, 3, 80, 80), std::invalid_argument);
+}
+
+TEST(AttributeSpace, MaxLevelOne) {
+  auto s = AttributeSpace::uniform(2, 1, 0, 8);
+  EXPECT_EQ(s.cells_per_dim(), 2u);
+  EXPECT_EQ(s.cell_index(0, 3), 0u);
+  EXPECT_EQ(s.cell_index(0, 4), 1u);
+}
+
+}  // namespace
+}  // namespace ares

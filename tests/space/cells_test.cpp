@@ -1,0 +1,154 @@
+#include "space/cells.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ares {
+namespace {
+
+TEST(Cells, AtLevel) {
+  EXPECT_EQ(Cells::at_level(7, 0), 7u);
+  EXPECT_EQ(Cells::at_level(7, 1), 3u);
+  EXPECT_EQ(Cells::at_level(7, 3), 0u);
+}
+
+TEST(Cells, SameCell) {
+  auto s = AttributeSpace::uniform(2, 3, 0, 80);
+  Cells c(s);
+  EXPECT_TRUE(c.same_cell({0, 0}, {1, 1}, 1));
+  EXPECT_FALSE(c.same_cell({0, 0}, {2, 0}, 1));
+  EXPECT_TRUE(c.same_cell({0, 0}, {2, 0}, 2));
+  EXPECT_TRUE(c.same_cell({0, 0}, {7, 7}, 3));  // whole space is one C_3
+}
+
+TEST(Cells, CellRegion) {
+  auto s = AttributeSpace::uniform(2, 3, 0, 80);
+  Cells c(s);
+  Region r0 = c.cell_region({5, 2}, 0);
+  EXPECT_EQ(r0.interval(0), (IndexInterval{5, 5}));
+  EXPECT_EQ(r0.interval(1), (IndexInterval{2, 2}));
+  Region r2 = c.cell_region({5, 2}, 2);
+  EXPECT_EQ(r2.interval(0), (IndexInterval{4, 7}));
+  EXPECT_EQ(r2.interval(1), (IndexInterval{0, 3}));
+}
+
+TEST(Cells, NeighborRegionMatchesPaperConstruction) {
+  // Figure 1(b) analogue for d=2, max(l)=3, node at coords (0,0):
+  auto s = AttributeSpace::uniform(2, 3, 0, 80);
+  Cells c(s);
+  CellCoord a{0, 0};
+  // N(3,0): the opposite half of the whole space along dim 0.
+  Region n30 = c.neighbor_region(a, 3, 0);
+  EXPECT_EQ(n30.interval(0), (IndexInterval{4, 7}));
+  EXPECT_EQ(n30.interval(1), (IndexInterval{0, 7}));
+  // N(3,1): same half along dim 0, opposite along dim 1.
+  Region n31 = c.neighbor_region(a, 3, 1);
+  EXPECT_EQ(n31.interval(0), (IndexInterval{0, 3}));
+  EXPECT_EQ(n31.interval(1), (IndexInterval{4, 7}));
+  // N(1,0): inside C_1 (cells 0..1 per dim), sibling along dim 0.
+  Region n10 = c.neighbor_region(a, 1, 0);
+  EXPECT_EQ(n10.interval(0), (IndexInterval{1, 1}));
+  EXPECT_EQ(n10.interval(1), (IndexInterval{0, 1}));
+}
+
+TEST(Cells, NeighborRegionsDisjointFromOwnSubcell) {
+  auto s = AttributeSpace::uniform(3, 3, 0, 80);
+  Cells c(s);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    CellCoord a{static_cast<CellIndex>(rng.below(8)),
+                static_cast<CellIndex>(rng.below(8)),
+                static_cast<CellIndex>(rng.below(8))};
+    for (int l = 1; l <= 3; ++l) {
+      Region own = c.cell_region(a, l - 1);
+      for (int k = 0; k < 3; ++k) {
+        Region n = c.neighbor_region(a, l, k);
+        EXPECT_FALSE(n.intersects(own)) << "l=" << l << " k=" << k;
+        EXPECT_FALSE(n.contains(a));
+      }
+    }
+  }
+}
+
+TEST(Cells, ClassifySameZeroCell) {
+  auto s = AttributeSpace::uniform(2, 3, 0, 80);
+  Cells c(s);
+  auto slot = c.classify({3, 3}, {3, 3});
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slot->level, 0);
+}
+
+TEST(Cells, ClassifyMatchesNeighborRegion) {
+  // classify(self, other) must return exactly the (l,k) whose region
+  // contains `other` — the core consistency between routing-table slotting
+  // and query forwarding.
+  auto s = AttributeSpace::uniform(4, 3, 0, 80);
+  Cells c(s);
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    CellCoord a(4), b(4);
+    for (int j = 0; j < 4; ++j) {
+      a[static_cast<std::size_t>(j)] = static_cast<CellIndex>(rng.below(8));
+      b[static_cast<std::size_t>(j)] = static_cast<CellIndex>(rng.below(8));
+    }
+    auto slot = c.classify(a, b);
+    ASSERT_TRUE(slot.has_value());
+    if (slot->level == 0) {
+      EXPECT_EQ(a, b);
+      continue;
+    }
+    EXPECT_TRUE(c.neighbor_region(a, slot->level, slot->dim).contains(b));
+    // ... and no other slot's region contains b.
+    for (int l = 1; l <= 3; ++l)
+      for (int k = 0; k < 4; ++k) {
+        if (l == slot->level && k == slot->dim) continue;
+        EXPECT_FALSE(c.neighbor_region(a, l, k).contains(b))
+            << "b also in N(" << l << "," << k << ")";
+      }
+  }
+}
+
+TEST(Cells, SubcellsPartitionTheSpace) {
+  // For any node, C_0 plus all N(l,k) partition the whole grid: every cell
+  // is in exactly one piece. (This is what guarantees full query coverage.)
+  auto s = AttributeSpace::uniform(2, 3, 0, 80);
+  Cells c(s);
+  CellCoord a{5, 1};
+  for (CellIndex x = 0; x < 8; ++x) {
+    for (CellIndex y = 0; y < 8; ++y) {
+      CellCoord b{x, y};
+      int containers = c.cell_region(a, 0).contains(b) ? 1 : 0;
+      for (int l = 1; l <= 3; ++l)
+        for (int k = 0; k < 2; ++k)
+          if (c.neighbor_region(a, l, k).contains(b)) ++containers;
+      EXPECT_EQ(containers, 1) << "cell (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(Cells, CellKeyGroupsByLevel) {
+  auto s = AttributeSpace::uniform(2, 3, 0, 80);
+  Cells c(s);
+  EXPECT_EQ(c.cell_key({0, 0}, 1), c.cell_key({1, 1}, 1));
+  EXPECT_NE(c.cell_key({0, 0}, 1), c.cell_key({2, 0}, 1));
+  // Same cell coordinates at different levels must key differently.
+  EXPECT_NE(c.cell_key({0, 0}, 0), c.cell_key({0, 0}, 1));
+}
+
+TEST(Cells, ClassifyNeverFailsOnRandomCoords) {
+  auto s = AttributeSpace::uniform(6, 4, 0, 1 << 10);
+  Cells c(s);
+  Rng rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    CellCoord a(6), b(6);
+    for (int j = 0; j < 6; ++j) {
+      a[static_cast<std::size_t>(j)] = static_cast<CellIndex>(rng.below(16));
+      b[static_cast<std::size_t>(j)] = static_cast<CellIndex>(rng.below(16));
+    }
+    EXPECT_TRUE(c.classify(a, b).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace ares

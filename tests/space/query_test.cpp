@@ -1,0 +1,103 @@
+#include "space/query.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(AttrRange, Contains) {
+  AttrRange r{10, 20};
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(20));
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_FALSE(r.contains(21));
+}
+
+TEST(AttrRange, HalfOpenBounds) {
+  AttrRange lower_only{10, std::nullopt};
+  EXPECT_TRUE(lower_only.contains(1'000'000));
+  EXPECT_FALSE(lower_only.contains(9));
+  AttrRange upper_only{std::nullopt, 20};
+  EXPECT_TRUE(upper_only.contains(0));
+  EXPECT_FALSE(upper_only.contains(21));
+}
+
+TEST(AttrRange, Unconstrained) {
+  AttrRange any{};
+  EXPECT_TRUE(any.unconstrained());
+  EXPECT_TRUE(any.contains(0));
+  EXPECT_TRUE(any.contains(~AttrValue{0}));
+}
+
+TEST(RangeQuery, AnyMatchesEverything) {
+  auto q = RangeQuery::any(3);
+  EXPECT_TRUE(q.matches({0, 0, 0}));
+  EXPECT_TRUE(q.matches({80, 80, 80}));
+}
+
+TEST(RangeQuery, ConjunctionSemantics) {
+  // The paper's example shape: CPU fixed, MEM >= 4GB, etc.
+  auto q = RangeQuery::any(3).with(0, 5, 5).with(1, 40, std::nullopt);
+  EXPECT_TRUE(q.matches({5, 40, 0}));
+  EXPECT_TRUE(q.matches({5, 99, 77}));
+  EXPECT_FALSE(q.matches({4, 99, 0}));  // dim 0 fails
+  EXPECT_FALSE(q.matches({5, 39, 0}));  // dim 1 fails
+}
+
+TEST(RangeQuery, MatchesIgnoresExtraTrailingValues) {
+  auto q = RangeQuery::any(2).with(0, 1, 2);
+  EXPECT_TRUE(q.matches({2, 0, 999}));
+}
+
+TEST(RangeQuery, DynamicFiltersCheckedSeparately) {
+  auto q = RangeQuery::any(2).with_dynamic(0, 100, std::nullopt);
+  EXPECT_TRUE(q.has_dynamic_filters());
+  EXPECT_TRUE(q.matches({0, 0}));  // routed match unaffected
+  EXPECT_TRUE(q.matches_dynamic({150}));
+  EXPECT_FALSE(q.matches_dynamic({50}));
+  EXPECT_FALSE(q.matches_dynamic({}));  // missing dynamic attr fails
+}
+
+TEST(RangeQuery, NoDynamicFiltersAlwaysPass) {
+  auto q = RangeQuery::any(2);
+  EXPECT_FALSE(q.has_dynamic_filters());
+  EXPECT_TRUE(q.matches_dynamic({}));
+}
+
+TEST(RangeQuery, ToRegionMapsValueRanges) {
+  auto s = AttributeSpace::uniform(2, 3, 0, 80);  // width-10 cells
+  auto q = RangeQuery::any(2).with(0, 15, 44);
+  Region r = q.to_region(s);
+  EXPECT_EQ(r.interval(0), (IndexInterval{1, 4}));
+  EXPECT_EQ(r.interval(1), (IndexInterval{0, 7}));  // unconstrained
+}
+
+TEST(RangeQuery, ToRegionOpenUpperBound) {
+  auto s = AttributeSpace::uniform(1, 3, 0, 80);
+  auto q = RangeQuery::any(1).with(0, 75, std::nullopt);
+  Region r = q.to_region(s);
+  EXPECT_EQ(r.interval(0), (IndexInterval{7, 7}));
+}
+
+TEST(RangeQuery, ToRegionIsConservativeAtCellGranularity) {
+  auto s = AttributeSpace::uniform(1, 3, 0, 80);
+  // Range [12, 13] covers part of cell 1 only.
+  auto q = RangeQuery::any(1).with(0, 12, 13);
+  Region r = q.to_region(s);
+  EXPECT_EQ(r.interval(0), (IndexInterval{1, 1}));
+  // A node in cell 1 outside the value range must not match even though its
+  // cell is in the region (that's the "overhead" semantics).
+  EXPECT_FALSE(q.matches({15}));
+  EXPECT_TRUE(q.matches({12}));
+}
+
+TEST(RangeQuery, EqualityIncludesDynamicFilters) {
+  auto a = RangeQuery::any(2).with(0, 1, 2);
+  auto b = RangeQuery::any(2).with(0, 1, 2);
+  EXPECT_EQ(a, b);
+  b.with_dynamic(0, 5, 6);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace ares

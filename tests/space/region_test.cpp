@@ -1,0 +1,83 @@
+#include "space/region.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(IndexInterval, Basics) {
+  IndexInterval iv{2, 5};
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(1));
+  EXPECT_FALSE(iv.contains(6));
+  EXPECT_EQ(iv.width(), 4u);
+  EXPECT_FALSE(iv.empty());
+}
+
+TEST(IndexInterval, EmptyInterval) {
+  IndexInterval iv{5, 2};
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.width(), 0u);
+}
+
+TEST(IndexInterval, Intersects) {
+  EXPECT_TRUE((IndexInterval{0, 3}.intersects({3, 7})));
+  EXPECT_TRUE((IndexInterval{3, 7}.intersects({0, 3})));
+  EXPECT_FALSE((IndexInterval{0, 2}.intersects({3, 7})));
+}
+
+TEST(Region, WholeCoversEverything) {
+  auto s = AttributeSpace::uniform(3, 3, 0, 80);
+  Region w = Region::whole(s);
+  EXPECT_EQ(w.dimensions(), 3);
+  EXPECT_TRUE(w.contains({0, 0, 0}));
+  EXPECT_TRUE(w.contains({7, 7, 7}));
+  EXPECT_EQ(w.cell_volume(), 512u);
+}
+
+TEST(Region, ContainsPerDimension) {
+  Region r({{1, 3}, {4, 6}});
+  EXPECT_TRUE(r.contains({2, 5}));
+  EXPECT_FALSE(r.contains({0, 5}));
+  EXPECT_FALSE(r.contains({2, 7}));
+}
+
+TEST(Region, IntersectsAndIntersect) {
+  Region a({{0, 3}, {0, 3}});
+  Region b({{2, 5}, {3, 6}});
+  EXPECT_TRUE(a.intersects(b));
+  Region c = a.intersect(b);
+  EXPECT_EQ(c.interval(0), (IndexInterval{2, 3}));
+  EXPECT_EQ(c.interval(1), (IndexInterval{3, 3}));
+  EXPECT_EQ(c.cell_volume(), 2u);
+}
+
+TEST(Region, DisjointIntersection) {
+  Region a({{0, 1}, {0, 1}});
+  Region b({{4, 5}, {0, 1}});
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_EQ(a.intersect(b).cell_volume(), 0u);
+}
+
+TEST(Region, TouchingEdgesIntersect) {
+  Region a({{0, 2}});
+  Region b({{2, 4}});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersect(b).cell_volume(), 1u);
+}
+
+TEST(Region, EmptyWhenAnyDimensionEmpty) {
+  Region r({{0, 3}, {5, 2}});
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.cell_volume(), 0u);
+}
+
+TEST(Region, DefaultRegionIsEmpty) {
+  Region r;
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,331 @@
+#include "wire/codecs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ares::wire {
+namespace {
+
+// ---- buffer primitives ----------------------------------------------------
+
+TEST(WireBuffer, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireBuffer, VarintRoundTripSweep) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xFFFFFFFFull, ~0ull}) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(WireBuffer, VarintCompactness) {
+  Writer w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(WireBuffer, OptionalRoundTrip) {
+  Writer w;
+  w.opt_u64(std::nullopt);
+  w.opt_u64(42);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.opt_u64(), std::nullopt);
+  EXPECT_EQ(r.opt_u64(), std::optional<std::uint64_t>(42));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireBuffer, StringRoundTrip) {
+  Writer w;
+  w.str("hello world");
+  w.str("");
+  std::string with_nul("a\0b", 3);
+  w.str(with_nul);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), with_nul);  // embedded NULs survive
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireBuffer, TruncatedReadSetsError) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.bytes());
+  r.u32();  // more than available
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireBuffer, StickyErrorNeverRecovers) {
+  Reader r(nullptr, 0);
+  r.u8();
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay failed and return zero.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireBuffer, OversizedVarintRejected) {
+  Writer w;
+  for (int i = 0; i < 11; ++i) w.u8(0x80);  // continuation forever
+  Reader r(w.bytes());
+  r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireBuffer, BadPresenceByteRejected) {
+  Writer w;
+  w.u8(7);  // presence must be 0/1
+  Reader r(w.bytes());
+  r.opt_u64();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireBuffer, CountBombRejected) {
+  Writer w;
+  w.varint(1'000'000);  // claims a million elements in a 3-byte buffer
+  Reader r(w.bytes());
+  r.count(4);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---- message codecs ---------------------------------------------------------
+
+PeerDescriptor sample_descriptor(NodeId id) {
+  return PeerDescriptor{id, {10, 20, 30}, {1, 2, 3}, 4};
+}
+
+template <typename T>
+std::unique_ptr<T> round_trip(const T& msg) {
+  auto bytes = encode(msg);
+  EXPECT_FALSE(bytes.empty());
+  MessagePtr decoded = decode(bytes);
+  EXPECT_NE(decoded, nullptr);
+  auto* typed = dynamic_cast<T*>(decoded.get());
+  EXPECT_NE(typed, nullptr);
+  if (typed == nullptr) return nullptr;
+  decoded.release();
+  return std::unique_ptr<T>(typed);
+}
+
+TEST(WireCodec, CyclonRoundTrip) {
+  CyclonShuffleMsg m;
+  m.is_reply = true;
+  m.entries = {sample_descriptor(1), sample_descriptor(2)};
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->is_reply);
+  ASSERT_EQ(out->entries.size(), 2u);
+  EXPECT_EQ(out->entries[0].id, 1u);
+  EXPECT_EQ(out->entries[1].values, (Point{10, 20, 30}));
+  EXPECT_EQ(out->entries[1].coord, (CellCoord{1, 2, 3}));
+  EXPECT_EQ(out->entries[1].age, 4u);
+}
+
+TEST(WireCodec, VicinityRoundTrip) {
+  VicinityExchangeMsg m;
+  m.is_reply = false;
+  m.entries = {sample_descriptor(9)};
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_FALSE(out->is_reply);
+  EXPECT_EQ(out->entries.size(), 1u);
+}
+
+TEST(WireCodec, QueryRoundTrip) {
+  QueryMsg m;
+  m.id = 0xABCDEF0012345678ULL;
+  m.reply_to = 17;
+  m.origin = 3;
+  m.sigma = 50;
+  m.level = -1;
+  m.dims_mask = 0b10110;
+  m.query = RangeQuery::any(5)
+                .with(0, 40, std::nullopt)
+                .with(2, std::nullopt, 60)
+                .with(4, 7, 9);
+  m.query.with_dynamic(1, 100, 200);
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->id, m.id);
+  EXPECT_EQ(out->reply_to, 17u);
+  EXPECT_EQ(out->origin, 3u);
+  EXPECT_EQ(out->sigma, 50u);
+  EXPECT_EQ(out->level, -1);
+  EXPECT_EQ(out->dims_mask, 0b10110u);
+  EXPECT_EQ(out->query, m.query);
+}
+
+TEST(WireCodec, QuerySigmaInfinityRoundTrip) {
+  QueryMsg m;
+  m.sigma = kNoSigma;
+  m.level = 3;
+  m.query = RangeQuery::any(2);
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->sigma, kNoSigma);
+  EXPECT_EQ(out->level, 3);
+}
+
+TEST(WireCodec, ReplyRoundTrip) {
+  ReplyMsg m;
+  m.id = 99;
+  m.matching = {{5, {1, 2}}, {6, {3, 4}}};
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->matching.size(), 2u);
+  EXPECT_EQ(out->matching[1].id, 6u);
+  EXPECT_EQ(out->matching[1].values, (Point{3, 4}));
+}
+
+TEST(WireCodec, EmptyReplyRoundTrip) {
+  ReplyMsg m;
+  m.id = 1;
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->matching.empty());
+}
+
+TEST(WireCodec, ProgressRoundTrip) {
+  ProgressMsg m;
+  m.id = 0x1122334455667788ULL;
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->id, m.id);
+}
+
+TEST(WireCodec, DhtPutRoundTrip) {
+  DhtPutMsg m;
+  m.key = 0xFEED;
+  m.record = {12, {7, 8, 9}};
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->key, 0xFEEDu);
+  EXPECT_EQ(out->record.node, 12u);
+  EXPECT_EQ(out->record.values, (Point{7, 8, 9}));
+}
+
+TEST(WireCodec, DhtGetRoundTrip) {
+  DhtGetMsg m;
+  m.key = 5;
+  m.origin = 77;
+  m.request_id = 31337;
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->origin, 77u);
+  EXPECT_EQ(out->request_id, 31337u);
+}
+
+TEST(WireCodec, DhtRecordsRoundTrip) {
+  DhtRecordsMsg m;
+  m.request_id = 8;
+  m.key = 9;
+  m.records = {{1, {2}}, {3, {4}}};
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->records.size(), 2u);
+}
+
+// ---- robustness ------------------------------------------------------------
+
+TEST(WireCodec, UnknownKindRejected) {
+  std::vector<std::uint8_t> bytes{0xEE, 1, 2, 3};
+  EXPECT_EQ(decode(bytes), nullptr);
+}
+
+TEST(WireCodec, EmptyInputRejected) {
+  EXPECT_EQ(decode(nullptr, 0), nullptr);
+}
+
+TEST(WireCodec, TrailingGarbageRejected) {
+  ProgressMsg m;
+  m.id = 1;
+  auto bytes = encode(m);
+  bytes.push_back(0x00);
+  EXPECT_EQ(decode(bytes), nullptr);
+}
+
+TEST(WireCodec, EveryTruncationFailsCleanly) {
+  // Exhaustive prefix truncation of a composite message: every prefix must
+  // decode to nullptr (and never crash or over-read).
+  QueryMsg m;
+  m.id = 42;
+  m.sigma = 50;
+  m.level = 2;
+  m.dims_mask = 0b11111;
+  m.query = RangeQuery::any(5).with(1, 10, 20);
+  m.query.with_dynamic(0, 1, 2);
+  auto bytes = encode(m);
+  ASSERT_GT(bytes.size(), 4u);
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_EQ(decode(bytes.data(), len), nullptr) << "prefix " << len;
+}
+
+TEST(WireCodec, RandomBytesNeverCrash) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    // Any outcome is fine except UB; decode must be total.
+    (void)decode(junk);
+  }
+  SUCCEED();
+}
+
+TEST(WireCodec, MutatedMessagesNeverCrash) {
+  // Single-byte mutations of a valid frame: decode must either fail or
+  // produce SOME message, never crash.
+  ReplyMsg m;
+  m.id = 5;
+  m.matching = {{1, {10, 20}}, {2, {30, 40}}};
+  auto bytes = encode(m);
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto copy = bytes;
+    copy[rng.index(copy.size())] = static_cast<std::uint8_t>(rng.below(256));
+    (void)decode(copy);
+  }
+  SUCCEED();
+}
+
+TEST(WireCodec, WireSizeEstimatesAreSane) {
+  // Message::wire_size() drives the traffic accounting; it should be within
+  // a small factor of the real encoded size.
+  CyclonShuffleMsg c;
+  for (NodeId i = 0; i < 8; ++i) c.entries.push_back(sample_descriptor(i));
+  auto actual = static_cast<double>(encode(c).size());
+  auto estimate = static_cast<double>(c.wire_size());
+  EXPECT_GT(estimate, actual / 3);
+  EXPECT_LT(estimate, actual * 3);
+
+  QueryMsg q;
+  q.query = RangeQuery::any(5).with(0, 1, 2);
+  auto q_actual = static_cast<double>(encode(q).size());
+  auto q_estimate = static_cast<double>(q.wire_size());
+  EXPECT_GT(q_estimate, q_actual / 3);
+  EXPECT_LT(q_estimate, q_actual * 3);
+}
+
+}  // namespace
+}  // namespace ares::wire

@@ -1,0 +1,125 @@
+#include "workload/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include "common/summary.h"
+
+namespace ares {
+namespace {
+
+class DistributionsTest : public ::testing::Test {
+ protected:
+  DistributionsTest() : space(AttributeSpace::uniform(4, 3, 0, 80)), rng(9) {}
+
+  std::vector<Point> sample(const PointGen& gen, std::size_t n) {
+    std::vector<Point> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(gen(rng));
+    return out;
+  }
+
+  AttributeSpace space;
+  Rng rng;
+};
+
+TEST_F(DistributionsTest, UniformBoundsAndSpread) {
+  auto pts = sample(uniform_points(space, 0, 80), 3000);
+  Summary s;
+  for (const auto& p : pts) {
+    ASSERT_EQ(p.size(), 4u);
+    for (auto v : p) {
+      ASSERT_LE(v, 80u);
+      s.add(static_cast<double>(v));
+    }
+  }
+  EXPECT_NEAR(s.mean(), 40.0, 1.5);
+  EXPECT_GT(s.stddev(), 15.0);  // genuinely spread out
+}
+
+TEST_F(DistributionsTest, HotspotConcentratesAround60) {
+  auto pts = sample(hotspot_points(space), 3000);
+  Summary s;
+  for (const auto& p : pts)
+    for (auto v : p) s.add(static_cast<double>(v));
+  EXPECT_NEAR(s.mean(), 60.0, 1.0);
+  EXPECT_NEAR(s.stddev(), 10.0, 1.5);
+}
+
+TEST_F(DistributionsTest, NormalClampsToBounds) {
+  auto gen = normal_points(space, 0.0, 30.0, 0, 80);  // mass below 0 clamps
+  auto pts = sample(gen, 1000);
+  for (const auto& p : pts)
+    for (auto v : p) EXPECT_LE(v, 80u);
+}
+
+TEST_F(DistributionsTest, ClusteredReusesCenters) {
+  auto gen = clustered_points(space, 4, 0, 80, 0, /*seed=*/5);
+  auto pts = sample(gen, 500);
+  // With zero spread there can be at most 4 distinct points.
+  std::set<Point> distinct(pts.begin(), pts.end());
+  EXPECT_LE(distinct.size(), 4u);
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST_F(DistributionsTest, ClusteredSpreadStaysNearCenters) {
+  auto centers_only = clustered_points(space, 3, 10, 70, 0, 5);
+  auto with_spread = clustered_points(space, 3, 10, 70, 2, 5);
+  auto base = sample(centers_only, 300);
+  auto jittered = sample(with_spread, 300);
+  std::set<Point> centers(base.begin(), base.end());
+  for (const auto& p : jittered) {
+    bool near_any = false;
+    for (const auto& c : centers) {
+      bool near = true;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        auto d = p[i] > c[i] ? p[i] - c[i] : c[i] - p[i];
+        near = near && d <= 2;
+      }
+      near_any = near_any || near;
+    }
+    EXPECT_TRUE(near_any);
+  }
+}
+
+TEST_F(DistributionsTest, ClusteredDeterministicCenters) {
+  auto g1 = clustered_points(space, 3, 0, 80, 0, 42);
+  auto g2 = clustered_points(space, 3, 0, 80, 0, 42);
+  Rng r1(1), r2(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(g1(r1), g2(r2));
+}
+
+TEST_F(DistributionsTest, XtremlabBoundsRespected) {
+  auto pts = sample(xtremlab_points(space), 2000);
+  for (const auto& p : pts)
+    for (auto v : p) EXPECT_LE(v, 80u);
+}
+
+TEST_F(DistributionsTest, XtremlabIsSkewed) {
+  // CPU dimension (k=0): low tiers must dominate high tiers.
+  auto pts = sample(xtremlab_points(space), 4000);
+  std::size_t low = 0, high = 0;
+  for (const auto& p : pts) {
+    if (p[0] <= 26) ++low;
+    if (p[0] >= 54) ++high;
+  }
+  EXPECT_GT(low, high * 2);
+}
+
+TEST_F(DistributionsTest, XtremlabAttributesCorrelated) {
+  // Hosts with high bandwidth (dim 2) should skew toward more memory
+  // (dim 1) thanks to the latent quality variable.
+  auto pts = sample(xtremlab_points(space), 6000);
+  Summary mem_fast, mem_slow;
+  for (const auto& p : pts) {
+    if (p[2] >= 60)
+      mem_fast.add(static_cast<double>(p[1]));
+    else if (p[2] <= 20)
+      mem_slow.add(static_cast<double>(p[1]));
+  }
+  ASSERT_GT(mem_fast.count(), 50u);
+  ASSERT_GT(mem_slow.count(), 50u);
+  EXPECT_GT(mem_fast.mean(), mem_slow.mean());
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,146 @@
+#include "workload/query_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "space/cells.h"
+#include "workload/distributions.h"
+
+namespace ares {
+namespace {
+
+class QueryWorkloadTest : public ::testing::Test {
+ protected:
+  QueryWorkloadTest() : space(AttributeSpace::uniform(3, 3, 0, 80)), rng(13) {}
+
+  std::vector<Point> uniform_sample(std::size_t n) {
+    auto gen = uniform_points(space, 0, 80);
+    std::vector<Point> out;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(gen(rng));
+    return out;
+  }
+
+  AttributeSpace space;
+  Rng rng;
+};
+
+TEST_F(QueryWorkloadTest, QueryFromRegionRoundTrips) {
+  Region r({{1, 3}, {0, 7}, {4, 4}});
+  auto q = query_from_region(space, r);
+  EXPECT_EQ(q.to_region(space), r);
+  EXPECT_TRUE(q.range(1).unconstrained());
+}
+
+TEST_F(QueryWorkloadTest, QueryFromRegionOpenTop) {
+  Region r({{6, 7}, {0, 7}, {0, 7}});
+  auto q = query_from_region(space, r);
+  EXPECT_FALSE(q.range(0).hi.has_value());  // unbounded above
+  EXPECT_TRUE(q.matches({1'000'000, 0, 0}));
+  EXPECT_FALSE(q.matches({59, 0, 0}));
+}
+
+TEST_F(QueryWorkloadTest, BestCaseVolumeApproximatesF) {
+  for (double f : {0.05, 0.125, 0.5}) {
+    auto q = best_case_query(space, f, rng);
+    double vol = static_cast<double>(q.to_region(space).cell_volume()) /
+                 static_cast<double>(space.cell_count(0));
+    EXPECT_GE(vol, f * 0.99);
+    EXPECT_LE(vol, f * 2.01);  // dyadic rounding at most doubles
+  }
+}
+
+TEST_F(QueryWorkloadTest, BestCaseStaysWithinOneEnclosingCell) {
+  Cells cells(space);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto q = best_case_query(space, 0.05, rng);
+    Region r = q.to_region(space);
+    // Find the smallest level whose single cell contains the region; the
+    // region must not straddle two cells of that level.
+    CellCoord lo(3), hi(3);
+    for (int d = 0; d < 3; ++d) {
+      lo[static_cast<std::size_t>(d)] = r.interval(d).lo;
+      hi[static_cast<std::size_t>(d)] = r.interval(d).hi;
+    }
+    bool within_some_cell = false;
+    for (int l = 0; l <= 3; ++l)
+      within_some_cell = within_some_cell || cells.same_cell(lo, hi, l);
+    EXPECT_TRUE(within_some_cell);
+    // Specifically: the level-max cell always contains it, but a best-case
+    // region of 5% must fit strictly below the top level too.
+    EXPECT_TRUE(cells.same_cell(lo, hi, 2));
+  }
+}
+
+TEST_F(QueryWorkloadTest, WorstCaseCrossesEveryLevelSplit) {
+  auto q = worst_case_query(space, 0.125);
+  Region r = q.to_region(space);
+  const CellIndex mid = space.cells_per_dim() / 2;
+  for (int d = 0; d < 3; ++d) {
+    // Straddles the top-level boundary ...
+    EXPECT_LT(r.interval(d).lo, mid);
+    EXPECT_GE(r.interval(d).hi, mid);
+  }
+}
+
+TEST_F(QueryWorkloadTest, WorstCaseSelectivityTracksCellRounding) {
+  auto pts = uniform_sample(8000);
+  for (double f : {0.125, 0.3, 0.8}) {
+    auto q = worst_case_query(space, f);
+    // Cell-aligned box of width w = round(f^(1/d) * 8) per dimension.
+    auto w = static_cast<double>(q.to_region(space).interval(0).width());
+    double expected = std::pow(w / 8.0, 3.0);
+    EXPECT_NEAR(measured_selectivity(q, pts), expected, 0.03) << "f=" << f;
+  }
+}
+
+TEST_F(QueryWorkloadTest, WorstCaseIsCellAligned) {
+  // The box snaps to cell boundaries (the straddling variant lives in the
+  // ablation bench); uniform(0,80,L=3) cells are width 10.
+  auto q = worst_case_query(space, 0.2);
+  const auto& r0 = q.range(0);
+  ASSERT_TRUE(r0.lo && r0.hi);
+  EXPECT_EQ(*r0.lo % 10, 0u);
+  EXPECT_EQ(*r0.hi % 10, 9u);
+}
+
+TEST_F(QueryWorkloadTest, UniformSelectivityTracksVolume) {
+  auto pts = uniform_sample(8000);
+  auto q = best_case_query(space, 0.125, rng);
+  double vol = static_cast<double>(q.to_region(space).cell_volume()) /
+               static_cast<double>(space.cell_count(0));
+  EXPECT_NEAR(measured_selectivity(q, pts), vol, 0.03);
+}
+
+TEST_F(QueryWorkloadTest, EmpiricalQueryHitsTargetSelectivity) {
+  auto pts = uniform_sample(5000);
+  for (double f : {0.1, 0.25}) {
+    auto q = empirical_query(space, pts, f, 2, rng);
+    EXPECT_NEAR(measured_selectivity(q, pts), f, 0.08);
+  }
+}
+
+TEST_F(QueryWorkloadTest, EmpiricalQueryWorksOnSkewedData) {
+  auto gen = xtremlab_points(space);
+  std::vector<Point> pts;
+  for (int i = 0; i < 5000; ++i) pts.push_back(gen(rng));
+  auto q = empirical_query(space, pts, 0.125, 2, rng);
+  double got = measured_selectivity(q, pts);
+  EXPECT_GT(got, 0.02);
+  EXPECT_LT(got, 0.5);
+}
+
+TEST_F(QueryWorkloadTest, MeasuredSelectivityEdges) {
+  auto pts = uniform_sample(100);
+  EXPECT_DOUBLE_EQ(measured_selectivity(RangeQuery::any(3), pts), 1.0);
+  auto none = RangeQuery::any(3).with(0, 1000, std::nullopt);
+  EXPECT_DOUBLE_EQ(measured_selectivity(none, pts), 0.0);
+}
+
+TEST_F(QueryWorkloadTest, BestCaseFullSelectivityIsWholeSpace) {
+  auto q = best_case_query(space, 1.0, rng);
+  EXPECT_EQ(q.to_region(space).cell_volume(), space.cell_count(0));
+}
+
+}  // namespace
+}  // namespace ares
