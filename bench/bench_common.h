@@ -12,7 +12,7 @@
 #include <string>
 
 #include "common/options.h"
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "exp/experiment.h"
 #include "exp/reporting.h"
 #include "workload/churn_schedule.h"

@@ -4,8 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/bootstrap.h"
-#include "core/grid.h"
+#include "exp/bootstrap.h"
+#include "exp/grid.h"
 #include "sim/event_queue.h"
 #include "wire/codecs.h"
 #include "workload/distributions.h"

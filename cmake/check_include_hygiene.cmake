@@ -1,0 +1,43 @@
+# Include-dependency rule for the protocol core (run as a ctest, see
+# tests/CMakeLists.txt):
+#
+#   src/core and src/gossip may include only runtime/, space/, common/,
+#   and each other — never sim/, exp/, dht/, baselines/, wire/, workload/.
+#
+# This is what keeps the protocol simulator-independent: the same
+# SelectionNode/Cyclon/Vicinity code runs against the discrete-event
+# Network, the LoopbackRuntime, and any future socket transport.
+#
+# Usage: cmake -DSOURCE_DIR=<repo root> -P check_include_hygiene.cmake
+
+if(NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "pass -DSOURCE_DIR=<repo root>")
+endif()
+
+set(allowed_prefixes "runtime|space|common|core|gossip")
+set(violations "")
+
+file(GLOB_RECURSE protocol_files
+  "${SOURCE_DIR}/src/core/*.h" "${SOURCE_DIR}/src/core/*.cpp"
+  "${SOURCE_DIR}/src/gossip/*.h" "${SOURCE_DIR}/src/gossip/*.cpp")
+
+foreach(f ${protocol_files})
+  file(STRINGS "${f}" includes REGEX "^[ \t]*#[ \t]*include[ \t]+\"")
+  foreach(line ${includes})
+    string(REGEX MATCH "\"([^\"]+)\"" _ "${line}")
+    set(header "${CMAKE_MATCH_1}")
+    if(NOT header MATCHES "^(${allowed_prefixes})/")
+      file(RELATIVE_PATH rel "${SOURCE_DIR}" "${f}")
+      list(APPEND violations "${rel}: ${header}")
+    endif()
+  endforeach()
+endforeach()
+
+if(violations)
+  list(JOIN violations "\n  " pretty)
+  message(FATAL_ERROR "include-hygiene violations (src/core and src/gossip "
+    "may include only {runtime,space,common,core,gossip}/ headers):\n  ${pretty}")
+endif()
+
+message(STATUS "include hygiene OK: src/core and src/gossip are "
+  "simulator-independent")

@@ -13,7 +13,7 @@
 #include <deque>
 #include <iostream>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 
 namespace {

@@ -12,7 +12,7 @@
 
 #include <iostream>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/machine_space.h"
 
 int main() {

@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "exp/experiment.h"
 #include "workload/churn_schedule.h"
 #include "workload/distributions.h"

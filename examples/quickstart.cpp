@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 
 int main() {

@@ -11,7 +11,7 @@
 
 #include <iostream>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "sim/churn.h"
 #include "workload/churn_schedule.h"
 #include "workload/distributions.h"

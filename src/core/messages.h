@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
-#include "sim/message.h"
+#include "runtime/message.h"
 #include "space/query.h"
 
 namespace ares {

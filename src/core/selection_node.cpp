@@ -46,6 +46,7 @@ void SelectionNode::start() {
 void SelectionNode::gossip_tick() {
   // Two gossip initiations per cycle, one per layer (§6: "each node
   // initiates exactly two gossips").
+  metrics().inc(id(), "gossip.cycles");
   cyclon_->tick();
   vicinity_->tick(cyclon_->view());
   rt_->age_all();
@@ -134,7 +135,7 @@ void SelectionNode::handle_progress(NodeId from, const ProgressMsg& p) {
   if (it == active_.end()) return;
   auto w = it->second.waiting.find(from);
   if (w == it->second.waiting.end()) return;
-  w->second.last_heard = sim().now();
+  w->second.last_heard = now();
 }
 
 void SelectionNode::keepalive_tick(QueryId qid) {
@@ -242,7 +243,7 @@ void SelectionNode::dispatch(QueryState& st, NodeId to, Outstanding slot) {
   }
   if (observer_ != nullptr)
     observer_->on_query_forwarded(st.msg.id, id(), to, slot.level, slot.dim);
-  slot.last_heard = sim().now();
+  slot.last_heard = now();
   st.waiting.emplace(to, slot);
   if (cfg_.query_timeout > 0) {
     QueryId qid = st.msg.id;
@@ -260,13 +261,14 @@ void SelectionNode::on_timeout(QueryId qid, NodeId to) {
   // Keepalives reset the deadline: only true silence for a full T(q)
   // declares the branch dead. Re-arm otherwise.
   const SimTime deadline = w->second.last_heard + cfg_.query_timeout;
-  if (sim().now() < deadline) {
-    after(deadline - sim().now(), [this, qid, to] { on_timeout(qid, to); });
+  if (now() < deadline) {
+    after(deadline - now(), [this, qid, to] { on_timeout(qid, to); });
     return;
   }
   Outstanding slot = w->second;
   st.waiting.erase(w);
   st.failed.push_back(to);
+  metrics().inc(id(), "query.timeouts");
   // Treat the peer as failed: purge it from every local structure so later
   // queries do not stumble over the same dead link.
   rt_->remove(to);
@@ -275,6 +277,7 @@ void SelectionNode::on_timeout(QueryId qid, NodeId to) {
 
   if (cfg_.retry_alternates && slot.dim >= 0) {
     if (const PeerDescriptor* alt = rt_->alternate(slot.level, slot.dim, st.failed)) {
+      metrics().inc(id(), "query.retries");
       dispatch(st, alt->id, slot);
       return;
     }
@@ -308,6 +311,7 @@ void SelectionNode::finish(QueryState& st) {
   for (auto& [nid, rec] : st.matching) matches.push_back(rec);
 
   if (st.is_origin) {
+    metrics().observe("query.result_size", static_cast<double>(matches.size()));
     if (observer_ != nullptr) observer_->on_query_completed(qid, id(), matches);
     if (st.done) st.done(matches);
   } else {

@@ -26,7 +26,7 @@
 #include "core/routing_table.h"
 #include "gossip/cyclon.h"
 #include "gossip/vicinity.h"
-#include "sim/network.h"
+#include "runtime/runtime.h"
 
 namespace ares {
 
@@ -120,7 +120,7 @@ class SelectionNode final : public Node {
   PeerDescriptor descriptor() const;
   std::size_t active_queries() const { return active_.size(); }
 
-  // -- sim::Node ----------------------------------------------------------
+  // -- runtime Node -------------------------------------------------------
 
   void start() override;
   void on_message(NodeId from, const Message& m) override;

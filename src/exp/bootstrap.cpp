@@ -1,4 +1,4 @@
-#include "core/bootstrap.h"
+#include "exp/bootstrap.h"
 
 #include <unordered_map>
 

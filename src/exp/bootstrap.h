@@ -17,6 +17,10 @@
 #include "sim/network.h"
 #include "space/attribute_space.h"
 
+// NOTE: this lives in exp/ (not core/) because the oracle needs global
+// omniscience — direct typed access to every node in a Network — which the
+// runtime contract deliberately does not give protocol code.
+
 namespace ares {
 
 struct OracleOptions {

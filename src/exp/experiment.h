@@ -10,7 +10,7 @@
 
 #include "common/histogram.h"
 #include "common/summary.h"
-#include "core/grid.h"
+#include "exp/grid.h"
 
 namespace ares::exp {
 

@@ -1,7 +1,9 @@
-#include "core/grid.h"
+#include "exp/grid.h"
 
 #include <cassert>
 #include <stdexcept>
+
+#include "sim/latency.h"
 
 namespace ares {
 namespace {

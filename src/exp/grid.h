@@ -19,11 +19,13 @@
 #include <memory>
 #include <string>
 
-#include "core/bootstrap.h"
 #include "core/query_stats.h"
 #include "core/selection_node.h"
 #include "core/trace.h"
+#include "exp/bootstrap.h"
 #include "sim/churn.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
 
 namespace ares {
 

@@ -14,7 +14,7 @@
 #include <functional>
 
 #include "gossip/view.h"
-#include "sim/message.h"
+#include "runtime/message.h"
 
 namespace ares {
 

@@ -12,7 +12,7 @@
 #include <functional>
 
 #include "gossip/view.h"
-#include "sim/message.h"
+#include "runtime/message.h"
 #include "space/cells.h"
 
 namespace ares {

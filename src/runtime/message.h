@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file message.h
+/// Base class for everything sent between protocol nodes. Concrete protocol
+/// messages (gossip exchanges, QUERY/REPLY, DHT RPCs) derive from Message and
+/// report an approximate wire size so experiments can account for traffic the
+/// way the paper does (e.g. the 2,560 B/node/cycle gossip cost in §6).
+///
+/// This header lives in runtime/ (not sim/) on purpose: the protocol core is
+/// transport-independent, and Message is part of the Runtime contract every
+/// backend (discrete-event sim, loopback, a future socket transport)
+/// implements. See docs/PROTOCOL.md §"Layering".
+
+#include <cstddef>
+#include <memory>
+
+namespace ares {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Stable short name used for per-type traffic accounting.
+  virtual const char* type_name() const = 0;
+
+  /// Approximate serialized size in bytes.
+  virtual std::size_t wire_size() const = 0;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+}  // namespace ares

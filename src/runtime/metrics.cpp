@@ -1,0 +1,64 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+
+namespace ares {
+
+void Metrics::inc(NodeId node, std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name),
+                           std::unordered_map<NodeId, std::uint64_t>{}).first;
+  it->second[node] += delta;
+}
+
+void Metrics::observe(std::string_view name, double value) {
+  auto it = distributions_.find(name);
+  if (it == distributions_.end())
+    it = distributions_.emplace(std::string(name), Summary{}).first;
+  it->second.add(value);
+}
+
+std::uint64_t Metrics::total(std::string_view name) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  std::uint64_t sum = 0;
+  for (const auto& [_, v] : it->second) sum += v;
+  return sum;
+}
+
+std::uint64_t Metrics::node_value(NodeId node, std::string_view name) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  auto nit = it->second.find(node);
+  return nit == it->second.end() ? 0 : nit->second;
+}
+
+std::vector<std::pair<NodeId, std::uint64_t>> Metrics::by_node(
+    std::string_view name) const {
+  std::vector<std::pair<NodeId, std::uint64_t>> out;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const Summary* Metrics::distribution(std::string_view name) const {
+  auto it = distributions_.find(name);
+  return it == distributions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Metrics::counter_names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [k, _] : counters_) out.push_back(k);
+  return out;
+}
+
+void Metrics::clear() {
+  counters_.clear();
+  distributions_.clear();
+}
+
+}  // namespace ares

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file metrics.h
+/// Per-node instrumentation registry — the measurement seam between the
+/// protocol core and the experiment layer. Protocol code records named
+/// counters and value observations against its own NodeId without knowing
+/// who (if anyone) is listening; the experiment layer aggregates across
+/// nodes after (or during) a run.
+///
+/// The registry is owned by the Runtime a node is attached to, so the same
+/// protocol code is metered identically under the discrete-event simulator,
+/// the loopback runtime, and any future socket transport.
+///
+/// Counter names are dotted strings ("query.timeouts", "gossip.cycles");
+/// keep them stable — benchmarks and tests key on them.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/summary.h"
+#include "common/types.h"
+
+namespace ares {
+
+class Metrics {
+ public:
+  /// Bumps the named per-node counter by `delta`.
+  void inc(NodeId node, std::string_view name, std::uint64_t delta = 1);
+
+  /// Adds a sample to the named distribution (merged across all nodes).
+  void observe(std::string_view name, double value);
+
+  /// Sum of the named counter over all nodes (0 when never bumped).
+  std::uint64_t total(std::string_view name) const;
+
+  /// The named counter for one node (0 when never bumped).
+  std::uint64_t node_value(NodeId node, std::string_view name) const;
+
+  /// Per-node values of the named counter (empty when never bumped).
+  /// Iteration order is by NodeId (ascending).
+  std::vector<std::pair<NodeId, std::uint64_t>> by_node(std::string_view name) const;
+
+  /// The named distribution; nullptr when never observed.
+  const Summary* distribution(std::string_view name) const;
+
+  /// All counter names seen so far, sorted.
+  std::vector<std::string> counter_names() const;
+
+  /// Drops all counters and distributions (between experiment phases).
+  void clear();
+
+ private:
+  // std::less<> enables heterogeneous (string_view) lookup without a
+  // temporary std::string per hot-path increment.
+  std::map<std::string, std::unordered_map<NodeId, std::uint64_t>, std::less<>>
+      counters_;
+  std::map<std::string, Summary, std::less<>> distributions_;
+};
+
+}  // namespace ares

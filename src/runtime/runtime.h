@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file runtime.h
+/// The environment a protocol node runs against, and the node base class.
+///
+/// The paper's protocol (§4-§5) is pure message/timer logic; everything it
+/// needs from the outside world is captured by the Runtime interface:
+///
+///   - a clock (now()),
+///   - incarnation-safe timers (node_timer(): a pending timer silently
+///     lapses once its node has left, so a rejoining node under a fresh
+///     NodeId can never receive a stale incarnation's callback),
+///   - message transport (send(); delivery semantics — latency, loss,
+///     ordering — are the backend's business),
+///   - a runtime-level Rng (per-node protocol randomness is forked into
+///     each node at construction; this one drives environment decisions
+///     such as latency sampling),
+///   - a Metrics registry (the measurement seam, see runtime/metrics.h).
+///
+/// Backends provided in-tree:
+///   - sim::Network (sim/network.h): discrete-event simulation with
+///     model-sampled latency — the PeerSim substitute used by benchmarks;
+///   - LoopbackRuntime (runtime/loopback.h): immediate in-process delivery
+///     with a manually advanced clock — used by unit tests.
+///
+/// Dependency rule (enforced by the include_hygiene ctest): src/core and
+/// src/gossip may include only runtime/, space/, common/, and themselves —
+/// never sim/ or exp/.
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/message.h"
+#include "runtime/metrics.h"
+
+namespace ares {
+
+class Node;
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Current time (simulated or wall-clock, backend-defined), microseconds.
+  virtual SimTime now() const = 0;
+
+  /// Runtime-level randomness (environment decisions, e.g. latency).
+  virtual Rng& rng() = 0;
+
+  /// Sends `m` from node `from` to node `to`. Delivery timing and loss are
+  /// backend-defined; messages to departed nodes are dropped, not errors.
+  virtual void send(NodeId from, NodeId to, MessagePtr m) = 0;
+
+  /// Runs `fn` after `delay` unless node `id` has left the runtime by then
+  /// (incarnation-safe cancellation: NodeIds are never reused).
+  virtual void node_timer(NodeId id, SimTime delay, std::function<void()> fn) = 0;
+
+  /// The per-node instrumentation registry (see runtime/metrics.h).
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+ protected:
+  /// Implementations call these when a node joins/leaves; defined inline
+  /// below Node (they need its members).
+  static void bind(Node& n, Runtime& rt, NodeId id);
+  static void unbind(Node& n);
+
+ private:
+  Metrics metrics_;
+};
+
+/// Base class for protocol endpoints. A Node is attached to a Runtime which
+/// assigns its NodeId; subclasses implement on_message() and use send() /
+/// after() to communicate and set timers.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  NodeId id() const { return id_; }
+  bool attached() const { return runtime_ != nullptr; }
+
+  /// Invoked once after the node joins the runtime (id assigned, send OK).
+  virtual void start() {}
+
+  /// Invoked on graceful departure (not on crash).
+  virtual void stop() {}
+
+  /// Handles a delivered message.
+  virtual void on_message(NodeId from, const Message& m) = 0;
+
+ protected:
+  Runtime& env() const { return *runtime_; }
+  SimTime now() const { return runtime_->now(); }
+  Metrics& metrics() const { return runtime_->metrics(); }
+
+  /// Sends a message to `to` (dropped at delivery time if `to` is gone).
+  void send(NodeId to, MessagePtr m) const { runtime_->send(id_, to, std::move(m)); }
+
+  /// Runs `fn` after `delay` unless this node has left the runtime by then.
+  void after(SimTime delay, std::function<void()> fn) const {
+    runtime_->node_timer(id_, delay, std::move(fn));
+  }
+
+ private:
+  friend class Runtime;
+  Runtime* runtime_ = nullptr;
+  NodeId id_ = kInvalidNode;
+};
+
+inline void Runtime::bind(Node& n, Runtime& rt, NodeId id) {
+  n.runtime_ = &rt;
+  n.id_ = id;
+}
+
+inline void Runtime::unbind(Node& n) { n.runtime_ = nullptr; }
+
+}  // namespace ares

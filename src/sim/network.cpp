@@ -15,8 +15,7 @@ Network::~Network() = default;
 NodeId Network::add_node(std::unique_ptr<Node> node) {
   assert(node != nullptr && !node->attached());
   NodeId id = next_id_++;
-  node->network_ = this;
-  node->id_ = id;
+  bind(*node, *this, id);
   Node* raw = node.get();
   nodes_.emplace(id, std::move(node));
   alive_cache_valid_ = false;
@@ -28,6 +27,7 @@ void Network::remove_node(NodeId id, bool graceful) {
   auto it = nodes_.find(id);
   if (it == nodes_.end()) return;
   if (graceful) it->second->stop();
+  unbind(*it->second);
   nodes_.erase(it);
   alive_cache_valid_ = false;
 }

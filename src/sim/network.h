@@ -2,26 +2,30 @@
 
 /// \file network.h
 /// The simulated fully-connected network (§3: "each node can reach any other
-/// node"). Owns all live nodes, assigns monotonically increasing NodeIds
-/// (never reused, so a rejoining node gets "a different identity" as in the
-/// paper's churn model), delivers messages with model-sampled latency, and
-/// drops messages addressed to dead nodes.
+/// node") — the discrete-event Runtime backend. Owns all live nodes, assigns
+/// monotonically increasing NodeIds (never reused, so a rejoining node gets
+/// "a different identity" as in the paper's churn model), delivers messages
+/// with model-sampled latency, and drops messages addressed to dead nodes.
+///
+/// Protocol code never sees this class: SelectionNode and the gossip layers
+/// program against runtime/runtime.h only. Network is what the experiment
+/// layer (exp/grid.h) and the benchmarks instantiate.
 
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/runtime.h"
 #include "sim/latency.h"
-#include "sim/node.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
 namespace ares {
 
-class Network {
+class Network final : public Runtime {
  public:
   Network(Simulator& sim, std::unique_ptr<LatencyModel> latency);
-  ~Network();
+  ~Network() override;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -29,6 +33,18 @@ class Network {
   Simulator& sim() { return sim_; }
   NetworkStats& stats() { return stats_; }
 
+  // -- Runtime contract ----------------------------------------------------
+  SimTime now() const override { return sim_.now(); }
+  Rng& rng() override { return sim_.rng(); }
+
+  /// Sends `m` from `from` to `to` with sampled latency. If `to` is dead at
+  /// delivery time, the message is counted as dropped.
+  void send(NodeId from, NodeId to, MessagePtr m) override;
+
+  /// Incarnation-safe timer for node `id`.
+  void node_timer(NodeId id, SimTime delay, std::function<void()> fn) override;
+
+  // -- membership ----------------------------------------------------------
   /// Adds a node: assigns the next NodeId, attaches it, and calls start().
   NodeId add_node(std::unique_ptr<Node> node);
 
@@ -49,13 +65,6 @@ class Network {
   T* find_as(NodeId id) {
     return dynamic_cast<T*>(find(id));
   }
-
-  /// Sends `m` from `from` to `to` with sampled latency. If `to` is dead at
-  /// delivery time, the message is counted as dropped.
-  void send(NodeId from, NodeId to, MessagePtr m);
-
-  /// Incarnation-safe timer for node `id`.
-  void node_timer(NodeId id, SimTime delay, std::function<void()> fn);
 
  private:
   Simulator& sim_;

@@ -7,6 +7,7 @@ namespace ares {
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 void Simulator::schedule_at(SimTime t, EventQueue::Action action) {
+  if (t < now_) ++late_;
   queue_.push(std::max(t, now_), std::move(action));
 }
 

@@ -21,7 +21,9 @@ class Simulator {
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  /// Schedules `action` at absolute virtual time `t` (clamped to now()).
+  /// Schedules `action` at absolute virtual time `t`. A `t` already in the
+  /// past is clamped to now() and counted in late_events() — a persistently
+  /// growing count usually flags a scheduling bug in the caller.
   void schedule_at(SimTime t, EventQueue::Action action);
 
   /// Schedules `action` after `delay` (clamped to >= 0).
@@ -41,11 +43,16 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Number of schedule_at() calls whose target time was already in the
+  /// past (silently clamped to now()).
+  std::uint64_t late_events() const { return late_; }
+
  private:
   SimTime now_ = 0;
   EventQueue queue_;
   Rng rng_;
   std::uint64_t executed_ = 0;
+  std::uint64_t late_ = 0;
 };
 
 }  // namespace ares

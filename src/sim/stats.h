@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
-#include "sim/message.h"
+#include "runtime/message.h"
 
 namespace ares {
 

@@ -1,22 +1,20 @@
 /// Message-level tests of the SelectionNode state machine: crafted QUERY /
-/// REPLY / PROGRESS frames injected directly through the simulated network,
-/// exercising paths end-to-end runs rarely hit (duplicate receptions, late
-/// replies, keepalive deadline refresh, unknown-query progress).
+/// REPLY / PROGRESS frames injected through the loopback runtime (zero
+/// latency, manual clock — no Simulator/Network pair), exercising paths
+/// end-to-end runs rarely hit (duplicate receptions, late replies,
+/// keepalive deadline refresh, unknown-query progress).
 
 #include <gtest/gtest.h>
 
 #include "core/selection_node.h"
-#include "sim/network.h"
+#include "runtime/loopback.h"
 
 namespace ares {
 namespace {
 
 class ProtocolMessagesTest : public ::testing::Test {
  protected:
-  ProtocolMessagesTest()
-      : space(AttributeSpace::uniform(2, 3, 0, 80)),
-        sim(7),
-        net(sim, std::make_unique<ConstantLatency>(10 * kMillisecond)) {}
+  ProtocolMessagesTest() : space(AttributeSpace::uniform(2, 3, 0, 80)), net(7) {}
 
   NodeId add_node(Point values, ProtocolConfig cfg = {}) {
     cfg.gossip_enabled = false;
@@ -41,8 +39,7 @@ class ProtocolMessagesTest : public ::testing::Test {
   }
 
   AttributeSpace space;
-  Simulator sim;
-  Network net;
+  LoopbackRuntime net;
 };
 
 /// Test double that records everything it receives.
@@ -63,7 +60,7 @@ TEST_F(ProtocolMessagesTest, LeafProbeAnswersWithSelfOnly) {
   NodeId parent = net.add_node(std::make_unique<SinkNode>());
   NodeId leaf = add_node({5, 5});
   net.send(parent, leaf, make_query(77, parent, /*level=*/-1, 0));
-  sim.run();
+  net.run_until(net.now() + 600 * kSecond);
   auto& sink = *net.find_as<SinkNode>(parent);
   ASSERT_EQ(sink.replies.size(), 1u);
   EXPECT_EQ(sink.replies[0].second.id, 77u);
@@ -77,7 +74,7 @@ TEST_F(ProtocolMessagesTest, LeafProbeNonMatchingAnswersEmpty) {
   auto q = make_query(78, parent, -1, 0);
   q->query = RangeQuery::any(2).with(0, 50, std::nullopt);  // leaf at 5: no
   net.send(parent, leaf, std::move(q));
-  sim.run();
+  net.run_until(net.now() + 600 * kSecond);
   auto& sink = *net.find_as<SinkNode>(parent);
   ASSERT_EQ(sink.replies.size(), 1u);
   EXPECT_TRUE(sink.replies[0].second.matching.empty());
@@ -87,9 +84,9 @@ TEST_F(ProtocolMessagesTest, DuplicateQueryAnsweredIdempotently) {
   NodeId parent = net.add_node(std::make_unique<SinkNode>());
   NodeId leaf = add_node({5, 5});
   net.send(parent, leaf, make_query(80, parent, -1, 0));
-  sim.run();
+  net.run_until(net.now() + 600 * kSecond);
   net.send(parent, leaf, make_query(80, parent, -1, 0));  // retransmission
-  sim.run();
+  net.run_until(net.now() + 600 * kSecond);
   auto& sink = *net.find_as<SinkNode>(parent);
   ASSERT_EQ(sink.replies.size(), 2u);
   // The duplicate answer must not re-add the leaf (empty reply).
@@ -103,7 +100,7 @@ TEST_F(ProtocolMessagesTest, UnknownReplyIgnored) {
   r->id = 999;  // never seen
   r->matching.push_back({kInvalidNode, {1, 2}});
   net.send(a, a, std::move(r));
-  sim.run();
+  net.run_until(net.now() + 600 * kSecond);
   EXPECT_EQ(node(a).active_queries(), 0u);  // no state created
 }
 
@@ -112,7 +109,7 @@ TEST_F(ProtocolMessagesTest, UnknownProgressIgnored) {
   auto p = std::make_unique<ProgressMsg>();
   p->id = 31337;
   net.send(a, a, std::move(p));
-  sim.run();
+  net.run_until(net.now() + 600 * kSecond);
   EXPECT_EQ(node(a).active_queries(), 0u);
 }
 
@@ -131,12 +128,12 @@ TEST_F(ProtocolMessagesTest, KeepalivesFlowWhileBranchActive) {
   // Query covering the whole space: child matches, then forwards toward the
   // dead node's subcell and waits.
   net.send(parent_sink, child, make_query(81, parent_sink, 3, 0b11));
-  sim.run_until(3 * kSecond);
+  net.run_until(3 * kSecond);
   auto& sink = *net.find_as<SinkNode>(parent_sink);
   EXPECT_GE(sink.progress_count, 1);  // heartbeats arrived before any reply
   EXPECT_TRUE(sink.replies.empty());
   // After the child's timeout fires, the branch resolves and a reply lands.
-  sim.run_until(20 * kSecond);
+  net.run_until(20 * kSecond);
   EXPECT_EQ(sink.replies.size(), 1u);
 }
 
@@ -165,7 +162,7 @@ TEST_F(ProtocolMessagesTest, ProgressRefreshesParentDeadline) {
                    completed = true;
                    matches = m.size();
                  });
-  sim.run_until(60 * kSecond);
+  net.run_until(60 * kSecond);
   EXPECT_TRUE(completed);
   // Both a and b must be in the result: had A falsely timed B out, B's
   // subtree (including B itself) would have been dropped.
@@ -173,7 +170,7 @@ TEST_F(ProtocolMessagesTest, ProgressRefreshesParentDeadline) {
 }
 
 TEST_F(ProtocolMessagesTest, SigmaZeroForbidden) {
-  NodeId a = add_node({5, 5});
+  [[maybe_unused]] NodeId a = add_node({5, 5});
 #ifdef NDEBUG
   GTEST_SKIP() << "assertion checks compiled out in release";
 #else
@@ -188,7 +185,7 @@ TEST_F(ProtocolMessagesTest, QueryStateCleanedAfterCompletion) {
   node(b).routing().offer(node(a).descriptor());
   bool done = false;
   node(a).submit(RangeQuery::any(2), kNoSigma, [&](const auto&) { done = true; });
-  sim.run();
+  net.run_until(net.now() + 600 * kSecond);
   EXPECT_TRUE(done);
   EXPECT_EQ(node(a).active_queries(), 0u);
   EXPECT_EQ(node(b).active_queries(), 0u);

@@ -8,7 +8,7 @@
 
 #include <set>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 #include "workload/machine_space.h"
 #include "workload/query_workload.h"

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/selection_node.h"
+#include "runtime/loopback.h"
+
 namespace ares {
 namespace {
 
@@ -152,4 +155,58 @@ TEST_F(RoutingTableTest, AllSlotsAddressable) {
 }
 
 }  // namespace
+
+/// The table refreshed through live gossip on the loopback runtime: two
+/// SelectionNodes (full protocol stack, gossip on) discover each other and
+/// install the N(l,k) links — no Simulator/Network pair involved.
+TEST_F(RoutingTableTest, GossipOverLoopbackPopulatesSlots) {
+  LoopbackRuntime loop(11);
+  Rng seeder(5);
+  ProtocolConfig cfg;  // gossip on, 10 s period
+
+  NodeId a = loop.add_node(std::make_unique<SelectionNode>(
+      space, Point{5, 5}, cfg, std::vector<PeerDescriptor>{}, seeder.fork()));
+  // B lands in the opposite half along dimension 0 => slot N(3,0) of A.
+  NodeId b = loop.add_node(std::make_unique<SelectionNode>(
+      space, Point{75, 5}, cfg,
+      std::vector<PeerDescriptor>{make_descriptor(space, a, {5, 5})},
+      seeder.fork()));
+
+  loop.run_until(120 * kSecond);  // ~12 gossip cycles
+
+  // B knew A from bootstrap; A must have learned B purely through gossip.
+  auto& art = loop.find_as<SelectionNode>(a)->routing();
+  auto& brt = loop.find_as<SelectionNode>(b)->routing();
+  ASSERT_NE(art.neighbor(3, 0), nullptr);
+  EXPECT_EQ(art.neighbor(3, 0)->id, b);
+  ASSERT_NE(brt.neighbor(3, 0), nullptr);
+  EXPECT_EQ(brt.neighbor(3, 0)->id, a);
+  // The gossip seam metered the cycles per node.
+  EXPECT_GE(loop.metrics().node_value(a, "gossip.cycles"), 10u);
+}
+
+/// Aging keeps running on the loopback runtime: once the partner crashes,
+/// its entry must wash out of the routing table within rt_max_age cycles.
+TEST_F(RoutingTableTest, DeadPeerAgesOutOverLoopback) {
+  LoopbackRuntime loop(13);
+  Rng seeder(5);
+  ProtocolConfig cfg;
+  cfg.rt_max_age = 5;
+  cfg.vicinity.max_age = 5;
+
+  NodeId a = loop.add_node(std::make_unique<SelectionNode>(
+      space, Point{5, 5}, cfg, std::vector<PeerDescriptor>{}, seeder.fork()));
+  NodeId b = loop.add_node(std::make_unique<SelectionNode>(
+      space, Point{75, 5}, cfg,
+      std::vector<PeerDescriptor>{make_descriptor(space, a, {5, 5})},
+      seeder.fork()));
+  loop.run_until(60 * kSecond);
+  auto& art = loop.find_as<SelectionNode>(a)->routing();
+  ASSERT_NE(art.neighbor(3, 0), nullptr);
+
+  loop.remove_node(b, false);
+  loop.advance(200 * kSecond);  // >> rt_max_age cycles
+  EXPECT_EQ(art.neighbor(3, 0), nullptr);
+}
+
 }  // namespace ares

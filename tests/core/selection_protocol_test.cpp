@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <set>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 
 namespace ares {

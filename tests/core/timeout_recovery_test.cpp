@@ -2,7 +2,7 @@
 
 #include <set>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 
 namespace ares {

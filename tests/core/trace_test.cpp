@@ -4,7 +4,7 @@
 
 #include <set>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 
 namespace ares {

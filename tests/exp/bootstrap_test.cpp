@@ -1,8 +1,8 @@
-#include "core/bootstrap.h"
+#include "exp/bootstrap.h"
 
 #include <gtest/gtest.h>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 
 namespace ares {

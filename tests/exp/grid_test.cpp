@@ -1,4 +1,4 @@
-#include "core/grid.h"
+#include "exp/grid.h"
 
 #include <gtest/gtest.h>
 

@@ -2,15 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <queue>
 #include <set>
 
-#include "sim/network.h"
+#include "runtime/loopback.h"
 
 namespace ares {
 namespace {
 
-/// Minimal sim node hosting only the CYCLON layer.
+/// Minimal runtime node hosting only the CYCLON layer.
 class CyclonHost final : public Node {
  public:
   CyclonHost(CyclonConfig cfg, Rng rng, std::vector<PeerDescriptor> bootstrap)
@@ -43,9 +44,11 @@ class CyclonHost final : public Node {
   std::unique_ptr<Cyclon> cyclon_;
 };
 
-class CyclonSimTest : public ::testing::Test {
+/// The shuffle protocol driven end-to-end on the loopback runtime: no
+/// Simulator/Network pair, zero-latency delivery, manually advanced clock.
+class CyclonLoopbackTest : public ::testing::Test {
  protected:
-  CyclonSimTest() : sim(42), net(sim, std::make_unique<ConstantLatency>(50 * kMillisecond)) {}
+  CyclonLoopbackTest() : net(42) {}
 
   /// Builds a line topology: node i bootstraps knowing node i-1 only.
   void build(std::size_t n, CyclonConfig cfg = {}) {
@@ -76,34 +79,33 @@ class CyclonSimTest : public ::testing::Test {
     return seen.size();
   }
 
-  Simulator sim;
-  Network net;
+  LoopbackRuntime net;
   std::vector<NodeId> ids;
 };
 
-TEST_F(CyclonSimTest, ViewsFillUp) {
+TEST_F(CyclonLoopbackTest, ViewsFillUp) {
   build(50);
-  sim.run_until(300 * kSecond);  // 30 cycles
+  net.run_until(300 * kSecond);  // 30 cycles
   for (NodeId id : ids)
     EXPECT_GE(cyclon(id).view().size(), 15u) << "node " << id;
 }
 
-TEST_F(CyclonSimTest, NoSelfReferences) {
+TEST_F(CyclonLoopbackTest, NoSelfReferences) {
   build(30);
-  sim.run_until(300 * kSecond);
+  net.run_until(300 * kSecond);
   for (NodeId id : ids) EXPECT_FALSE(cyclon(id).view().contains(id));
 }
 
-TEST_F(CyclonSimTest, ConnectivityFromLineBootstrap) {
+TEST_F(CyclonLoopbackTest, ConnectivityFromLineBootstrap) {
   build(60);
-  sim.run_until(300 * kSecond);
+  net.run_until(300 * kSecond);
   EXPECT_EQ(reachable(ids.front()), 60u);
   EXPECT_EQ(reachable(ids.back()), 60u);
 }
 
-TEST_F(CyclonSimTest, RandomizesBeyondBootstrapNeighbors) {
+TEST_F(CyclonLoopbackTest, RandomizesBeyondBootstrapNeighbors) {
   build(60);
-  sim.run_until(600 * kSecond);
+  net.run_until(600 * kSecond);
   // After mixing, a node's view should NOT be dominated by its line
   // neighbors: count view entries within +/-2 of its own index.
   std::size_t near_total = 0, entries_total = 0;
@@ -119,24 +121,24 @@ TEST_F(CyclonSimTest, RandomizesBeyondBootstrapNeighbors) {
   EXPECT_LT(static_cast<double>(near_total) / static_cast<double>(entries_total), 0.3);
 }
 
-TEST_F(CyclonSimTest, DeadNodesWashOut) {
+TEST_F(CyclonLoopbackTest, DeadNodesWashOut) {
   build(40);
-  sim.run_until(300 * kSecond);
+  net.run_until(300 * kSecond);
   NodeId victim = ids[5];
   net.remove_node(victim, false);
-  sim.run_until(sim.now() + 600 * kSecond);  // ~60 more cycles
+  net.advance( 600 * kSecond);  // ~60 more cycles
   for (NodeId id : ids) {
     if (!net.alive(id)) continue;
     EXPECT_FALSE(cyclon(id).view().contains(victim)) << "node " << id;
   }
 }
 
-TEST_F(CyclonSimTest, SurvivesMassPartialFailure) {
+TEST_F(CyclonLoopbackTest, SurvivesMassPartialFailure) {
   build(60);
-  sim.run_until(300 * kSecond);
+  net.run_until(300 * kSecond);
   // Kill half the nodes at once.
   for (std::size_t i = 0; i < 30; ++i) net.remove_node(ids[i * 2], false);
-  sim.run_until(sim.now() + 600 * kSecond);
+  net.advance( 600 * kSecond);
   // The survivors' overlay must remain connected.
   NodeId root = kInvalidNode;
   for (NodeId id : ids)

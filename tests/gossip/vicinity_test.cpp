@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "runtime/loopback.h"
+
 namespace ares {
 namespace {
 
@@ -137,6 +139,72 @@ TEST_F(VicinityUnit, TickUsesCyclonForExploration) {
   v.tick(cyclon_view);  // empty vicinity view: must fall back to cyclon
   ASSERT_EQ(outbox.size(), 1u);
   EXPECT_EQ(outbox[0].first, 42u);
+}
+
+/// Minimal runtime node hosting only the Vicinity layer (empty CYCLON
+/// underlay: exchanges are driven purely by the vicinity view itself).
+class VicinityHost final : public Node {
+ public:
+  VicinityHost(const AttributeSpace& space, const Cells& cells, Point values,
+               Rng rng, std::vector<PeerDescriptor> bootstrap)
+      : space_(space),
+        cells_(cells),
+        values_(std::move(values)),
+        rng_(rng),
+        bootstrap_(std::move(bootstrap)),
+        cyclon_view_(8) {}
+
+  void start() override {
+    vicinity_ = std::make_unique<Vicinity>(
+        make_descriptor(space_, id(), values_), cells_, VicinityConfig{}, rng_,
+        [this](NodeId to, MessagePtr m) { send(to, std::move(m)); });
+    vicinity_->seed(bootstrap_, cyclon_view_);
+    after(static_cast<SimTime>(rng_.below(10 * kSecond)), [this] { tick(); });
+  }
+
+  void on_message(NodeId from, const Message& m) override {
+    vicinity_->handle(from, m, cyclon_view_);
+  }
+
+  const Vicinity& vicinity() const { return *vicinity_; }
+
+ private:
+  void tick() {
+    vicinity_->tick(cyclon_view_);
+    after(10 * kSecond, [this] { tick(); });
+  }
+
+  const AttributeSpace& space_;
+  const Cells& cells_;
+  Point values_;
+  Rng rng_;
+  std::vector<PeerDescriptor> bootstrap_;
+  View cyclon_view_;
+  std::unique_ptr<Vicinity> vicinity_;
+};
+
+/// The selective layer end-to-end on the loopback runtime: descriptors must
+/// propagate transitively (A learns C through B) without any Simulator.
+TEST_F(VicinityUnit, LoopbackExchangePropagatesDescriptorsTransitively) {
+  LoopbackRuntime rt(7);
+  Rng seeder(3);
+  // C knows nobody; B bootstraps knowing C; A bootstraps knowing B.
+  NodeId c = rt.add_node(std::make_unique<VicinityHost>(
+      space, cells, Point{40, 40}, seeder.fork(), std::vector<PeerDescriptor>{}));
+  NodeId b = rt.add_node(std::make_unique<VicinityHost>(
+      space, cells, Point{75, 75}, seeder.fork(),
+      std::vector<PeerDescriptor>{make_descriptor(space, c, {40, 40})}));
+  NodeId a = rt.add_node(std::make_unique<VicinityHost>(
+      space, cells, Point{5, 5}, seeder.fork(),
+      std::vector<PeerDescriptor>{make_descriptor(space, b, {75, 75})}));
+
+  rt.run_until(300 * kSecond);  // ~30 gossip cycles
+
+  const auto& av = rt.find_as<VicinityHost>(a)->vicinity().view();
+  EXPECT_TRUE(av.contains(b));
+  EXPECT_TRUE(av.contains(c)) << "A never learned C through B";
+  // Gossip is symmetric: B must have learned A from A's own requests.
+  EXPECT_TRUE(rt.find_as<VicinityHost>(b)->vicinity().view().contains(a));
 }
 
 TEST_F(VicinityUnit, IgnoresForeignMessages) {

@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 #include "workload/machine_space.h"
 

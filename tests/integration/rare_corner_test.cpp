@@ -15,7 +15,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 #include "workload/distributions.h"
 
 namespace ares {

@@ -1,0 +1,59 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+TEST(Metrics, CountersAccumulatePerNode) {
+  Metrics m;
+  m.inc(1, "query.timeouts");
+  m.inc(1, "query.timeouts", 2);
+  m.inc(2, "query.timeouts");
+  EXPECT_EQ(m.node_value(1, "query.timeouts"), 3u);
+  EXPECT_EQ(m.node_value(2, "query.timeouts"), 1u);
+  EXPECT_EQ(m.total("query.timeouts"), 4u);
+}
+
+TEST(Metrics, UnknownNamesReadZero) {
+  Metrics m;
+  EXPECT_EQ(m.total("never.bumped"), 0u);
+  EXPECT_EQ(m.node_value(9, "never.bumped"), 0u);
+  EXPECT_EQ(m.distribution("never.observed"), nullptr);
+  EXPECT_TRUE(m.by_node("never.bumped").empty());
+}
+
+TEST(Metrics, ByNodeSortsAscending) {
+  Metrics m;
+  m.inc(5, "gossip.cycles");
+  m.inc(1, "gossip.cycles", 3);
+  m.inc(3, "gossip.cycles", 2);
+  auto rows = m.by_node("gossip.cycles");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::pair<NodeId, std::uint64_t>{1, 3}));
+  EXPECT_EQ(rows[1], (std::pair<NodeId, std::uint64_t>{3, 2}));
+  EXPECT_EQ(rows[2], (std::pair<NodeId, std::uint64_t>{5, 1}));
+}
+
+TEST(Metrics, DistributionsMergeObservations) {
+  Metrics m;
+  m.observe("query.result_size", 2.0);
+  m.observe("query.result_size", 4.0);
+  const Summary* s = m.distribution("query.result_size");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count(), 2u);
+  EXPECT_DOUBLE_EQ(s->mean(), 3.0);
+}
+
+TEST(Metrics, CounterNamesSortedAndClearable) {
+  Metrics m;
+  m.inc(1, "b.counter");
+  m.inc(1, "a.counter");
+  EXPECT_EQ(m.counter_names(), (std::vector<std::string>{"a.counter", "b.counter"}));
+  m.clear();
+  EXPECT_TRUE(m.counter_names().empty());
+  EXPECT_EQ(m.total("a.counter"), 0u);
+}
+
+}  // namespace
+}  // namespace ares

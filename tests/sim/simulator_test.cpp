@@ -64,6 +64,20 @@ TEST(Simulator, StepReturnsFalseWhenIdle) {
   EXPECT_FALSE(sim.step());
 }
 
+TEST(Simulator, LateEventsCountedWhenClampedOtherwiseNot) {
+  Simulator sim;
+  EXPECT_EQ(sim.late_events(), 0u);
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(1, [] {});   // in the past: clamped and counted
+    sim.schedule_at(100, [] {}); // exactly now: on time
+    sim.schedule_at(200, [] {}); // future: on time
+    sim.schedule_after(-5, [] {}); // negative delay clamps pre-call: on time
+  });
+  sim.run();
+  EXPECT_EQ(sim.late_events(), 1u);
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
 TEST(Simulator, ExecutedEventCount) {
   Simulator sim;
   for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});

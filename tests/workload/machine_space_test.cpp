@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/grid.h"
+#include "exp/grid.h"
 
 namespace ares {
 namespace {
