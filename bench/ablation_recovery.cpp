@@ -5,6 +5,9 @@
 ///   - timeout:            T(q) fires, branch abandoned, DFS continues
 ///   - timeout+alternates: failed subcell retried through a backup link
 /// Metrics: delivery, query completion, duplicate visits.
+///
+/// The six (mode, kill-fraction) cells are independent trials run on
+/// ARES_THREADS workers.
 
 #include "bench_common.h"
 
@@ -13,14 +16,21 @@ namespace {
 using namespace ares;
 using namespace ares::bench;
 
-struct Mode {
+struct TrialConfig {
   const char* name;
   SimTime timeout;
   bool retry;
+  double kill_fraction;
 };
 
-void run_mode(const Mode& mode, double kill_fraction, const Setup& base,
-              exp::Table& t) {
+struct TrialResult {
+  double mean_delivery = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t dups = 0;
+  SimTotals totals;
+};
+
+TrialResult run_mode(const TrialConfig& mode, const Setup& base) {
   Grid::Config cfg{.space = AttributeSpace::uniform(base.dims, base.levels, 0, 80)};
   cfg.nodes = base.n;
   cfg.oracle = true;
@@ -37,11 +47,11 @@ void run_mode(const Mode& mode, double kill_fraction, const Setup& base,
   // Keep some origins alive for querying.
   auto ids = grid.node_ids();
   for (std::size_t i = 0; i < 20; ++i) churn.protect(ids[i]);
-  churn.fail_fraction(kill_fraction);
+  churn.fail_fraction(mode.kill_fraction);
 
   Rng rng(base.seed + 3);
   Summary delivery;
-  std::uint64_t completed = 0, dups = 0;
+  TrialResult r;
   const std::size_t reps = base.queries;
   for (std::size_t i = 0; i < reps; ++i) {
     auto q = best_case_query(grid.space(), base.selectivity, rng);
@@ -52,16 +62,12 @@ void run_mode(const Mode& mode, double kill_fraction, const Setup& base,
     const auto* pq = grid.stats().find(out.id);
     if (pq == nullptr) continue;
     delivery.add(static_cast<double>(pq->hits) / static_cast<double>(truth));
-    dups += pq->duplicates;
-    if (out.completed) ++completed;
+    r.dups += pq->duplicates;
+    if (out.completed) ++r.completed;
   }
-  t.row({mode.name, exp::fmt(100 * kill_fraction, 0) + "%",
-         exp::fmt(delivery.empty() ? 0 : delivery.mean(), 3),
-         exp::fmt(100.0 * static_cast<double>(completed) /
-                      static_cast<double>(std::max<std::size_t>(1, reps)),
-                  1) +
-             "%",
-         std::to_string(dups)});
+  r.mean_delivery = delivery.empty() ? 0 : delivery.mean();
+  r.totals = totals_of(grid);
+  return r;
 }
 
 }  // namespace
@@ -76,12 +82,43 @@ int main() {
   Setup s = read_setup(1500, /*default_queries=*/20);
   print_setup(s);
 
-  exp::Table t({"mode", "killed", "delivery", "completed", "duplicate visits"});
+  std::vector<TrialConfig> configs;
   for (double kill : {0.1, 0.3}) {
-    run_mode({"drop (no timeout)", 0, false}, kill, s, t);
-    run_mode({"timeout only", 2 * kSecond, false}, kill, s, t);
-    run_mode({"timeout + alternates", 2 * kSecond, true}, kill, s, t);
+    configs.push_back({"drop (no timeout)", 0, false, kill});
+    configs.push_back({"timeout only", 2 * kSecond, false, kill});
+    configs.push_back({"timeout + alternates", 2 * kSecond, true, kill});
+  }
+
+  const std::size_t threads = exp::resolve_threads(configs.size());
+  exp::BenchReport report("ablation_recovery");
+  report.set_threads(threads);
+
+  auto results = exp::run_trials(
+      configs,
+      [&s](const TrialConfig& c, std::size_t) { return run_mode(c, s); },
+      threads);
+
+  exp::Table t({"mode", "killed", "delivery", "completed", "duplicate visits"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const TrialConfig& c = configs[i];
+    const TrialResult& r = results[i];
+    const double completed_pct =
+        100.0 * static_cast<double>(r.completed) /
+        static_cast<double>(std::max<std::size_t>(1, s.queries));
+    t.row({c.name, exp::fmt(100 * c.kill_fraction, 0) + "%",
+           exp::fmt(r.mean_delivery, 3), exp::fmt(completed_pct, 1) + "%",
+           std::to_string(r.dups)});
+    report.point()
+        .str("mode", c.name)
+        .num("kill_fraction", c.kill_fraction)
+        .num("delivery", r.mean_delivery)
+        .num("completed_pct", completed_pct)
+        .num("duplicates", r.dups)
+        .num("sim_events", r.totals.events)
+        .num("late_events", r.totals.late);
+    report.add_events(r.totals.events, r.totals.late);
   }
   t.print();
+  report.write();
   return 0;
 }

@@ -23,6 +23,7 @@ struct Outcome {
   std::uint64_t messages = 0;
   double delivery = 0.0;
   std::string note;
+  SimTotals totals;
 };
 
 Outcome run_ours(const std::vector<Point>& profiles, const AttributeSpace& space,
@@ -47,6 +48,7 @@ Outcome run_ours(const std::vector<Point>& profiles, const AttributeSpace& space
                           : static_cast<double>(out.matches.size()) /
                                 static_cast<double>(truth);
   o.note = "exact range query, any attribute set";
+  o.totals = totals_of(grid);
   return o;
 }
 
@@ -79,6 +81,7 @@ Outcome run_flooding(const std::vector<Point>& profiles, int dims,
                           : static_cast<double>(hits.size()) /
                                 static_cast<double>(truth);
   o.note = "cost ~ N x degree, independent of selectivity";
+  o.totals = totals_of(sim);
   return o;
 }
 
@@ -121,6 +124,7 @@ Outcome run_slicing(const std::vector<Point>& profiles, double fraction,
            "queries (" +
            std::to_string(claimed) + " claimed / " + std::to_string(truth) +
            " true)";
+  o.totals = totals_of(sim);
   return o;
 }
 
@@ -151,17 +155,34 @@ int main() {
   AttrValue threshold =
       vals[static_cast<std::size_t>((1.0 - f) * static_cast<double>(vals.size()))];
 
-  auto ours = run_ours(profiles, space, threshold, s.seed);
-  auto flood = run_flooding(profiles, 5, threshold, s.seed + 1);
-  auto slice = run_slicing(profiles, f, s.seed + 2);
+  // The three systems are independent jobs run on ARES_THREADS workers
+  // (they only read the shared profiles vector).
+  std::vector<std::function<Outcome()>> jobs{
+      [&] { return run_ours(profiles, space, threshold, s.seed); },
+      [&] { return run_flooding(profiles, 5, threshold, s.seed + 1); },
+      [&] { return run_slicing(profiles, f, s.seed + 2); },
+  };
+  const std::size_t threads = exp::resolve_threads(jobs.size());
+  exp::BenchReport report("baseline_comparison");
+  report.set_threads(threads);
+  auto results = exp::run_jobs<Outcome>(jobs, threads);
 
+  const char* names[] = {"cell overlay (ours)", "flooding (Zorilla-like)",
+                         "ordered slicing [26]"};
   exp::Table t({"system", "messages", "delivery/recall", "notes"});
-  t.row({"cell overlay (ours)", std::to_string(ours.messages),
-         exp::fmt(ours.delivery, 3), ours.note});
-  t.row({"flooding (Zorilla-like)", std::to_string(flood.messages),
-         exp::fmt(flood.delivery, 3), flood.note});
-  t.row({"ordered slicing [26]", std::to_string(slice.messages),
-         exp::fmt(slice.delivery, 3), slice.note});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Outcome& o = results[i];
+    t.row({names[i], std::to_string(o.messages), exp::fmt(o.delivery, 3),
+           o.note});
+    report.point()
+        .str("system", names[i])
+        .num("messages", o.messages)
+        .num("delivery", o.delivery)
+        .num("sim_events", o.totals.events)
+        .num("late_events", o.totals.late);
+    report.add_events(o.totals.events, o.totals.late);
+  }
   t.print();
+  report.write();
   return 0;
 }

@@ -12,8 +12,10 @@
 #include <string>
 
 #include "common/options.h"
-#include "exp/grid.h"
+#include "exp/bench_json.h"
 #include "exp/experiment.h"
+#include "exp/grid.h"
+#include "exp/parallel.h"
 #include "exp/reporting.h"
 #include "workload/churn_schedule.h"
 #include "workload/distributions.h"
@@ -48,6 +50,21 @@ inline Setup read_setup(std::size_t default_n, std::size_t default_queries = 50)
 
 inline std::uint32_t sigma_of(const Setup& s) {
   return s.sigma == 0 ? kNoSigma : static_cast<std::uint32_t>(s.sigma);
+}
+
+/// Executed/late simulator-event totals of one trial, read once at trial end
+/// and handed back to the main thread for the BENCH_<name>.json report.
+struct SimTotals {
+  std::uint64_t events = 0;
+  std::uint64_t late = 0;
+};
+
+inline SimTotals totals_of(Grid& g) {
+  return {g.sim().executed_events(), g.sim().late_events()};
+}
+
+inline SimTotals totals_of(Simulator& sim) {
+  return {sim.executed_events(), sim.late_events()};
 }
 
 inline void print_setup(const Setup& s) {

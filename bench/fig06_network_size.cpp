@@ -6,9 +6,13 @@
 /// satisfies the threshold before the query iterates all overlapping cells.
 ///
 /// Default sizes stop at 30,000 to keep the run short; set
-/// ARES_MAX_N=100000 for the paper-scale point.
+/// ARES_MAX_N=100000 for the paper-scale point. Sweep points run in
+/// parallel (ARES_THREADS workers); output is identical at any thread
+/// count.
 
 #include "bench_common.h"
+#include "exp/bench_json.h"
+#include "exp/parallel.h"
 
 int main() {
   using namespace ares;
@@ -26,18 +30,39 @@ int main() {
   if (max_n >= 100000) sizes.push_back(100000);
   while (!sizes.empty() && sizes.back() > max_n) sizes.pop_back();
 
+  const std::size_t threads = exp::resolve_threads(sizes.size());
+  exp::BenchReport report("fig06_network_size");
+  report.set_threads(threads);
+
+  auto results = exp::run_trials(
+      sizes,
+      [&s](std::size_t n, std::size_t trial) {
+        Setup cur = s;
+        cur.n = n;
+        auto grid = make_oracle_grid(cur, "wan");
+        Rng rng(exp::trial_seed(cur.seed, trial));
+        auto queries = default_queries(*grid, cur, rng);
+        return exp::run_queries(*grid, queries, sigma_of(cur), 1);
+      },
+      threads);
+
   exp::Table t({"N", "overhead (msgs/query)", "delivery", "queries"});
-  for (std::size_t n : sizes) {
-    Setup cur = s;
-    cur.n = n;
-    auto grid = make_oracle_grid(cur, "wan");
-    Rng rng(cur.seed + n);
-    auto queries = default_queries(*grid, cur, rng);
-    auto stats = exp::run_queries(*grid, queries, sigma_of(cur), 1);
-    t.row({std::to_string(n), exp::fmt(stats.mean_overhead),
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& stats = results[i];
+    t.row({std::to_string(sizes[i]), exp::fmt(stats.mean_overhead),
            exp::fmt(stats.mean_delivery), std::to_string(stats.queries)});
+    report.point()
+        .num("n", static_cast<std::uint64_t>(sizes[i]))
+        .num("overhead", stats.mean_overhead)
+        .num("delivery", stats.mean_delivery)
+        .num("queries", stats.queries)
+        .num("sim_events", stats.sim_events)
+        .num("late_events", stats.late_events);
+    report.add_events(stats.sim_events, stats.late_events);
   }
   t.print();
+  std::cout << "late events: " << report.late_events() << "\n";
   exp::maybe_export_csv(t, "fig06_network_size");
+  report.write();
   return 0;
 }

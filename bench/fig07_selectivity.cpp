@@ -7,58 +7,39 @@
 /// sigma=50 even worst-case queries stay cheap.
 /// 7(b) DAS (N=1,000): same shape — worst-case overhead is set by the
 /// topology (dimensions x nesting depth), not by N.
+///
+/// Every (panel, f) point is an independent trial with its own grid, so the
+/// sweep runs on ARES_THREADS workers; rows are buffered and printed in
+/// order by the main thread.
 
 #include "bench_common.h"
 
 namespace {
 
-void run_panel(const char* title, std::size_t n, const std::string& latency,
-               bool with_sigma_series, std::uint64_t seed) {
-  using namespace ares;
-  using namespace ares::bench;
+using namespace ares;
+using namespace ares::bench;
 
-  std::cout << "-- " << title << " (N=" << n << ") --\n";
-  std::vector<double> fs{0.03, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0};
-  const std::size_t reps = option_u64("QUERIES", 10);
+struct PointConfig {
+  int panel;  // index into the panels table below
+  double f;
+  std::uint64_t grid_seed;
+};
 
-  std::vector<std::string> headers{"f", "matches", "best case (sigma=inf)",
-                                   "worst case (sigma=inf)"};
-  if (with_sigma_series) headers.push_back("worst case (sigma=50)");
-  exp::Table t(headers);
+struct PointResult {
+  exp::QueryRunStats best_inf, worst_inf, worst_sigma;
+  SimTotals totals;
+};
 
-  Setup s;
-  s.n = n;
-  s.seed = seed;
-  auto grid = make_oracle_grid(s, latency);
-  Rng rng(seed);
-
-  for (double f : fs) {
-    std::vector<RangeQuery> best, worst;
-    for (std::size_t i = 0; i < reps; ++i) {
-      best.push_back(best_case_query(grid->space(), f, rng));
-      worst.push_back(worst_case_query(grid->space(), f));
-    }
-    auto best_inf = exp::run_queries(*grid, best, kNoSigma, 1);
-    auto worst_inf = exp::run_queries(*grid, worst, kNoSigma, 1);
-    std::vector<std::string> row{exp::fmt(f, 4),
-                                 exp::fmt(worst_inf.mean_matches, 0),
-                                 exp::fmt(best_inf.mean_overhead),
-                                 exp::fmt(worst_inf.mean_overhead)};
-    if (with_sigma_series) {
-      auto worst_sigma = exp::run_queries(*grid, worst, 50, 1);
-      row.push_back(exp::fmt(worst_sigma.mean_overhead));
-    }
-    t.row(std::move(row));
-  }
-  t.print();
-}
+struct Panel {
+  const char* title;
+  std::size_t n;
+  const char* latency;
+  bool with_sigma_series;
+};
 
 }  // namespace
 
 int main() {
-  using namespace ares;
-  using namespace ares::bench;
-
   exp::print_experiment_header(
       "Figure 7", "routing overhead vs. selectivity (best/worst case)",
       "best case ~0 everywhere; worst case peaks at low-mid f (e.g. ~257 msgs "
@@ -68,9 +49,75 @@ int main() {
 
   Setup s = read_setup(20000);
   print_setup(s);
-  run_panel("(a) PeerSim setup, WAN latency", s.n, "wan",
-            /*with_sigma_series=*/true, s.seed);
-  run_panel("(b) DAS setup, LAN latency", option_u64("DAS_N", 1000), "lan",
-            /*with_sigma_series=*/false, s.seed + 1);
+
+  const Panel panels[] = {
+      {"(a) PeerSim setup, WAN latency", s.n, "wan", true},
+      {"(b) DAS setup, LAN latency", option_u64("DAS_N", 1000), "lan", false},
+  };
+  const std::vector<double> fs{0.03, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0};
+  const std::size_t reps = option_u64("QUERIES", 10);
+
+  std::vector<PointConfig> configs;
+  for (int p = 0; p < 2; ++p)
+    for (double f : fs)
+      configs.push_back({p, f, s.seed + static_cast<std::uint64_t>(p)});
+
+  const std::size_t threads = exp::resolve_threads(configs.size());
+  exp::BenchReport report("fig07_selectivity");
+  report.set_threads(threads);
+
+  auto results = exp::run_trials(
+      configs,
+      [&](const PointConfig& c, std::size_t trial) {
+        const Panel& panel = panels[c.panel];
+        Setup cur;
+        cur.n = panel.n;
+        cur.seed = c.grid_seed;
+        auto grid = make_oracle_grid(cur, panel.latency);
+        Rng rng(exp::trial_seed(c.grid_seed, trial));
+        std::vector<RangeQuery> best, worst;
+        for (std::size_t i = 0; i < reps; ++i) {
+          best.push_back(best_case_query(grid->space(), c.f, rng));
+          worst.push_back(worst_case_query(grid->space(), c.f));
+        }
+        PointResult r;
+        r.best_inf = exp::run_queries(*grid, best, kNoSigma, 1);
+        r.worst_inf = exp::run_queries(*grid, worst, kNoSigma, 1);
+        if (panel.with_sigma_series)
+          r.worst_sigma = exp::run_queries(*grid, worst, 50, 1);
+        r.totals = totals_of(*grid);
+        return r;
+      },
+      threads);
+
+  std::size_t i = 0;
+  for (int p = 0; p < 2; ++p) {
+    const Panel& panel = panels[p];
+    std::cout << "-- " << panel.title << " (N=" << panel.n << ") --\n";
+    std::vector<std::string> headers{"f", "matches", "best case (sigma=inf)",
+                                     "worst case (sigma=inf)"};
+    if (panel.with_sigma_series) headers.push_back("worst case (sigma=50)");
+    exp::Table t(headers);
+    for (double f : fs) {
+      const PointResult& r = results[i++];
+      std::vector<std::string> row{exp::fmt(f, 4),
+                                   exp::fmt(r.worst_inf.mean_matches, 0),
+                                   exp::fmt(r.best_inf.mean_overhead),
+                                   exp::fmt(r.worst_inf.mean_overhead)};
+      if (panel.with_sigma_series)
+        row.push_back(exp::fmt(r.worst_sigma.mean_overhead));
+      t.row(std::move(row));
+      report.point()
+          .str("panel", panel.title)
+          .num("f", f)
+          .num("best_overhead", r.best_inf.mean_overhead)
+          .num("worst_overhead", r.worst_inf.mean_overhead)
+          .num("sim_events", r.totals.events)
+          .num("late_events", r.totals.late);
+      report.add_events(r.totals.events, r.totals.late);
+    }
+    t.print();
+  }
+  report.write();
   return 0;
 }

@@ -9,6 +9,9 @@
 /// attributes, 50 queries, f=0.125): delegation produces a heavy tail —
 /// a few registry nodes process a large share of all messages — while our
 /// protocol sends relatively few messages to all nodes.
+///
+/// The four measurements (two placements, ours-vs-DHT) are independent jobs
+/// run on ARES_THREADS workers; all output is emitted in order afterwards.
 
 #include "bench_common.h"
 #include "dht/sword.h"
@@ -18,8 +21,15 @@ namespace {
 using namespace ares;
 using namespace ares::bench;
 
-void run_ours_panel(const char* dist, std::size_t n, std::uint64_t seed,
-                    exp::Table& t) {
+/// One parallel job's result: panel (a) jobs fill `hist_row`, panel (b)
+/// jobs fill `received`.
+struct JobOut {
+  std::vector<std::string> hist_row;
+  std::vector<std::uint64_t> received;
+  SimTotals totals;
+};
+
+JobOut run_ours_panel(const char* dist, std::size_t n, std::uint64_t seed) {
   Setup s;
   s.n = n;
   s.seed = seed;
@@ -30,15 +40,13 @@ void run_ours_panel(const char* dist, std::size_t n, std::uint64_t seed,
   const std::size_t origins = option_u64("ORIGINS", 25);
   auto load = exp::measure_load(*grid, queries, 50, origins);
   auto h = exp::percent_of_max_histogram(load.sent);
-  std::vector<std::string> row{dist};
+  JobOut out;
+  out.hist_row.push_back(dist);
   for (std::size_t b = 0; b < h.bucket_count(); ++b)
-    row.push_back(exp::fmt(100.0 * h.fraction(b), 1));
-  t.row(std::move(row));
+    out.hist_row.push_back(exp::fmt(100.0 * h.fraction(b), 1));
+  out.totals = totals_of(*grid);
+  return out;
 }
-
-struct DhtLoad {
-  std::vector<std::uint64_t> received;
-};
 
 /// Realistic resource-selection queries: "give me nodes with at least X of
 /// attribute j", j cycling over the meaningful attributes (CPU/mem/bw), X
@@ -59,9 +67,32 @@ RangeQuery resource_query(const std::vector<Point>& profiles, double f, Rng& rng
   return q;
 }
 
-DhtLoad run_dht_panel(const std::vector<Point>& profiles, double f,
-                      std::uint32_t sigma, std::size_t query_count,
-                      std::uint64_t seed) {
+JobOut run_ours_dht_panel(const std::vector<Point>& profiles,
+                          const AttributeSpace& space16, std::size_t qcount,
+                          std::uint64_t seed) {
+  Grid::Config cfg{.space = space16};
+  cfg.nodes = 0;
+  cfg.oracle = false;  // populated manually below, then bootstrapped
+  cfg.latency = "lan";
+  cfg.seed = seed;
+  cfg.protocol.gossip_enabled = false;
+  cfg.track_visited = false;
+  Grid grid(std::move(cfg), uniform_points(space16, 0, 80));
+  for (const auto& p : profiles) grid.add_node(p);
+  grid.rebootstrap();
+  Rng qrng(seed + 9);
+  std::vector<RangeQuery> queries;
+  for (std::size_t i = 0; i < qcount; ++i)
+    queries.push_back(resource_query(profiles, 0.125, qrng));
+  JobOut out;
+  out.received = exp::measure_load(grid, queries, 50, 1).received;
+  out.totals = totals_of(grid);
+  return out;
+}
+
+JobOut run_dht_panel(const std::vector<Point>& profiles, double f,
+                     std::uint32_t sigma, std::size_t query_count,
+                     std::uint64_t seed) {
   Simulator sim(seed);
   Network net(sim, make_lan_latency());
   std::vector<NodeId> ids;
@@ -93,7 +124,10 @@ DhtLoad run_dht_panel(const std::vector<Point>& profiles, double f,
                                      lo, hi, sigma, nullptr));
     sim.run();  // iterated search: sequential gets, drain per query
   }
-  return DhtLoad{net.stats().load_received_by_node()};
+  JobOut out;
+  out.received = net.stats().load_received_by_node();
+  out.totals = totals_of(sim);
+  return out;
 }
 
 }  // namespace
@@ -109,6 +143,29 @@ int main() {
   Setup s = read_setup(5000);
   print_setup(s);
 
+  const std::size_t das_n = option_u64("DAS_N", 1000);
+  const std::size_t qcount = option_u64("DHT_QUERIES", 50);
+
+  // Shared node profiles for both panel-(b) systems (read-only once built).
+  auto space16 = AttributeSpace::uniform(16, 3, 0, 80);
+  auto gen = xtremlab_points(space16);
+  Rng prof_rng(s.seed + 7);
+  std::vector<Point> profiles;
+  profiles.reserve(das_n);
+  for (std::size_t i = 0; i < das_n; ++i) profiles.push_back(gen(prof_rng));
+
+  std::vector<std::function<JobOut()>> jobs{
+      [&] { return run_ours_panel("uniform", s.n, s.seed); },
+      [&] { return run_ours_panel("normal", s.n, s.seed + 1); },
+      [&] { return run_ours_dht_panel(profiles, space16, qcount, s.seed); },
+      [&] { return run_dht_panel(profiles, 0.125, 50, qcount, s.seed + 11); },
+  };
+  const std::size_t threads = exp::resolve_threads(jobs.size());
+  exp::BenchReport report("fig09_load_balance");
+  report.set_threads(threads);
+  auto results = exp::run_jobs<JobOut>(jobs, threads);
+  for (const auto& r : results) report.add_events(r.totals.events, r.totals.late);
+
   // ---- Panel (a): ours, uniform vs normal hotspot -----------------------
   std::cout << "-- (a) per-node messages dispatched, % of nodes per "
                "percent-of-max bucket --\n";
@@ -118,46 +175,18 @@ int main() {
     for (std::size_t b = 0; b < proto.bucket_count(); ++b)
       headers.push_back(proto.label(b) + "%");
     exp::Table t(headers);
-    run_ours_panel("uniform", s.n, s.seed, t);
-    run_ours_panel("normal", s.n, s.seed + 1, t);
+    t.row(results[0].hist_row);
+    t.row(results[1].hist_row);
     t.print();
   }
 
   // ---- Panel (b): ours vs DHT-based (SWORD over Chord) ------------------
   std::cout << "\n-- (b) ours vs DHT-based, d=16, skewed (XtremLab-like) "
                "attributes, 50 queries f=0.125, sigma=50 --\n";
-  const std::size_t das_n = option_u64("DAS_N", 1000);
-  const std::size_t qcount = option_u64("DHT_QUERIES", 50);
 
-  // Shared node profiles for both systems.
-  auto space16 = AttributeSpace::uniform(16, 3, 0, 80);
-  auto gen = xtremlab_points(space16);
-  Rng prof_rng(s.seed + 7);
-  std::vector<Point> profiles;
-  profiles.reserve(das_n);
-  for (std::size_t i = 0; i < das_n; ++i) profiles.push_back(gen(prof_rng));
-
-  // Ours on the same profiles.
-  Grid::Config cfg{.space = space16};
-  cfg.nodes = 0;
-  cfg.oracle = false;  // populated manually below, then bootstrapped
-  cfg.latency = "lan";
-  cfg.seed = s.seed;
-  cfg.protocol.gossip_enabled = false;
-  cfg.track_visited = false;
-  Grid grid(std::move(cfg), uniform_points(space16, 0, 80));
-  for (const auto& p : profiles) grid.add_node(p);
-  grid.rebootstrap();
-  Rng qrng(s.seed + 9);
-  std::vector<RangeQuery> queries;
-  for (std::size_t i = 0; i < qcount; ++i)
-    queries.push_back(resource_query(profiles, 0.125, qrng));
-  auto ours = exp::measure_load(grid, queries, 50, 1);
-
-  auto dht = run_dht_panel(profiles, 0.125, 50, qcount, s.seed + 11);
-
-  auto summarize = [](const char* name, const std::vector<std::uint64_t>& counts,
-                      exp::Table& t) {
+  auto summarize = [&report](const char* name,
+                             const std::vector<std::uint64_t>& counts,
+                             exp::Table& t) {
     Summary sum;
     std::uint64_t max = 0;
     std::size_t zero = 0;
@@ -166,18 +195,22 @@ int main() {
       max = std::max(max, c);
       if (c == 0) ++zero;
     }
+    const double idle = 100.0 * static_cast<double>(zero) /
+                        static_cast<double>(std::max<std::size_t>(1, counts.size()));
     t.row({name, exp::fmt(sum.mean()), std::to_string(max),
-           exp::fmt(max / std::max(1.0, sum.mean()), 1),
-           exp::fmt(100.0 * static_cast<double>(zero) /
-                        static_cast<double>(std::max<std::size_t>(1, counts.size())),
-                    1)});
+           exp::fmt(max / std::max(1.0, sum.mean()), 1), exp::fmt(idle, 1)});
+    report.point()
+        .str("system", name)
+        .num("mean_msgs_per_node", sum.mean())
+        .num("max_msgs_per_node", max)
+        .num("pct_idle_nodes", idle);
   };
   exp::Table t({"system", "mean msgs/node", "max msgs/node", "max/mean",
                 "% idle nodes"});
   // Pad both vectors to the full population for fair "% idle".
-  auto ours_recv = ours.received;
+  auto ours_recv = results[2].received;
   ours_recv.resize(das_n, 0);
-  auto dht_recv = dht.received;
+  auto dht_recv = results[3].received;
   dht_recv.resize(das_n, 0);
   summarize("ours", ours_recv, t);
   summarize("DHT (SWORD/Chord)", dht_recv, t);
@@ -187,5 +220,6 @@ int main() {
                        exp::percent_of_max_histogram(ours_recv));
   exp::print_histogram("DHT:  % of nodes per percent-of-max bucket",
                        exp::percent_of_max_histogram(dht_recv));
+  report.write();
   return 0;
 }

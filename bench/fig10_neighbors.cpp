@@ -8,7 +8,9 @@
 /// slightly more links (bigger neighborsZero lists near the hotspot).
 ///
 /// This experiment runs the real gossip stack (the cache bound is a
-/// gossip-layer property), so N defaults to a modest 1,500.
+/// gossip-layer property), so N defaults to a modest 1,500. The nine
+/// converged grids (7 dimension points + 2 placement panels) build as
+/// independent trials on ARES_THREADS workers.
 
 #include "bench_common.h"
 
@@ -17,20 +19,36 @@ namespace {
 using namespace ares;
 using namespace ares::bench;
 
-std::unique_ptr<Grid> converged_grid(int dims, std::size_t n, const char* dist,
-                                     std::uint64_t seed, SimTime convergence) {
-  Grid::Config cfg{.space = AttributeSpace::uniform(dims, 3, 0, 80)};
+struct TrialConfig {
+  int dims;
+  const char* dist;
+  std::uint64_t seed;
+};
+
+struct TrialResult {
+  Summary counts;
+  SimTotals totals;
+};
+
+TrialResult converged_counts(const TrialConfig& c, std::size_t n,
+                             SimTime convergence) {
+  Grid::Config cfg{.space = AttributeSpace::uniform(c.dims, 3, 0, 80)};
   cfg.nodes = n;
   cfg.oracle = false;
   cfg.convergence = convergence;
   cfg.latency = "lan";
-  cfg.seed = seed;
+  cfg.seed = c.seed;
   cfg.protocol.gossip_enabled = true;
   cfg.bootstrap_contacts = 5;
   cfg.track_visited = false;
-  PointGen gen = std::string(dist) == "normal" ? hotspot_points(cfg.space)
-                                               : uniform_points(cfg.space, 0, 80);
-  return std::make_unique<Grid>(std::move(cfg), std::move(gen));
+  PointGen gen = std::string(c.dist) == "normal"
+                     ? hotspot_points(cfg.space)
+                     : uniform_points(cfg.space, 0, 80);
+  Grid grid(std::move(cfg), std::move(gen));
+  TrialResult r;
+  r.counts = exp::neighbor_counts(grid);
+  r.totals = totals_of(grid);
+  return r;
 }
 
 }  // namespace
@@ -46,27 +64,54 @@ int main() {
   print_setup(s);
   const SimTime convergence = from_seconds(option_double("CONVERGENCE_S", 600));
 
+  const std::vector<int> dim_points{2, 4, 6, 8, 12, 16, 20};
+  std::vector<TrialConfig> configs;
+  for (int d : dim_points)
+    configs.push_back({d, "uniform", s.seed + static_cast<std::uint64_t>(d)});
+  configs.push_back({5, "uniform", s.seed + 77});
+  configs.push_back({5, "normal", s.seed + 77});
+
+  const std::size_t threads = exp::resolve_threads(configs.size());
+  exp::BenchReport report("fig10_neighbors");
+  report.set_threads(threads);
+
+  auto results = exp::run_trials(
+      configs,
+      [&](const TrialConfig& c, std::size_t) {
+        return converged_counts(c, s.n, convergence);
+      },
+      threads);
+  for (const auto& r : results) report.add_events(r.totals.events, r.totals.late);
+
   std::cout << "-- (a) mean links per node vs dimensions (gossip-converged) --\n";
   {
     exp::Table t({"dimensions", "mean links", "p95 links", "max links"});
-    for (int d : {2, 4, 6, 8, 12, 16, 20}) {
-      auto grid = converged_grid(d, s.n, "uniform",
-                                 s.seed + static_cast<std::uint64_t>(d), convergence);
-      auto counts = exp::neighbor_counts(*grid);
-      t.row({std::to_string(d), exp::fmt(counts.mean()),
+    for (std::size_t i = 0; i < dim_points.size(); ++i) {
+      const Summary& counts = results[i].counts;
+      t.row({std::to_string(dim_points[i]), exp::fmt(counts.mean()),
              exp::fmt(counts.quantile(0.95)), exp::fmt(counts.max())});
+      report.point()
+          .num("dims", static_cast<std::int64_t>(dim_points[i]))
+          .num("mean_links", counts.mean())
+          .num("p95_links", counts.quantile(0.95))
+          .num("max_links", counts.max());
     }
     t.print();
   }
 
   std::cout << "\n-- (b) distribution of links per node (d=5), uniform vs "
                "normal --\n";
-  for (const char* dist : {"uniform", "normal"}) {
-    auto grid = converged_grid(5, s.n, dist, s.seed + 77, convergence);
-    auto counts = exp::neighbor_counts(*grid);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const TrialConfig& c = configs[dim_points.size() + j];
+    const Summary& counts = results[dim_points.size() + j].counts;
     Histogram h = Histogram::fixed_width(3.0, 11);  // 0-2,3-5,...,>=30
     for (double v : counts.samples()) h.add(v);
-    exp::print_histogram(std::string(dist) + ": % of nodes per links bucket", h);
+    exp::print_histogram(std::string(c.dist) + ": % of nodes per links bucket", h);
+    report.point()
+        .str("dist", c.dist)
+        .num("mean_links", counts.mean())
+        .num("max_links", counts.max());
   }
+  report.write();
   return 0;
 }

@@ -14,6 +14,9 @@
 ///     branches retried through an alternate;
 ///   - "no timeout": T(q) disabled — shows why the pending-table timeout is
 ///     load-bearing (a dead child stalls its parent's entire remaining DFS).
+///
+/// The four panels are independent trials run on ARES_THREADS workers; all
+/// output is buffered and printed in panel order.
 
 #include "bench_common.h"
 
@@ -22,11 +25,21 @@ namespace {
 using namespace ares;
 using namespace ares::bench;
 
-double run_panel(const char* label, double churn_fraction, const Setup& s,
-                 SimTime timeout, std::size_t slot_capacity, bool print_series) {
-  std::cout << "-- churn = " << exp::fmt(100 * churn_fraction, 1)
-            << "% per 10s, " << label << " --\n";
+struct PanelConfig {
+  const char* label;
+  double churn_fraction;
+  double timeout_s;  // 0 = no timeout
+  std::size_t slot_capacity;
+  bool print_series;
+};
 
+struct PanelResult {
+  std::vector<exp::DeliveryPoint> series;
+  std::uint64_t killed = 0;
+  SimTotals totals;
+};
+
+PanelResult run_panel(const PanelConfig& c, const Setup& s) {
   Grid::Config cfg{.space = AttributeSpace::uniform(s.dims, s.levels, 0, 80)};
   cfg.nodes = s.n;
   cfg.oracle = false;
@@ -34,40 +47,27 @@ double run_panel(const char* label, double churn_fraction, const Setup& s,
   cfg.latency = "lan";
   cfg.seed = s.seed;
   cfg.protocol.gossip_enabled = true;
-  cfg.protocol.query_timeout = timeout;
-  cfg.protocol.retry_alternates = slot_capacity > 1;
-  cfg.protocol.routing.slot_capacity = slot_capacity;
+  cfg.protocol.query_timeout = from_seconds(c.timeout_s);
+  cfg.protocol.retry_alternates = c.slot_capacity > 1;
+  cfg.protocol.routing.slot_capacity = c.slot_capacity;
   cfg.bootstrap_contacts = 5;
   auto grid = std::make_unique<Grid>(std::move(cfg),
                                      uniform_points(cfg.space, 0, 80));
 
   ChurnDriver churn(grid->net(), grid->churn_factory());
-  churn.start_replacement_churn(churn_fraction, 10 * kSecond);
+  churn.start_replacement_churn(c.churn_fraction, 10 * kSecond);
 
   const SimTime duration = from_seconds(option_double("DURATION_S", 3000));
-  auto series = exp::delivery_timeline(
+  PanelResult out;
+  out.series = exp::delivery_timeline(
       *grid,
       [&](Rng& rng) { return best_case_query(grid->space(), s.selectivity, rng); },
       duration, /*interval=*/30 * kSecond, /*settle=*/from_seconds(120),
       kNoSigma);
   churn.stop();
-
-  if (print_series) {
-    exp::Table t({"t (s)", "delivery", "matching alive at issue"});
-    for (std::size_t i = 0; i < series.size();
-         i += std::max<std::size_t>(1, series.size() / 20)) {
-      const auto& p = series[i];
-      t.row({exp::fmt(p.t_seconds, 0), exp::fmt(p.delivery, 3),
-             std::to_string(p.ground_truth)});
-    }
-    t.print();
-  }
-  Summary sum;
-  for (const auto& p : series) sum.add(p.delivery);
-  std::cout << "mean delivery: " << exp::fmt(sum.mean(), 3)
-            << "   min: " << exp::fmt(sum.empty() ? 0 : sum.min(), 3)
-            << "   churned in/out: " << churn.total_killed() << "\n\n";
-  return sum.mean();
+  out.killed = churn.total_killed();
+  out.totals = totals_of(*grid);
+  return out;
 }
 
 }  // namespace
@@ -82,14 +82,54 @@ int main() {
   s.sigma = 0;  // the experiment uses no threshold
   print_setup(s);
 
-  const SimTime tq = from_seconds(option_double("TIMEOUT_S", 5.0));
-  run_panel("paper protocol (T(q), single link/subcell)", kChurnLight.fraction,
-            s, tq, 1, /*print_series=*/true);
-  run_panel("paper protocol (T(q), single link/subcell)", kChurnGnutella.fraction,
-            s, tq, 1, true);
-  run_panel("backup links x3 (extension)", kChurnGnutella.fraction, s, tq, 3,
-            false);
-  run_panel("no timeout (why T(q) matters)", kChurnGnutella.fraction, s, 0, 1,
-            false);
+  const double tq_s = option_double("TIMEOUT_S", 5.0);
+  const std::vector<PanelConfig> panels{
+      {"paper protocol (T(q), single link/subcell)", kChurnLight.fraction, tq_s,
+       1, true},
+      {"paper protocol (T(q), single link/subcell)", kChurnGnutella.fraction,
+       tq_s, 1, true},
+      {"backup links x3 (extension)", kChurnGnutella.fraction, tq_s, 3, false},
+      {"no timeout (why T(q) matters)", kChurnGnutella.fraction, 0, 1, false},
+  };
+
+  const std::size_t threads = exp::resolve_threads(panels.size());
+  exp::BenchReport report("fig11_churn");
+  report.set_threads(threads);
+
+  auto results = exp::run_trials(
+      panels, [&s](const PanelConfig& c, std::size_t) { return run_panel(c, s); },
+      threads);
+
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    const PanelConfig& c = panels[i];
+    const PanelResult& r = results[i];
+    std::cout << "-- churn = " << exp::fmt(100 * c.churn_fraction, 1)
+              << "% per 10s, " << c.label << " --\n";
+    if (c.print_series) {
+      exp::Table t({"t (s)", "delivery", "matching alive at issue"});
+      for (std::size_t j = 0; j < r.series.size();
+           j += std::max<std::size_t>(1, r.series.size() / 20)) {
+        const auto& p = r.series[j];
+        t.row({exp::fmt(p.t_seconds, 0), exp::fmt(p.delivery, 3),
+               std::to_string(p.ground_truth)});
+      }
+      t.print();
+    }
+    Summary sum;
+    for (const auto& p : r.series) sum.add(p.delivery);
+    std::cout << "mean delivery: " << exp::fmt(sum.mean(), 3)
+              << "   min: " << exp::fmt(sum.empty() ? 0 : sum.min(), 3)
+              << "   churned in/out: " << r.killed << "\n\n";
+    report.point()
+        .str("panel", c.label)
+        .num("churn_fraction", c.churn_fraction)
+        .num("mean_delivery", sum.mean())
+        .num("min_delivery", sum.empty() ? 0.0 : sum.min())
+        .num("churned", r.killed)
+        .num("sim_events", r.totals.events)
+        .num("late_events", r.totals.late);
+    report.add_events(r.totals.events, r.totals.late);
+  }
+  report.write();
   return 0;
 }

@@ -5,10 +5,25 @@
 
 #include "bench_common.h"
 
-int main() {
-  using namespace ares;
-  using namespace ares::bench;
+namespace {
 
+using namespace ares;
+using namespace ares::bench;
+
+struct TypeRow {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct RunResult {
+  std::vector<TypeRow> rows;
+  SimTotals totals;
+};
+
+}  // namespace
+
+int main() {
   exp::print_experiment_header(
       "Gossip cost (paper §6, prose)", "overlay maintenance traffic",
       "~4 gossip messages initiated+received per node per 10 s cycle, "
@@ -18,21 +33,39 @@ int main() {
   print_setup(s);
   const double cycles = option_double("CYCLES", 60);
 
-  auto grid = make_gossip_grid(s, from_seconds(10.0 * cycles), "lan",
-                               /*track_visited=*/false);
-  const auto& by_type = grid->net().stats().sent_by_type();
+  exp::BenchReport report("gossip_cost");
+  report.set_threads(1);  // single trial; nothing to fan out
+
+  const std::vector<int> one{0};
+  auto results = exp::run_trials(one, [&](int, std::size_t) {
+    auto grid = make_gossip_grid(s, from_seconds(10.0 * cycles), "lan",
+                                 /*track_visited=*/false);
+    RunResult out;
+    for (const auto& [name, tc] : grid->net().stats().sent_by_type()) {
+      if (!name.starts_with("cyclon.") && !name.starts_with("vicinity."))
+        continue;
+      out.rows.push_back({name, tc.count, tc.bytes});
+    }
+    out.totals = totals_of(*grid);
+    return out;
+  });
+  const RunResult& r = results[0];
+  report.add_events(r.totals.events, r.totals.late);
 
   exp::Table t({"message type", "count", "bytes", "msgs/node/cycle",
                 "bytes/node/cycle"});
   std::uint64_t total_msgs = 0, total_bytes = 0;
   const double denom = static_cast<double>(s.n) * cycles;
-  for (const auto& [name, tc] : by_type) {
-    if (!name.starts_with("cyclon.") && !name.starts_with("vicinity.")) continue;
-    total_msgs += tc.count;
-    total_bytes += tc.bytes;
-    t.row({name, std::to_string(tc.count), std::to_string(tc.bytes),
-           exp::fmt(static_cast<double>(tc.count) / denom),
-           exp::fmt(static_cast<double>(tc.bytes) / denom)});
+  for (const auto& row : r.rows) {
+    total_msgs += row.count;
+    total_bytes += row.bytes;
+    t.row({row.name, std::to_string(row.count), std::to_string(row.bytes),
+           exp::fmt(static_cast<double>(row.count) / denom),
+           exp::fmt(static_cast<double>(row.bytes) / denom)});
+    report.point()
+        .str("type", row.name)
+        .num("count", row.count)
+        .num("bytes", row.bytes);
   }
   t.row({"TOTAL", std::to_string(total_msgs), std::to_string(total_bytes),
          exp::fmt(static_cast<double>(total_msgs) / denom),
@@ -40,5 +73,10 @@ int main() {
   t.print();
   std::cout << "paper's estimate: ~2,560 bytes/node/cycle (320 B messages, "
                "4 per cycle)\n";
+  report.summary()
+      .num("total_gossip_msgs", total_msgs)
+      .num("total_gossip_bytes", total_bytes)
+      .num("bytes_per_node_cycle", static_cast<double>(total_bytes) / denom);
+  report.write();
   return 0;
 }

@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
 #include "exp/bootstrap.h"
 #include "exp/grid.h"
 #include "sim/event_queue.h"
@@ -161,4 +166,27 @@ BENCHMARK(BM_WireRoundTripGossip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main instead of BENCHMARK_MAIN(): console output as usual, plus
+/// google-benchmark's own JSON schema mirrored to BENCH_micro_core.json
+/// (ARES_BENCH_DIR or cwd) so CI archives the micro numbers alongside the
+/// figure binaries' reports.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  std::string dir = ".";
+  if (const char* d = std::getenv("ARES_BENCH_DIR"); d != nullptr && *d != '\0')
+    dir = d;
+  const std::string path = dir + "/BENCH_micro_core.json";
+  std::ofstream json_out(path);
+
+  benchmark::ConsoleReporter console;
+  benchmark::JSONReporter json;
+  json.SetOutputStream(&json_out);
+  json.SetErrorStream(&json_out);
+  benchmark::RunSpecifiedBenchmarks(&console, &json);
+  benchmark::Shutdown();
+  if (json_out.good())
+    std::cout << "(perf report written to " << path << ")" << std::endl;
+  return 0;
+}

@@ -23,6 +23,10 @@ PeerDescriptor SelectionNode::descriptor() const {
 }
 
 void SelectionNode::start() {
+  m_gossip_cycles_ = metrics().counter("gossip.cycles");
+  m_query_timeouts_ = metrics().counter("query.timeouts");
+  m_query_retries_ = metrics().counter("query.retries");
+
   rt_ = std::make_unique<RoutingTable>(cells_, coord_, id(), cfg_.routing);
 
   auto send_fn = [this](NodeId to, MessagePtr m) { send(to, std::move(m)); };
@@ -46,7 +50,7 @@ void SelectionNode::start() {
 void SelectionNode::gossip_tick() {
   // Two gossip initiations per cycle, one per layer (§6: "each node
   // initiates exactly two gossips").
-  metrics().inc(id(), "gossip.cycles");
+  metrics().inc(id(), m_gossip_cycles_);
   cyclon_->tick();
   vicinity_->tick(cyclon_->view());
   rt_->age_all();
@@ -268,7 +272,7 @@ void SelectionNode::on_timeout(QueryId qid, NodeId to) {
   Outstanding slot = w->second;
   st.waiting.erase(w);
   st.failed.push_back(to);
-  metrics().inc(id(), "query.timeouts");
+  metrics().inc(id(), m_query_timeouts_);
   // Treat the peer as failed: purge it from every local structure so later
   // queries do not stumble over the same dead link.
   rt_->remove(to);
@@ -277,7 +281,7 @@ void SelectionNode::on_timeout(QueryId qid, NodeId to) {
 
   if (cfg_.retry_alternates && slot.dim >= 0) {
     if (const PeerDescriptor* alt = rt_->alternate(slot.level, slot.dim, st.failed)) {
-      metrics().inc(id(), "query.retries");
+      metrics().inc(id(), m_query_retries_);
       dispatch(st, alt->id, slot);
       return;
     }

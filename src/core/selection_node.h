@@ -174,6 +174,12 @@ class SelectionNode final : public Node {
   std::unordered_map<QueryId, QueryState> active_;
   std::unordered_set<QueryId> completed_;
   std::uint32_t next_query_seq_ = 0;
+
+  // Interned in start() (the Metrics registry belongs to the runtime we
+  // attach to): hot-path increments skip the string-keyed lookup.
+  Metrics::Counter m_gossip_cycles_ = 0;
+  Metrics::Counter m_query_timeouts_ = 0;
+  Metrics::Counter m_query_retries_ = 0;
 };
 
 }  // namespace ares

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file bench_json.h
+/// Machine-readable perf reports for the bench binaries.
+///
+/// Every bench binary writes BENCH_<name>.json next to its console output
+/// so the perf trajectory is tracked across PRs (CI archives the files).
+/// Schema (version 1):
+///
+///   {
+///     "name": "fig06_network_size",
+///     "schema_version": 1,
+///     "threads": 8,                  // worker threads used for the sweep
+///     "wall_clock_s": 12.34,         // whole-binary wall clock
+///     "sim_events": 123456,          // executed simulator events, all trials
+///     "late_events": 0,              // Simulator::late_events(), all trials
+///     "events_per_sec": 1.0e6,       // sim_events / wall_clock_s
+///     "peak_rss_bytes": 104857600,
+///     "summary": { ... },            // binary-specific scalars (optional)
+///     "points": [ { ... }, ... ]     // one object per sweep point
+///   }
+///
+/// The output directory is ARES_BENCH_DIR when set, else the working
+/// directory. The report is written by write() — call it once, after all
+/// trials finish, from the main thread (the class is not thread-safe;
+/// workers hand their per-point numbers back through trial results).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ares::exp {
+
+/// An ordered JSON object under construction (insertion-order keys, no
+/// nesting beyond what BenchReport needs).
+class JsonObject {
+ public:
+  JsonObject& num(std::string_view key, double v);
+  JsonObject& num(std::string_view key, std::uint64_t v);
+  JsonObject& num(std::string_view key, std::int64_t v);
+  JsonObject& str(std::string_view key, std::string_view v);
+  JsonObject& boolean(std::string_view key, bool v);
+
+  bool empty() const { return fields_.empty(); }
+  /// Renders "{...}".
+  std::string dump() const;
+
+ private:
+  std::vector<std::string> fields_;  // pre-rendered "key": value
+};
+
+/// Escapes and quotes a string for JSON.
+std::string json_quote(std::string_view s);
+
+class BenchReport {
+ public:
+  /// Starts the wall clock. `name` names the binary (file: BENCH_<name>.json).
+  explicit BenchReport(std::string name);
+
+  /// Appends a sweep-point record; fill it via the returned reference.
+  JsonObject& point();
+
+  /// Binary-specific top-level scalars ("summary": {...}).
+  JsonObject& summary() { return summary_; }
+
+  /// Accumulates executed-event / late-event counts from one trial.
+  void add_events(std::uint64_t executed, std::uint64_t late = 0);
+
+  /// Records the worker-thread count used for the sweep.
+  void set_threads(std::size_t threads) { threads_ = threads; }
+
+  std::uint64_t sim_events() const { return events_; }
+  std::uint64_t late_events() const { return late_; }
+
+  /// Writes BENCH_<name>.json (ARES_BENCH_DIR or cwd) and prints a one-line
+  /// pointer to stdout. Returns false (after printing a warning) on I/O
+  /// failure. Call once, from the main thread, after all trials complete.
+  bool write();
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::size_t threads_ = 1;
+  std::uint64_t events_ = 0;
+  std::uint64_t late_ = 0;
+  JsonObject summary_;
+  std::vector<JsonObject> points_;
+};
+
+/// Resident-set high-water mark of this process, in bytes (getrusage).
+std::uint64_t peak_rss_bytes();
+
+}  // namespace ares::exp

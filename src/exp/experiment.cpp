@@ -9,6 +9,8 @@ QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
                           SimTime horizon) {
   grid.stats().clear();
   QueryRunStats out;
+  const std::uint64_t events_before = grid.sim().executed_events();
+  const std::uint64_t late_before = grid.sim().late_events();
   Summary overhead, delivery, matches, latency;
 
   for (const auto& q : queries) {
@@ -41,6 +43,8 @@ QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
   out.mean_delivery = delivery.mean();
   out.mean_matches = matches.mean();
   out.mean_latency_s = latency.mean();
+  out.sim_events = grid.sim().executed_events() - events_before;
+  out.late_events = grid.sim().late_events() - late_before;
   return out;
 }
 

@@ -22,6 +22,11 @@ struct QueryRunStats {
   double mean_matches = 0.0;    ///< result-set size per completed query
   double mean_latency_s = 0.0;  ///< completion latency (completed only)
   std::uint64_t duplicates = 0; ///< repeat visits (must stay 0 without churn)
+  std::uint64_t sim_events = 0; ///< simulator events executed during this run
+  /// schedule_at() calls whose target time was already past, during this
+  /// run (Simulator::late_events() delta). Nonzero flags a scheduling bug;
+  /// the no-churn tier-1 tests assert it stays 0.
+  std::uint64_t late_events = 0;
 };
 
 /// Runs every query in `queries` from `origins_per_query` random origins

@@ -1,0 +1,70 @@
+#include "exp/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/options.h"
+
+namespace ares::exp {
+
+std::size_t resolve_threads(std::size_t trials) {
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::size_t want = option_u64("THREADS", hw);
+  want = std::max<std::size_t>(want, 1);
+  return std::min(want, std::max<std::size_t>(trials, 1));
+}
+
+std::uint64_t trial_seed(std::uint64_t base, std::size_t trial_index) {
+  // splitmix64 finalizer over (base, index): full-avalanche, so seed 1 /
+  // trial 2 and seed 2 / trial 1 land nowhere near each other.
+  std::uint64_t x = base + 0x9E3779B97F4A7C15ULL * (trial_index + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  // Seed 0 would degenerate some generators; remap to a fixed odd constant.
+  return x != 0 ? x : 0x9E3779B97F4A7C15ULL;
+}
+
+namespace detail {
+
+void run_indexed(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)>& job) {
+  if (n == 0) return;
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace ares::exp

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file parallel.h
+/// Trial-level parallelism for experiment sweeps.
+///
+/// A sweep (Fig. 6's network sizes, an ablation grid, a churn-rate panel)
+/// is a list of independent trials; since the runtime extraction made each
+/// trial a self-contained (Simulator, Grid) pair, trials can run
+/// concurrently with no shared mutable state. run_trials() executes them on
+/// a worker pool and returns the results **in config order**, so a bench
+/// binary's output is byte-identical at any thread count.
+///
+/// Trial isolation rules (the contract that makes this safe — see
+/// EXPERIMENTS.md "parallel harness & perf playbook"):
+///   1. A trial builds everything it touches: its own Grid (which owns the
+///      Simulator, Network and stats) and its own workload Rng.
+///   2. A trial's randomness is seeded from trial_seed(base, index), never
+///      from an Rng shared across trials: draws must not depend on how
+///      trials interleave.
+///   3. A trial never writes to stdout/stderr; it returns printable rows
+///      and the caller emits them in order after (or as) trials complete.
+///
+/// Thread count resolution: the ARES_THREADS environment variable if set,
+/// else std::thread::hardware_concurrency(), always clamped to the number
+/// of trials. ARES_THREADS=1 recovers the fully serial behavior (trials
+/// then run inline on the calling thread — no pool at all).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace ares::exp {
+
+/// Worker count for a sweep of `trials` independent points: ARES_THREADS
+/// override, else hardware concurrency; clamped to [1, max(trials, 1)].
+std::size_t resolve_threads(std::size_t trials);
+
+/// Deterministic per-trial seed: a splitmix-style mix of the sweep's base
+/// seed and the trial index. Adjacent base seeds or indices yield
+/// decorrelated streams, and the result depends on neither thread count nor
+/// scheduling order.
+std::uint64_t trial_seed(std::uint64_t base, std::size_t trial_index);
+
+namespace detail {
+/// Runs job(0..n) exactly once each across `threads` workers (atomic index
+/// claim; completion order arbitrary). threads <= 1 runs inline on the
+/// calling thread. The first exception thrown by any job is rethrown on the
+/// calling thread after all workers join.
+void run_indexed(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)>& job);
+}  // namespace detail
+
+/// Executes fn(configs[i], i) for every config on `threads` workers (0 =
+/// resolve_threads()) and returns the results in config order, regardless
+/// of completion order. Result types must be default-constructible (slots
+/// are pre-allocated; workers move-assign into their own slot).
+template <typename Config, typename Fn>
+auto run_trials(const std::vector<Config>& configs, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, const Config&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, const Config&, std::size_t>;
+  std::vector<Result> results(configs.size());
+  if (threads == 0) threads = resolve_threads(configs.size());
+  detail::run_indexed(configs.size(), threads,
+                      [&](std::size_t i) { results[i] = fn(configs[i], i); });
+  return results;
+}
+
+/// Heterogeneous-sweep convenience: runs pre-bound jobs (each typically
+/// closing over its own panel parameters) and returns results in job order.
+template <typename Result>
+std::vector<Result> run_jobs(const std::vector<std::function<Result()>>& jobs,
+                             std::size_t threads = 0) {
+  return run_trials(
+      jobs, [](const std::function<Result()>& job, std::size_t) { return job(); },
+      threads);
+}
+
+}  // namespace ares::exp

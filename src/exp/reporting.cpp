@@ -43,6 +43,10 @@ void Table::print() const {
   std::cout << rule << "\n";
   for (const auto& r : rows_) line(r);
   std::cout << rule << "\n";
+  // Tables are emitted at sweep boundaries; flush so buffered rows cannot
+  // interleave with stderr progress lines or a harness's own output when
+  // stdout is piped (pipes are fully buffered, terminals line-buffered).
+  std::cout.flush();
 }
 
 namespace {
@@ -83,6 +87,7 @@ void print_experiment_header(const std::string& id, const std::string& title,
                              const std::string& paper_expectation) {
   std::cout << "\n=== " << id << ": " << title << " ===\n";
   std::cout << "paper expectation: " << paper_expectation << "\n\n";
+  std::cout.flush();
 }
 
 void print_defaults(std::size_t network_size, double selectivity,

@@ -1,7 +1,6 @@
 #include "gossip/vicinity.h"
 
 #include <algorithm>
-#include <map>
 
 namespace ares {
 
@@ -63,48 +62,81 @@ bool Vicinity::handle(NodeId from, const Message& m, const View& cyclon_view) {
 
 void Vicinity::merge(const std::vector<PeerDescriptor>& received,
                      const View& cyclon_view) {
-  std::vector<PeerDescriptor> candidates = view_.entries();
-  candidates.insert(candidates.end(), received.begin(), received.end());
+  scratch_.clear();
+  for (const auto& d : view_.entries()) scratch_.push_back(&d);
+  for (const auto& d : received) scratch_.push_back(&d);
   // Exploit the CYCLON stream as an extra candidate source (two-layer
   // coupling from [9]): random entries occasionally fill empty slots.
-  candidates.insert(candidates.end(), cyclon_view.entries().begin(),
-                    cyclon_view.entries().end());
-  view_.assign(select_best(std::move(candidates), cfg_.view_size));
+  for (const auto& d : cyclon_view.entries()) scratch_.push_back(&d);
+  // The winners are copied out of the staged pointers before assign()
+  // replaces the view they may point into.
+  view_.assign(select_staged(cfg_.view_size));
+}
+
+void Vicinity::dedupe_staged(NodeId exclude) const {
+  scratch_.erase(std::remove_if(scratch_.begin(), scratch_.end(),
+                                [&](const PeerDescriptor* d) {
+                                  return d->id == exclude || d->age > cfg_.max_age;
+                                }),
+                 scratch_.end());
+  // Youngest-first per id; stable so equal (id, age) keeps the first staged
+  // descriptor, matching the old map's insertion-order tie-break.
+  std::stable_sort(scratch_.begin(), scratch_.end(),
+                   [](const PeerDescriptor* a, const PeerDescriptor* b) {
+                     return a->id != b->id ? a->id < b->id : a->age < b->age;
+                   });
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end(),
+                             [](const PeerDescriptor* a, const PeerDescriptor* b) {
+                               return a->id == b->id;
+                             }),
+                 scratch_.end());
 }
 
 std::vector<PeerDescriptor> Vicinity::select_best(
     std::vector<PeerDescriptor> candidates, std::size_t cap) const {
+  scratch_.clear();
+  for (const auto& c : candidates) scratch_.push_back(&c);
+  return select_staged(cap);
+}
+
+std::vector<PeerDescriptor> Vicinity::select_staged(std::size_t cap) const {
   // Dedupe by id, keeping the youngest descriptor; drop self and expired.
-  std::map<NodeId, PeerDescriptor> by_id;
-  for (auto& c : candidates) {
-    if (c.id == self_.id || c.age > cfg_.max_age) continue;
-    auto [it, inserted] = by_id.try_emplace(c.id, c);
-    if (!inserted && c.age < it->second.age) it->second = c;
-  }
+  dedupe_staged(self_.id);
 
   // Group by routing slot relative to self. Key order: level asc, dim asc —
   // level-0 cohabitants first (neighborsZero must be complete), then the
-  // near subcells.
-  std::map<std::pair<int, int>, std::vector<PeerDescriptor>> groups;
-  for (auto& [id, d] : by_id) {
-    auto slot = cells_.classify(self_.coord, d.coord);
+  // near subcells. Groups become contiguous runs of the sorted flat array.
+  ranked_.clear();
+  for (const PeerDescriptor* d : scratch_) {
+    auto slot = cells_.classify(self_.coord, d->coord);
     if (!slot) continue;  // defensive; cannot happen (see cells.h)
-    groups[{slot->level, slot->dim}].push_back(d);
+    ranked_.push_back({slot->level, slot->dim, d->age, d->id, d});
   }
-  for (auto& [key, g] : groups)
-    std::sort(g.begin(), g.end(), [](const PeerDescriptor& a, const PeerDescriptor& b) {
-      return a.age != b.age ? a.age < b.age : a.id < b.id;
-    });
+  std::sort(ranked_.begin(), ranked_.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.level != b.level) return a.level < b.level;
+    if (a.dim != b.dim) return a.dim < b.dim;
+    if (a.age != b.age) return a.age < b.age;
+    return a.id < b.id;
+  });
+  groups_.clear();
+  for (std::size_t i = 0; i < ranked_.size();) {
+    std::size_t j = i + 1;
+    while (j < ranked_.size() && ranked_[j].level == ranked_[i].level &&
+           ranked_[j].dim == ranked_[i].dim)
+      ++j;
+    groups_.emplace_back(i, j);
+    i = j;
+  }
 
   // Round-robin across groups: first pass gives every slot one (young)
   // representative; later passes add backups until capacity.
   std::vector<PeerDescriptor> kept;
-  kept.reserve(cap);
+  kept.reserve(std::min(cap, ranked_.size()));
   for (std::size_t round = 0; kept.size() < cap; ++round) {
     bool any = false;
-    for (auto& [key, g] : groups) {
-      if (round < g.size() && kept.size() < cap) {
-        kept.push_back(g[round]);
+    for (const auto& [begin, end] : groups_) {
+      if (begin + round < end && kept.size() < cap) {
+        kept.push_back(*ranked_[begin + round].d);
         any = true;
       }
     }
@@ -116,42 +148,41 @@ std::vector<PeerDescriptor> Vicinity::select_best(
 std::vector<PeerDescriptor> Vicinity::subset_for(const PeerDescriptor& target,
                                                  const View& cyclon_view,
                                                  std::size_t k) const {
-  std::map<NodeId, PeerDescriptor> by_id;
-  auto consider = [&](const PeerDescriptor& d) {
-    if (d.id == target.id) return;
-    auto [it, inserted] = by_id.try_emplace(d.id, d);
-    if (!inserted && d.age < it->second.age) it->second = d;
-  };
   PeerDescriptor me = self_;
   me.age = 0;
-  consider(me);  // always advertise ourselves
-  for (const auto& d : view_.entries()) consider(d);
-  for (const auto& d : cyclon_view.entries()) consider(d);
-
-  std::vector<PeerDescriptor> all;
-  all.reserve(by_id.size());
-  for (auto& [id, d] : by_id) all.push_back(d);
+  scratch_.clear();
+  scratch_.push_back(&me);  // always advertise ourselves
+  for (const auto& d : view_.entries()) scratch_.push_back(&d);
+  for (const auto& d : cyclon_view.entries()) scratch_.push_back(&d);
+  dedupe_staged(target.id);
 
   // Rank by usefulness to the target: lowest common-cell level first (level
-  // 0 = same zero cell = most useful), then youngest.
-  std::sort(all.begin(), all.end(),
-            [&](const PeerDescriptor& a, const PeerDescriptor& b) {
-              auto sa = cells_.classify(target.coord, a.coord);
-              auto sb = cells_.classify(target.coord, b.coord);
-              int la = sa ? sa->level : 1 << 20;
-              int lb = sb ? sb->level : 1 << 20;
-              if (la != lb) return la < lb;
-              if (a.age != b.age) return a.age < b.age;
-              return a.id < b.id;
-            });
-  if (all.size() > k) {
-    all.resize(k);
+  // 0 = same zero cell = most useful), then youngest. The level is computed
+  // once per candidate (the old comparator re-classified on every
+  // comparison inside the sort).
+  ranked_.clear();
+  for (const PeerDescriptor* d : scratch_) {
+    auto slot = cells_.classify(target.coord, d->coord);
+    ranked_.push_back({slot ? slot->level : 1 << 20, 0, d->age, d->id, d});
+  }
+  std::sort(ranked_.begin(), ranked_.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.level != b.level) return a.level < b.level;
+    if (a.age != b.age) return a.age < b.age;
+    return a.id < b.id;
+  });
+
+  const bool truncated = ranked_.size() > k;
+  if (truncated) ranked_.resize(k);
+  std::vector<PeerDescriptor> all;
+  all.reserve(ranked_.size());
+  for (const auto& r : ranked_) all.push_back(*r.d);
+  if (truncated) {
     // Self must always be advertised (the remove-on-exploit washout relies
     // on a live partner re-entering through its reply): if truncation cut
     // it, put it back in the last slot.
     bool has_self = false;
     for (const auto& d : all) has_self = has_self || d.id == self_.id;
-    if (!has_self) all.back() = me;
+    if (!has_self && !all.empty()) all.back() = me;
   }
   return all;
 }

@@ -83,6 +83,13 @@ class Vicinity {
  private:
   void merge(const std::vector<PeerDescriptor>& received, const View& cyclon_view);
 
+  /// Selection core over the candidates currently staged in scratch_.
+  std::vector<PeerDescriptor> select_staged(std::size_t cap) const;
+
+  /// Dedupes scratch_ by id, keeping the youngest descriptor (ties: first
+  /// staged); drops `exclude` and entries older than max_age.
+  void dedupe_staged(NodeId exclude) const;
+
   PeerDescriptor self_;
   const Cells& cells_;
   VicinityConfig cfg_;
@@ -90,6 +97,22 @@ class Vicinity {
   SendFn send_;
   View view_;
   bool explore_next_ = false;
+
+  // Reused per-exchange scratch. select_best/subset_for used to build two
+  // std::maps per gossip exchange (a tree node plus a descriptor copy per
+  // candidate); these flat vectors amortize to zero steady-state
+  // allocations. Mutable because the selection functions are conceptually
+  // const; a node runs on one simulation thread, so no synchronization.
+  struct Ranked {
+    int level;
+    int dim;
+    std::uint32_t age;
+    NodeId id;
+    const PeerDescriptor* d;
+  };
+  mutable std::vector<const PeerDescriptor*> scratch_;
+  mutable std::vector<Ranked> ranked_;
+  mutable std::vector<std::pair<std::size_t, std::size_t>> groups_;
 };
 
 }  // namespace ares

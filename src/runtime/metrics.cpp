@@ -4,12 +4,18 @@
 
 namespace ares {
 
-void Metrics::inc(NodeId node, std::string_view name, std::uint64_t delta) {
-  auto it = counters_.find(name);
-  if (it == counters_.end())
-    it = counters_.emplace(std::string(name),
-                           std::unordered_map<NodeId, std::uint64_t>{}).first;
-  it->second[node] += delta;
+Metrics::Counter Metrics::counter(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  auto id = static_cast<Counter>(slots_.size());
+  slots_.push_back(Slot{std::string(name), {}, 0});
+  index_.emplace(std::string(name), id);
+  return id;
+}
+
+const Metrics::Slot* Metrics::find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &slots_[it->second];
 }
 
 void Metrics::observe(std::string_view name, double value) {
@@ -20,27 +26,23 @@ void Metrics::observe(std::string_view name, double value) {
 }
 
 std::uint64_t Metrics::total(std::string_view name) const {
-  auto it = counters_.find(name);
-  if (it == counters_.end()) return 0;
-  std::uint64_t sum = 0;
-  for (const auto& [_, v] : it->second) sum += v;
-  return sum;
+  const Slot* s = find(name);
+  return s == nullptr ? 0 : s->total;
 }
 
 std::uint64_t Metrics::node_value(NodeId node, std::string_view name) const {
-  auto it = counters_.find(name);
-  if (it == counters_.end()) return 0;
-  auto nit = it->second.find(node);
-  return nit == it->second.end() ? 0 : nit->second;
+  const Slot* s = find(name);
+  if (s == nullptr || node >= s->by_node.size()) return 0;
+  return s->by_node[node];
 }
 
 std::vector<std::pair<NodeId, std::uint64_t>> Metrics::by_node(
     std::string_view name) const {
   std::vector<std::pair<NodeId, std::uint64_t>> out;
-  auto it = counters_.find(name);
-  if (it == counters_.end()) return out;
-  out.assign(it->second.begin(), it->second.end());
-  std::sort(out.begin(), out.end());
+  const Slot* s = find(name);
+  if (s == nullptr) return out;
+  for (NodeId id = 0; id < s->by_node.size(); ++id)
+    if (s->by_node[id] != 0) out.emplace_back(id, s->by_node[id]);
   return out;
 }
 
@@ -51,13 +53,17 @@ const Summary* Metrics::distribution(std::string_view name) const {
 
 std::vector<std::string> Metrics::counter_names() const {
   std::vector<std::string> out;
-  out.reserve(counters_.size());
-  for (const auto& [k, _] : counters_) out.push_back(k);
+  for (const auto& s : slots_)
+    if (s.total != 0) out.push_back(s.name);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 void Metrics::clear() {
-  counters_.clear();
+  for (auto& s : slots_) {
+    s.by_node.clear();
+    s.total = 0;
+  }
   distributions_.clear();
 }
 

@@ -13,12 +13,16 @@
 ///
 /// Counter names are dotted strings ("query.timeouts", "gossip.cycles");
 /// keep them stable — benchmarks and tests key on them.
+///
+/// Hot-path protocol increments should intern the name once (counter()) and
+/// bump through the returned handle: inc(node, handle) is a vector index
+/// plus an add, with no string hashing or map lookup. The string-keyed
+/// overloads remain for tests and one-off call sites.
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/summary.h"
@@ -28,8 +32,20 @@ namespace ares {
 
 class Metrics {
  public:
-  /// Bumps the named per-node counter by `delta`.
-  void inc(NodeId node, std::string_view name, std::uint64_t delta = 1);
+  /// Pre-interned counter handle; stable for the lifetime of this registry
+  /// (clear() resets values, not handles).
+  using Counter = std::uint32_t;
+
+  /// Interns `name` and returns its handle (idempotent). Cold path.
+  Counter counter(std::string_view name);
+
+  /// Bumps the counter by `delta` for `node`. Hot path: no string lookup.
+  void inc(NodeId node, Counter c, std::uint64_t delta = 1);
+
+  /// Bumps the named per-node counter by `delta` (interns on first use).
+  void inc(NodeId node, std::string_view name, std::uint64_t delta = 1) {
+    inc(node, counter(name), delta);
+  }
 
   /// Adds a sample to the named distribution (merged across all nodes).
   void observe(std::string_view name, double value);
@@ -40,25 +56,43 @@ class Metrics {
   /// The named counter for one node (0 when never bumped).
   std::uint64_t node_value(NodeId node, std::string_view name) const;
 
-  /// Per-node values of the named counter (empty when never bumped).
-  /// Iteration order is by NodeId (ascending).
+  /// Per-node nonzero values of the named counter (empty when never
+  /// bumped). Iteration order is by NodeId (ascending).
   std::vector<std::pair<NodeId, std::uint64_t>> by_node(std::string_view name) const;
 
   /// The named distribution; nullptr when never observed.
   const Summary* distribution(std::string_view name) const;
 
-  /// All counter names seen so far, sorted.
+  /// All counter names bumped so far (interned-but-untouched names are
+  /// excluded), sorted.
   std::vector<std::string> counter_names() const;
 
-  /// Drops all counters and distributions (between experiment phases).
+  /// Drops all counter values and distributions (between experiment
+  /// phases). Interned handles stay valid.
   void clear();
 
  private:
-  // std::less<> enables heterogeneous (string_view) lookup without a
-  // temporary std::string per hot-path increment.
-  std::map<std::string, std::unordered_map<NodeId, std::uint64_t>, std::less<>>
-      counters_;
+  struct Slot {
+    std::string name;
+    std::vector<std::uint64_t> by_node;  // dense, indexed by NodeId
+    std::uint64_t total = 0;
+  };
+
+  const Slot* find(std::string_view name) const;
+
+  std::vector<Slot> slots_;
+  // Keys are owned copies (not views into slots_: Slot moves on vector
+  // growth would dangle SSO string views). std::less<> gives heterogeneous
+  // string_view lookup; interning is cold, so a tree map is fine.
+  std::map<std::string, Counter, std::less<>> index_;
   std::map<std::string, Summary, std::less<>> distributions_;
 };
+
+inline void Metrics::inc(NodeId node, Counter c, std::uint64_t delta) {
+  Slot& s = slots_[c];
+  if (node >= s.by_node.size()) s.by_node.resize(node + 1, 0);
+  s.by_node[node] += delta;
+  s.total += delta;
+}
 
 }  // namespace ares

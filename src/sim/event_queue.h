@@ -3,19 +3,28 @@
 /// \file event_queue.h
 /// Min-heap of timestamped events. Ties are broken by insertion sequence so
 /// the simulation is fully deterministic.
+///
+/// Two layers keep the hot path cheap:
+///   - Actions are UniqueAction (move-only, small-buffer) rather than
+///     std::function: message-delivery and timer closures stay
+///     allocation-free.
+///   - The heap orders 24-byte POD keys (time, seq, slot) while the actions
+///     themselves sit in a stable slot arena. Sift-up/down during
+///     push_heap/pop_heap then moves trivial keys instead of 70-byte events
+///     (each of whose moves would be an indirect relocate call), so an
+///     action is moved exactly twice: into its slot on push, out on pop.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
+#include "common/unique_function.h"
 
 namespace ares {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = UniqueAction;
 
   /// Enqueues an action at absolute time `t` (must not precede earlier pops'
   /// times; enforced by the Simulator, not here).
@@ -25,24 +34,31 @@ class EventQueue {
   std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  SimTime next_time() const { return heap_.top().time; }
+  SimTime next_time() const { return heap_.front().time; }
 
   /// Removes and returns the earliest event's action. Precondition: !empty().
   Action pop();
 
+  /// Pre-sizes the containers (the benchmarks know their event volume).
+  void reserve(std::size_t n);
+
  private:
-  struct Event {
+  struct Key {
     SimTime time;
     std::uint64_t seq;
-    mutable Action action;  // moved out on pop; priority_queue top() is const
+    std::uint32_t slot;  // index into slots_
 
-    bool operator>(const Event& o) const {
+    /// std::push_heap keeps the *greatest* element first, so "greater" here
+    /// means "scheduled later": the earliest (time, seq) wins the front slot.
+    bool operator<(const Key& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::vector<Key> heap_;
+  std::vector<Action> slots_;        // arena; index = Key::slot
+  std::vector<std::uint32_t> free_;  // recycled arena indices
   std::uint64_t next_seq_ = 0;
 };
 

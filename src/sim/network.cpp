@@ -52,10 +52,9 @@ void Network::send(NodeId from, NodeId to, MessagePtr m) {
   assert(m != nullptr);
   stats_.on_send(from, *m);
   SimTime latency = latency_->sample(sim_.rng(), from, to);
-  // Ownership moves into the event closure; shared_ptr keeps the closure
-  // copyable (std::function requirement).
-  std::shared_ptr<Message> msg(m.release());
-  sim_.schedule_after(latency, [this, from, to, msg] {
+  // Ownership moves straight into the (move-only, small-buffer) event
+  // closure: no shared_ptr control block, no closure heap allocation.
+  sim_.schedule_after(latency, [this, from, to, msg = std::move(m)] {
     Node* dst = find(to);
     if (dst == nullptr) {
       stats_.on_drop(*msg);

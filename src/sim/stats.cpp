@@ -1,5 +1,7 @@
 #include "sim/stats.h"
 
+#include <string_view>
+
 namespace ares {
 
 void NetworkStats::bump(std::vector<std::uint64_t>& v, NodeId id) {
@@ -9,9 +11,11 @@ void NetworkStats::bump(std::vector<std::uint64_t>& v, NodeId id) {
 
 void NetworkStats::on_send(NodeId from, const Message& m) {
   ++sent_;
-  auto& tc = by_type_[m.type_name()];
-  ++tc.count;
-  tc.bytes += m.wire_size();
+  const std::string_view type = m.type_name();
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) it = by_type_.emplace(type, TypeCounter{}).first;
+  ++it->second.count;
+  it->second.bytes += m.wire_size();
   if (load_filter_ && load_filter_(m)) bump(load_sent_, from);
 }
 

@@ -37,7 +37,9 @@ class NetworkStats {
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }
 
-  const std::map<std::string, TypeCounter>& sent_by_type() const { return by_type_; }
+  const std::map<std::string, TypeCounter, std::less<>>& sent_by_type() const {
+    return by_type_;
+  }
 
   /// Per-node counters; vectors sized to the largest node id seen.
   const std::vector<std::uint64_t>& load_sent_by_node() const { return load_sent_; }
@@ -51,7 +53,10 @@ class NetworkStats {
   void bump(std::vector<std::uint64_t>& v, NodeId id);
 
   std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0;
-  std::map<std::string, TypeCounter> by_type_;
+  // Transparent comparator: on_send() looks up by const char* without
+  // materializing a std::string per message (type names longer than the
+  // SSO buffer would otherwise heap-allocate on every send).
+  std::map<std::string, TypeCounter, std::less<>> by_type_;
   std::vector<std::uint64_t> load_sent_, load_recv_;
   LoadFilter load_filter_;
 };

@@ -1,0 +1,119 @@
+#include "common/unique_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace ares {
+namespace {
+
+TEST(UniqueAction, DefaultIsEmpty) {
+  UniqueAction a;
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(UniqueAction, InvokesSmallCapture) {
+  int hits = 0;
+  UniqueAction a = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(a));
+  a();
+  a();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueAction, MoveOnlyCapture) {
+  auto value = std::make_unique<int>(41);
+  int seen = 0;
+  // std::function would reject this lambda (not copyable); UniqueAction is
+  // the reason sim::Network can pass unique_ptr<Message> into a closure.
+  UniqueAction a = [v = std::move(value), &seen] { seen = *v + 1; };
+  a();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(UniqueAction, LargeCaptureFallsBackToHeapAndStillRuns) {
+  std::array<std::uint64_t, 32> big{};  // 256 B, well past kInline
+  big[0] = 7;
+  big[31] = 35;
+  std::uint64_t sum = 0;
+  UniqueAction a = [big, &sum] { sum = big[0] + big[31]; };
+  UniqueAction b = std::move(a);  // heap case: relocate moves the pointer
+  b();
+  EXPECT_EQ(sum, 42u);
+}
+
+TEST(UniqueAction, MoveTransfersOwnership) {
+  int hits = 0;
+  UniqueAction a = [&hits] { ++hits; };
+  UniqueAction b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueAction, MoveAssignDestroysPreviousTarget) {
+  auto counter = std::make_shared<int>(0);
+  struct Bump {
+    std::shared_ptr<int> c;
+    ~Bump() {
+      if (c) ++*c;
+    }
+    Bump(std::shared_ptr<int> p) : c(std::move(p)) {}
+    Bump(Bump&&) = default;
+    void operator()() {}
+  };
+  UniqueAction a{Bump(counter)};
+  UniqueAction b{Bump(counter)};
+  a = std::move(b);  // the callable previously in `a` must be destroyed now
+  EXPECT_EQ(*counter, 1);
+  a.reset();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(UniqueAction, DestructionCountsBalance) {
+  // Every constructed capture is destroyed exactly once across an arbitrary
+  // chain of moves — the invariant the slot-arena EventQueue relies on.
+  struct Counts {
+    int constructed = 0;
+    int destroyed = 0;
+  } counts;
+  struct Probe {
+    Counts* c;
+    explicit Probe(Counts* counts) : c(counts) { ++c->constructed; }
+    Probe(Probe&& o) noexcept : c(o.c) { ++c->constructed; }
+    ~Probe() { ++c->destroyed; }
+    void operator()() {}
+  };
+  {
+    UniqueAction a{Probe(&counts)};
+    UniqueAction b = std::move(a);
+    UniqueAction c;
+    c = std::move(b);
+    c();
+  }
+  EXPECT_EQ(counts.constructed, counts.destroyed);
+  EXPECT_GT(counts.constructed, 0);
+}
+
+TEST(UniqueAction, SelfMoveAssignIsSafe) {
+  int hits = 0;
+  UniqueAction a = [&hits] { ++hits; };
+  UniqueAction& ref = a;
+  a = std::move(ref);
+  ASSERT_TRUE(static_cast<bool>(a));
+  a();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueAction, ResetOnEmptyIsNoop) {
+  UniqueAction a;
+  a.reset();
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+}  // namespace
+}  // namespace ares

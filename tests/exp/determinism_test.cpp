@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/experiment.h"
+#include "exp/parallel.h"
 #include "workload/distributions.h"
 
 namespace ares {
@@ -38,6 +39,8 @@ void expect_identical(const exp::QueryRunStats& a, const exp::QueryRunStats& b) 
   EXPECT_EQ(a.mean_matches, b.mean_matches);
   EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
   EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.late_events, b.late_events);
 }
 
 TEST(SeedDeterminism, IdenticalSeedsProduceIdenticalQueryRunStats) {
@@ -45,7 +48,23 @@ TEST(SeedDeterminism, IdenticalSeedsProduceIdenticalQueryRunStats) {
   auto second = run_once(1234);
   ASSERT_GT(first.queries, 0u);
   ASSERT_GT(first.completed, 0u);
+  // No churn in this pipeline, so nothing may be scheduled into the past.
+  EXPECT_EQ(first.late_events, 0u);
   expect_identical(first, second);
+}
+
+TEST(SeedDeterminism, HoldsThroughParallelRunner) {
+  // The same pipeline dispatched via run_trials must reproduce the inline
+  // result for every seed, regardless of worker count or completion order.
+  const std::vector<std::uint64_t> seeds{1234, 99, 7};
+  auto via_pool = exp::run_trials(
+      seeds, [](const std::uint64_t& s, std::size_t) { return run_once(s); },
+      /*threads=*/3);
+  ASSERT_EQ(via_pool.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    SCOPED_TRACE("seed " + std::to_string(seeds[i]));
+    expect_identical(via_pool[i], run_once(seeds[i]));
+  }
 }
 
 TEST(SeedDeterminism, DifferentSeedsDiverge) {

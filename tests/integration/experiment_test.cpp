@@ -31,6 +31,9 @@ TEST(ExperimentHarness, RunQueriesReportsPerfectDeliveryOnStableGrid) {
   EXPECT_DOUBLE_EQ(stats.mean_delivery, 1.0);
   EXPECT_EQ(stats.duplicates, 0u);
   EXPECT_GT(stats.mean_latency_s, 0.0);
+  EXPECT_GT(stats.sim_events, 0u);
+  // No churn: a late event would mean something scheduled into the past.
+  EXPECT_EQ(stats.late_events, 0u);
 }
 
 TEST(ExperimentHarness, SigmaDeliveryMeasuredAgainstSigma) {
@@ -41,6 +44,7 @@ TEST(ExperimentHarness, SigmaDeliveryMeasuredAgainstSigma) {
   EXPECT_EQ(stats.completed, 3u);
   EXPECT_GE(stats.mean_delivery, 1.0);  // at least sigma found
   EXPECT_GE(stats.mean_matches, 10.0);
+  EXPECT_EQ(stats.late_events, 0u);
 }
 
 TEST(ExperimentHarness, MeasureLoadCountsOnlyQueryTraffic) {
