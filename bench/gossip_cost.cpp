@@ -73,10 +73,27 @@ int main() {
   t.print();
   std::cout << "paper's estimate: ~2,560 bytes/node/cycle (320 B messages, "
                "4 per cycle)\n";
+  const double per_node_cycle = static_cast<double>(total_bytes) / denom;
   report.summary()
       .num("total_gossip_msgs", total_msgs)
       .num("total_gossip_bytes", total_bytes)
-      .num("bytes_per_node_cycle", static_cast<double>(total_bytes) / denom);
+      .num("bytes_per_node_cycle", per_node_cycle);
   report.write();
+
+  // Budget gate: at the paper's defaults (d=5), measured overlay traffic
+  // must stay within +-15% of the ~2,560 B/node/cycle estimate. Bytes are
+  // codec-measured (Message::wire_size() == encoded frame length), so this
+  // guards the wire format itself against silent size drift.
+  if (s.dims == 5) {
+    const double lo = 2560.0 * 0.85, hi = 2560.0 * 1.15;
+    if (per_node_cycle < lo || per_node_cycle > hi) {
+      std::cerr << "FAIL: " << per_node_cycle
+                << " bytes/node/cycle outside paper budget [" << lo << ", "
+                << hi << "]\n";
+      return 1;
+    }
+    std::cout << "budget check: " << exp::fmt(per_node_cycle) << " in ["
+              << lo << ", " << hi << "] OK\n";
+  }
   return 0;
 }

@@ -29,9 +29,7 @@ struct FloodQueryMsg final : Message {
   int ttl = 0;
 
   const char* type_name() const override { return "flood.query"; }
-  std::size_t wire_size() const override {
-    return 8 + 6 + 1 + 16 * static_cast<std::size_t>(query.dimensions());
-  }
+  wire::Kind kind() const override { return wire::Kind::kFloodQuery; }
 };
 
 struct FloodHitMsg final : Message {
@@ -39,7 +37,7 @@ struct FloodHitMsg final : Message {
   MatchRecord match;
 
   const char* type_name() const override { return "flood.hit"; }
-  std::size_t wire_size() const override { return 8 + 6 + 8 * match.values.size(); }
+  wire::Kind kind() const override { return wire::Kind::kFloodHit; }
 };
 
 class FloodingNode final : public Node {

@@ -31,7 +31,9 @@ struct SliceExchangeMsg final : Message {
   const char* type_name() const override {
     return is_reply ? "slice.reply" : "slice.request";
   }
-  std::size_t wire_size() const override { return 1 + 8 + 8 + 1 + 6; }
+  wire::Kind kind() const override {
+    return is_reply ? wire::Kind::kSliceReply : wire::Kind::kSliceRequest;
+  }
 };
 
 class SlicingNode final : public Node {

@@ -1,7 +1,9 @@
 #pragma once
 
 /// \file messages.h
-/// The QUERY and REPLY wire formats of Figure 4(a) in the paper.
+/// The QUERY and REPLY messages of Figure 4(a) in the paper. Their binary
+/// wire format lives in the codec layer (wire/codecs.cpp, spec in
+/// docs/PROTOCOL.md §"Wire format"); sizes come from Message::wire_size().
 ///
 /// QUERY fields map 1:1 to the paper:
 ///   id        -> QueryMsg::id
@@ -45,10 +47,7 @@ struct QueryMsg final : Message {
   std::uint32_t dims_mask = 0;
 
   const char* type_name() const override { return "select.query"; }
-  std::size_t wire_size() const override {
-    // id + addresses + sigma/level/dims + 2x8B per attribute range.
-    return 8 + 6 + 6 + 4 + 1 + 4 + 16 * static_cast<std::size_t>(query.dimensions());
-  }
+  wire::Kind kind() const override { return wire::Kind::kQuery; }
 };
 
 /// Branch keepalive (engineering extension, see ProtocolConfig::
@@ -60,7 +59,7 @@ struct ProgressMsg final : Message {
   QueryId id = 0;
 
   const char* type_name() const override { return "select.progress"; }
-  std::size_t wire_size() const override { return 8 + 6; }
+  wire::Kind kind() const override { return wire::Kind::kProgress; }
 };
 
 struct ReplyMsg final : Message {
@@ -68,11 +67,7 @@ struct ReplyMsg final : Message {
   std::vector<MatchRecord> matching;
 
   const char* type_name() const override { return "select.reply"; }
-  std::size_t wire_size() const override {
-    std::size_t s = 8 + 4;
-    for (const auto& m : matching) s += 6 + 8 * m.values.size();
-    return s;
-  }
+  wire::Kind kind() const override { return wire::Kind::kReply; }
 };
 
 /// Mask with the lowest `d` bits set (dimensions 0..d-1 all explorable).

@@ -31,7 +31,7 @@ struct DhtPutMsg final : Message {
   DhtKey key = 0;
   ResourceRecord record;
   const char* type_name() const override { return "dht.put"; }
-  std::size_t wire_size() const override { return 8 + 6 + 8 * record.values.size(); }
+  wire::Kind kind() const override { return wire::Kind::kDhtPut; }
 };
 
 struct DhtGetMsg final : Message {
@@ -39,7 +39,7 @@ struct DhtGetMsg final : Message {
   NodeId origin = kInvalidNode;
   std::uint64_t request_id = 0;
   const char* type_name() const override { return "dht.get"; }
-  std::size_t wire_size() const override { return 8 + 6 + 8; }
+  wire::Kind kind() const override { return wire::Kind::kDhtGet; }
 };
 
 struct DhtRecordsMsg final : Message {
@@ -47,11 +47,7 @@ struct DhtRecordsMsg final : Message {
   DhtKey key = 0;
   std::vector<ResourceRecord> records;
   const char* type_name() const override { return "dht.records"; }
-  std::size_t wire_size() const override {
-    std::size_t s = 16;
-    for (const auto& r : records) s += 6 + 8 * r.values.size();
-    return s;
-  }
+  wire::Kind kind() const override { return wire::Kind::kDhtRecords; }
 };
 
 class ChordNode final : public Node {

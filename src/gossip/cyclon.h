@@ -26,10 +26,8 @@ struct CyclonShuffleMsg final : Message {
   const char* type_name() const override {
     return is_reply ? "cyclon.reply" : "cyclon.request";
   }
-  std::size_t wire_size() const override {
-    std::size_t s = 16;
-    for (const auto& e : entries) s += descriptor_wire_size(e);
-    return s;
+  wire::Kind kind() const override {
+    return is_reply ? wire::Kind::kCyclonReply : wire::Kind::kCyclonRequest;
   }
 };
 

@@ -29,11 +29,4 @@ inline PeerDescriptor make_descriptor(const AttributeSpace& space, NodeId id,
   return PeerDescriptor{id, values, space.coord_of(values), age};
 }
 
-/// Approximate serialized descriptor size: 6-byte address + 8 bytes per
-/// attribute value + 2-byte age (mirrors the paper's ~320-byte gossip
-/// messages for d=5 and 8-entry exchanges).
-inline std::size_t descriptor_wire_size(const PeerDescriptor& d) {
-  return 6 + 8 * d.values.size() + 2;
-}
-
 }  // namespace ares

@@ -24,10 +24,8 @@ struct VicinityExchangeMsg final : Message {
   const char* type_name() const override {
     return is_reply ? "vicinity.reply" : "vicinity.request";
   }
-  std::size_t wire_size() const override {
-    std::size_t s = 16;
-    for (const auto& e : entries) s += descriptor_wire_size(e);
-    return s;
+  wire::Kind kind() const override {
+    return is_reply ? wire::Kind::kVicinityReply : wire::Kind::kVicinityRequest;
   }
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/wire.h"
+
 namespace ares {
 
 LoopbackRuntime::LoopbackRuntime(std::uint64_t seed) : rng_(seed) {}
@@ -34,6 +36,17 @@ Node* LoopbackRuntime::find(NodeId id) {
 
 void LoopbackRuntime::send(NodeId from, NodeId to, MessagePtr m) {
   assert(m != nullptr);
+  if (wire::checked_delivery()) {
+    // Wire-true mode (see runtime/wire.h): round-trip through the codec at
+    // the boundary; undecodable frames are dropped and metered.
+    auto rc = wire::recode(*m);
+    if (rc.msg == nullptr) {
+      metrics().inc(from, rc.encode_ok ? "wire.decode_fail" : "wire.encode_fail");
+      ++dropped_;
+      return;
+    }
+    m = std::move(rc.msg);
+  }
   inbox_.push_back(Envelope{from, to, std::move(m)});
 }
 

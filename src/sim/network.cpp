@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/wire.h"
+
 namespace ares {
 
 Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency)
@@ -50,6 +52,19 @@ Node* Network::find(NodeId id) {
 
 void Network::send(NodeId from, NodeId to, MessagePtr m) {
   assert(m != nullptr);
+  if (wire::checked_delivery()) {
+    // Wire-true mode: the message crosses the boundary as codec bytes, the
+    // way a socket backend would move it. Undecodable frames are dropped
+    // (and metered), never delivered or crashed on.
+    auto rc = wire::recode(*m);
+    if (rc.msg == nullptr) {
+      metrics().inc(from, rc.encode_ok ? "wire.decode_fail" : "wire.encode_fail");
+      stats_.on_send(from, *m);
+      stats_.on_drop(*m);
+      return;
+    }
+    m = std::move(rc.msg);
+  }
   stats_.on_send(from, *m);
   SimTime latency = latency_->sample(sim_.rng(), from, to);
   // Ownership moves straight into the (move-only, small-buffer) event

@@ -1,46 +1,56 @@
 #include "wire/codecs.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace ares::wire {
 namespace {
 
+// The registry dispatches on Message::kind() before calling encode_body, so
+// the static_casts below are guarded by each type's kind() override.
+
 // ---- field codecs ---------------------------------------------------------
+
+// Attribute values are fixed-width u64 on the wire (varints would make
+// message sizes value-dependent, muddying the paper's byte accounting);
+// counts stay varint.
 
 void put_point(Writer& w, const Point& p) {
   w.varint(p.size());
-  for (AttrValue v : p) w.varint(v);
+  for (AttrValue v : p) w.u64(v);
 }
 
 bool get_point(Reader& r, Point& p) {
-  std::uint64_t n = r.count(1);
+  std::uint64_t n = r.count(8);
   if (!r.ok()) return false;
   p.resize(static_cast<std::size_t>(n));
-  for (auto& v : p) v = r.varint();
+  for (auto& v : p) v = r.u64();
   return r.ok();
 }
 
 void put_coord(Writer& w, const CellCoord& c) {
   w.varint(c.size());
-  for (CellIndex i : c) w.varint(i);
+  for (CellIndex i : c) w.u32(i);
 }
 
 bool get_coord(Reader& r, CellCoord& c) {
-  std::uint64_t n = r.count(1);
+  std::uint64_t n = r.count(4);
   if (!r.ok()) return false;
   c.resize(static_cast<std::size_t>(n));
-  for (auto& i : c) i = static_cast<CellIndex>(r.varint());
+  for (auto& i : c) i = static_cast<CellIndex>(r.u32());
   return r.ok();
 }
 
 void put_descriptor(Writer& w, const PeerDescriptor& d) {
   w.u32(d.id);
-  w.varint(d.age);
+  w.u32(d.age);
   put_point(w, d.values);
   put_coord(w, d.coord);
 }
 
 bool get_descriptor(Reader& r, PeerDescriptor& d) {
   d.id = r.u32();
-  d.age = static_cast<std::uint32_t>(r.varint());
+  d.age = r.u32();
   return get_point(r, d.values) && get_coord(r, d.coord) && r.ok();
 }
 
@@ -50,7 +60,7 @@ void put_descriptors(Writer& w, const std::vector<PeerDescriptor>& v) {
 }
 
 bool get_descriptors(Reader& r, std::vector<PeerDescriptor>& v) {
-  std::uint64_t n = r.count(6);  // >= id(4) + age(1) + two counts
+  std::uint64_t n = r.count(10);  // >= id(4) + age(4) + two counts
   if (!r.ok()) return false;
   v.resize(static_cast<std::size_t>(n));
   for (auto& d : v)
@@ -115,7 +125,82 @@ bool get_resource(Reader& r, ResourceRecord& rec) {
   return get_point(r, rec.values) && r.ok();
 }
 
-// ---- per-kind decoders ----------------------------------------------------
+// ---- field sizes ----------------------------------------------------------
+//
+// Exact byte counts mirroring the put_* functions above, used for the
+// Codec::size_body fast path (per-send traffic accounting). Any divergence
+// from the encoders is caught by the round-trip property test, which
+// asserts size == encoded length on randomized messages of every kind.
+
+std::size_t varint_len(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t opt_len(const std::optional<std::uint64_t>& v) {
+  return v.has_value() ? 1 + varint_len(*v) : 1;
+}
+
+std::size_t point_size(const Point& p) {
+  return varint_len(p.size()) + 8 * p.size();
+}
+
+std::size_t coord_size(const CellCoord& c) {
+  return varint_len(c.size()) + 4 * c.size();
+}
+
+std::size_t descriptor_size(const PeerDescriptor& d) {
+  return 8 + point_size(d.values) + coord_size(d.coord);
+}
+
+std::size_t descriptors_size(const std::vector<PeerDescriptor>& v) {
+  std::size_t n = varint_len(v.size());
+  for (const auto& d : v) n += descriptor_size(d);
+  return n;
+}
+
+std::size_t query_size(const RangeQuery& q) {
+  std::size_t n = varint_len(static_cast<std::uint64_t>(q.dimensions()));
+  for (int d = 0; d < q.dimensions(); ++d)
+    n += opt_len(q.range(d).lo) + opt_len(q.range(d).hi);
+  const auto& filters = q.dynamic_filters();
+  n += varint_len(filters.size());
+  for (const auto& f : filters)
+    n += varint_len(f.index) + opt_len(f.range.lo) + opt_len(f.range.hi);
+  return n;
+}
+
+std::size_t record_size(const MatchRecord& m) {
+  return 4 + point_size(m.values);
+}
+
+std::size_t resource_size(const ResourceRecord& r) {
+  return 4 + point_size(r.values);
+}
+
+// ---- per-kind codecs ------------------------------------------------------
+
+void encode_gossip(const Message& m, Writer& w) {
+  Kind k = m.kind();
+  const auto& entries =
+      (k == Kind::kCyclonRequest || k == Kind::kCyclonReply)
+          ? static_cast<const CyclonShuffleMsg&>(m).entries
+          : static_cast<const VicinityExchangeMsg&>(m).entries;
+  put_descriptors(w, entries);
+}
+
+std::size_t size_gossip(const Message& m) {
+  Kind k = m.kind();
+  const auto& entries =
+      (k == Kind::kCyclonRequest || k == Kind::kCyclonReply)
+          ? static_cast<const CyclonShuffleMsg&>(m).entries
+          : static_cast<const VicinityExchangeMsg&>(m).entries;
+  return descriptors_size(entries);
+}
 
 MessagePtr decode_gossip(Reader& r, Kind kind) {
   if (kind == Kind::kCyclonRequest || kind == Kind::kCyclonReply) {
@@ -130,13 +215,29 @@ MessagePtr decode_gossip(Reader& r, Kind kind) {
   return m;
 }
 
-MessagePtr decode_query(Reader& r) {
+void encode_query(const Message& m, Writer& w) {
+  const auto& q = static_cast<const QueryMsg&>(m);
+  w.u64(q.id);
+  w.u32(q.reply_to);
+  w.u32(q.origin);
+  w.u32(q.sigma);
+  // level in [-1, 127] encoded with a +1 offset.
+  w.u8(static_cast<std::uint8_t>(q.level + 1));
+  w.u32(q.dims_mask);
+  put_query(w, q.query);
+}
+
+std::size_t size_query(const Message& m) {
+  const auto& q = static_cast<const QueryMsg&>(m);
+  return 8 + 4 + 4 + 4 + 1 + 4 + query_size(q.query);
+}
+
+MessagePtr decode_query(Reader& r, Kind) {
   auto m = std::make_unique<QueryMsg>();
   m->id = r.u64();
   m->reply_to = r.u32();
   m->origin = r.u32();
   m->sigma = r.u32();
-  // level in [-1, 127] encoded with a +1 offset.
   std::uint8_t lvl = r.u8();
   m->level = static_cast<int>(lvl) - 1;
   m->dims_mask = r.u32();
@@ -144,7 +245,21 @@ MessagePtr decode_query(Reader& r) {
   return m;
 }
 
-MessagePtr decode_reply(Reader& r) {
+void encode_reply(const Message& m, Writer& w) {
+  const auto& rp = static_cast<const ReplyMsg&>(m);
+  w.u64(rp.id);
+  w.varint(rp.matching.size());
+  for (const auto& rec : rp.matching) put_record(w, rec);
+}
+
+std::size_t size_reply(const Message& m) {
+  const auto& rp = static_cast<const ReplyMsg&>(m);
+  std::size_t n = 8 + varint_len(rp.matching.size());
+  for (const auto& rec : rp.matching) n += record_size(rec);
+  return n;
+}
+
+MessagePtr decode_reply(Reader& r, Kind) {
   auto m = std::make_unique<ReplyMsg>();
   m->id = r.u64();
   std::uint64_t n = r.count(5);
@@ -155,10 +270,57 @@ MessagePtr decode_reply(Reader& r) {
   return m;
 }
 
-MessagePtr decode_progress(Reader& r) {
+void encode_progress(const Message& m, Writer& w) {
+  w.u64(static_cast<const ProgressMsg&>(m).id);
+}
+
+MessagePtr decode_progress(Reader& r, Kind) {
   auto m = std::make_unique<ProgressMsg>();
   m->id = r.u64();
   return m;
+}
+
+std::size_t size_progress(const Message&) { return 8; }
+
+void encode_dht(const Message& m, Writer& w) {
+  switch (m.kind()) {
+    case Kind::kDhtPut: {
+      const auto& p = static_cast<const DhtPutMsg&>(m);
+      w.u64(p.key);
+      put_resource(w, p.record);
+      return;
+    }
+    case Kind::kDhtGet: {
+      const auto& g = static_cast<const DhtGetMsg&>(m);
+      w.u64(g.key);
+      w.u32(g.origin);
+      w.u64(g.request_id);
+      return;
+    }
+    default: {
+      const auto& recs = static_cast<const DhtRecordsMsg&>(m);
+      w.u64(recs.request_id);
+      w.u64(recs.key);
+      w.varint(recs.records.size());
+      for (const auto& rec : recs.records) put_resource(w, rec);
+      return;
+    }
+  }
+}
+
+std::size_t size_dht(const Message& m) {
+  switch (m.kind()) {
+    case Kind::kDhtPut:
+      return 8 + resource_size(static_cast<const DhtPutMsg&>(m).record);
+    case Kind::kDhtGet:
+      return 8 + 4 + 8;
+    default: {
+      const auto& recs = static_cast<const DhtRecordsMsg&>(m);
+      std::size_t n = 8 + 8 + varint_len(recs.records.size());
+      for (const auto& rec : recs.records) n += resource_size(rec);
+      return n;
+    }
+  }
 }
 
 MessagePtr decode_dht(Reader& r, Kind kind) {
@@ -190,109 +352,94 @@ MessagePtr decode_dht(Reader& r, Kind kind) {
   }
 }
 
+void encode_flood_query(const Message& m, Writer& w) {
+  const auto& f = static_cast<const FloodQueryMsg&>(m);
+  w.u64(f.id);
+  w.u32(f.origin);
+  w.varint(static_cast<std::uint32_t>(std::max(f.ttl, 0)));
+  put_query(w, f.query);
+}
+
+std::size_t size_flood_query(const Message& m) {
+  const auto& f = static_cast<const FloodQueryMsg&>(m);
+  return 8 + 4 + varint_len(static_cast<std::uint32_t>(std::max(f.ttl, 0))) +
+         query_size(f.query);
+}
+
+MessagePtr decode_flood_query(Reader& r, Kind) {
+  auto m = std::make_unique<FloodQueryMsg>();
+  m->id = r.u64();
+  m->origin = r.u32();
+  std::uint64_t ttl = r.varint();
+  if (!r.ok() || ttl > std::numeric_limits<int>::max()) return nullptr;
+  m->ttl = static_cast<int>(ttl);
+  if (!get_query(r, m->query)) return nullptr;
+  return m;
+}
+
+void encode_flood_hit(const Message& m, Writer& w) {
+  const auto& f = static_cast<const FloodHitMsg&>(m);
+  w.u64(f.id);
+  put_record(w, f.match);
+}
+
+std::size_t size_flood_hit(const Message& m) {
+  return 8 + record_size(static_cast<const FloodHitMsg&>(m).match);
+}
+
+MessagePtr decode_flood_hit(Reader& r, Kind) {
+  auto m = std::make_unique<FloodHitMsg>();
+  m->id = r.u64();
+  if (!get_record(r, m->match)) return nullptr;
+  return m;
+}
+
+void encode_slice(const Message& m, Writer& w) {
+  const auto& s = static_cast<const SliceExchangeMsg&>(m);
+  w.f64(s.attribute);
+  w.f64(s.slice_value);
+  w.u8(s.swapped ? 1 : 0);
+}
+
+std::size_t size_slice(const Message&) { return 8 + 8 + 1; }
+
+MessagePtr decode_slice(Reader& r, Kind kind) {
+  auto m = std::make_unique<SliceExchangeMsg>();
+  m->is_reply = kind == Kind::kSliceReply;
+  m->attribute = r.f64();
+  m->slice_value = r.f64();
+  std::uint8_t swapped = r.u8();
+  if (!r.ok() || swapped > 1) return nullptr;
+  m->swapped = swapped == 1;
+  return m;
+}
+
 }  // namespace
 
-bool encode(const Message& m, Writer& w) {
-  if (const auto* c = dynamic_cast<const CyclonShuffleMsg*>(&m)) {
-    w.u8(static_cast<std::uint8_t>(c->is_reply ? Kind::kCyclonReply
-                                               : Kind::kCyclonRequest));
-    put_descriptors(w, c->entries);
-    return true;
-  }
-  if (const auto* v = dynamic_cast<const VicinityExchangeMsg*>(&m)) {
-    w.u8(static_cast<std::uint8_t>(v->is_reply ? Kind::kVicinityReply
-                                               : Kind::kVicinityRequest));
-    put_descriptors(w, v->entries);
-    return true;
-  }
-  if (const auto* q = dynamic_cast<const QueryMsg*>(&m)) {
-    w.u8(static_cast<std::uint8_t>(Kind::kQuery));
-    w.u64(q->id);
-    w.u32(q->reply_to);
-    w.u32(q->origin);
-    w.u32(q->sigma);
-    w.u8(static_cast<std::uint8_t>(q->level + 1));
-    w.u32(q->dims_mask);
-    put_query(w, q->query);
-    return true;
-  }
-  if (const auto* rp = dynamic_cast<const ReplyMsg*>(&m)) {
-    w.u8(static_cast<std::uint8_t>(Kind::kReply));
-    w.u64(rp->id);
-    w.varint(rp->matching.size());
-    for (const auto& rec : rp->matching) put_record(w, rec);
-    return true;
-  }
-  if (const auto* p = dynamic_cast<const ProgressMsg*>(&m)) {
-    w.u8(static_cast<std::uint8_t>(Kind::kProgress));
-    w.u64(p->id);
-    return true;
-  }
-  if (const auto* put_msg = dynamic_cast<const DhtPutMsg*>(&m)) {
-    w.u8(static_cast<std::uint8_t>(Kind::kDhtPut));
-    w.u64(put_msg->key);
-    put_resource(w, put_msg->record);
-    return true;
-  }
-  if (const auto* get_msg = dynamic_cast<const DhtGetMsg*>(&m)) {
-    w.u8(static_cast<std::uint8_t>(Kind::kDhtGet));
-    w.u64(get_msg->key);
-    w.u32(get_msg->origin);
-    w.u64(get_msg->request_id);
-    return true;
-  }
-  if (const auto* recs = dynamic_cast<const DhtRecordsMsg*>(&m)) {
-    w.u8(static_cast<std::uint8_t>(Kind::kDhtRecords));
-    w.u64(recs->request_id);
-    w.u64(recs->key);
-    w.varint(recs->records.size());
-    for (const auto& rec : recs->records) put_resource(w, rec);
-    return true;
-  }
-  return false;
+namespace detail {
+
+void register_builtin_codecs() {
+  const Codec gossip{encode_gossip, decode_gossip, size_gossip};
+  register_codec(Kind::kCyclonRequest, gossip);
+  register_codec(Kind::kCyclonReply, gossip);
+  register_codec(Kind::kVicinityRequest, gossip);
+  register_codec(Kind::kVicinityReply, gossip);
+  register_codec(Kind::kQuery, {encode_query, decode_query, size_query});
+  register_codec(Kind::kReply, {encode_reply, decode_reply, size_reply});
+  register_codec(Kind::kProgress,
+                 {encode_progress, decode_progress, size_progress});
+  const Codec dht{encode_dht, decode_dht, size_dht};
+  register_codec(Kind::kDhtPut, dht);
+  register_codec(Kind::kDhtGet, dht);
+  register_codec(Kind::kDhtRecords, dht);
+  register_codec(Kind::kFloodQuery,
+                 {encode_flood_query, decode_flood_query, size_flood_query});
+  register_codec(Kind::kFloodHit,
+                 {encode_flood_hit, decode_flood_hit, size_flood_hit});
+  const Codec slice{encode_slice, decode_slice, size_slice};
+  register_codec(Kind::kSliceRequest, slice);
+  register_codec(Kind::kSliceReply, slice);
 }
 
-std::vector<std::uint8_t> encode(const Message& m) {
-  Writer w;
-  if (!encode(m, w)) return {};
-  return w.take();
-}
-
-MessagePtr decode(const std::uint8_t* data, std::size_t len) {
-  Reader r(data, len);
-  auto kind = static_cast<Kind>(r.u8());
-  if (!r.ok()) return nullptr;
-  MessagePtr out;
-  switch (kind) {
-    case Kind::kCyclonRequest:
-    case Kind::kCyclonReply:
-    case Kind::kVicinityRequest:
-    case Kind::kVicinityReply:
-      out = decode_gossip(r, kind);
-      break;
-    case Kind::kQuery:
-      out = decode_query(r);
-      break;
-    case Kind::kReply:
-      out = decode_reply(r);
-      break;
-    case Kind::kProgress:
-      out = decode_progress(r);
-      break;
-    case Kind::kDhtPut:
-    case Kind::kDhtGet:
-    case Kind::kDhtRecords:
-      out = decode_dht(r, kind);
-      break;
-    default:
-      return nullptr;
-  }
-  if (out == nullptr || !r.ok() || !r.at_end()) return nullptr;
-  return out;
-}
-
-MessagePtr decode(const std::vector<std::uint8_t>& bytes) {
-  return decode(bytes.data(), bytes.size());
-}
-
+}  // namespace detail
 }  // namespace ares::wire

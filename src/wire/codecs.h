@@ -1,48 +1,21 @@
 #pragma once
 
 /// \file codecs.h
-/// Binary encode/decode for every protocol message. The simulator moves
-/// Message objects by pointer; a real deployment serializes them — these
-/// codecs define that format, and Message::wire_size() estimates are
-/// validated against actual encoded sizes by tests/wire/codec_test.cpp.
+/// Binary codecs for every in-tree protocol message — the registered
+/// implementations behind the runtime/wire.h frame driver. This header just
+/// aggregates the driver API and the message definitions for convenience
+/// (tests, tools); the codec bodies and their registration live in
+/// codecs.cpp (wire::detail::register_builtin_codecs()).
 ///
-/// Frame layout: 1-byte message kind tag, then the kind-specific body.
-/// decode() returns nullptr on any malformed input (truncation, bad tags,
-/// bogus counts) — it never throws and never reads out of bounds.
+/// The frame and field layout for each wire::Kind is specified in
+/// docs/PROTOCOL.md §"Wire format". decode() returns nullptr on any
+/// malformed input (truncation, bad tags, bogus counts) — it never throws
+/// and never reads out of bounds.
 
-#include <memory>
-
+#include "baselines/flooding.h"
+#include "baselines/slicing.h"
 #include "core/messages.h"
 #include "dht/chord.h"
 #include "gossip/cyclon.h"
 #include "gossip/vicinity.h"
-#include "wire/buffer.h"
-
-namespace ares::wire {
-
-/// Message kind tags (stable on the wire; append only).
-enum class Kind : std::uint8_t {
-  kCyclonRequest = 1,
-  kCyclonReply = 2,
-  kVicinityRequest = 3,
-  kVicinityReply = 4,
-  kQuery = 5,
-  kReply = 6,
-  kProgress = 7,
-  kDhtPut = 8,
-  kDhtGet = 9,
-  kDhtRecords = 10,
-};
-
-/// Serializes any supported message; returns false for unknown types.
-bool encode(const Message& m, Writer& w);
-
-/// Convenience: encode into a fresh byte vector (empty on failure).
-std::vector<std::uint8_t> encode(const Message& m);
-
-/// Parses one message; nullptr when the input is malformed or trailing
-/// bytes remain.
-MessagePtr decode(const std::uint8_t* data, std::size_t len);
-MessagePtr decode(const std::vector<std::uint8_t>& bytes);
-
-}  // namespace ares::wire
+#include "runtime/wire.h"

@@ -26,13 +26,16 @@ TEST(Messages, QueryWireSizeGrowsWithDimensions) {
 }
 
 TEST(Messages, ReplyWireSizeGrowsWithMatches) {
-  ReplyMsg r;
-  auto base = r.wire_size();
-  r.matching.push_back({1, {1, 2, 3}});
-  EXPECT_GT(r.wire_size(), base);
-  auto one = r.wire_size();
-  r.matching.push_back({2, {1, 2, 3}});
-  EXPECT_GT(r.wire_size(), one);
+  // wire_size() is cached on first use, so compare fresh messages rather
+  // than mutating one in place (messages are immutable once sized/sent).
+  auto make = [](std::size_t n_matches) {
+    ReplyMsg r;
+    for (std::size_t i = 0; i < n_matches; ++i)
+      r.matching.push_back({static_cast<NodeId>(i + 1), {1, 2, 3}});
+    return r;
+  };
+  EXPECT_GT(make(1).wire_size(), make(0).wire_size());
+  EXPECT_GT(make(2).wire_size(), make(1).wire_size());
 }
 
 TEST(Messages, TypeNamesPrefixedForLoadFiltering) {

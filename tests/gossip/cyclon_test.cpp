@@ -214,7 +214,7 @@ TEST(CyclonUnit, IgnoresForeignMessages) {
            [&](NodeId, MessagePtr) {});
   struct Other final : Message {
     const char* type_name() const override { return "other"; }
-    std::size_t wire_size() const override { return 1; }
+    wire::Kind kind() const override { return wire::Kind::kTestBase; }
   } other;
   EXPECT_FALSE(c.handle(2, other));
 }

@@ -212,7 +212,7 @@ TEST_F(VicinityUnit, IgnoresForeignMessages) {
   View cyclon_view(8);
   struct Other final : Message {
     const char* type_name() const override { return "other"; }
-    std::size_t wire_size() const override { return 1; }
+    wire::Kind kind() const override { return wire::Kind::kTestBase; }
   } other;
   EXPECT_FALSE(v.handle(2, other, cyclon_view));
 }

@@ -1,0 +1,54 @@
+/// §6 (prose): overlay-maintenance traffic. The paper estimates ~2,560
+/// bytes/node/cycle (two ~320 B gossips initiated + two received per 10 s
+/// cycle) and calls it negligible. With codec-measured sizes as the single
+/// source of truth, that estimate becomes a testable budget: steady-state
+/// gossip traffic must stay within +-15% of it. bench/gossip_cost.cpp
+/// enforces the same band on the full-size run.
+
+#include <gtest/gtest.h>
+
+#include "exp/grid.h"
+#include "workload/distributions.h"
+
+namespace ares {
+namespace {
+
+TEST(GossipCost, SteadyStateTrafficWithinPaperBudget) {
+  constexpr std::size_t kNodes = 150;
+  constexpr double kCycleS = 10.0;  // gossip period (protocol default)
+  constexpr int kMeasureCycles = 15;
+
+  auto space = AttributeSpace::uniform(5, 3, 0, 80);
+  Grid::Config cfg{.space = space};
+  cfg.nodes = kNodes;
+  cfg.oracle = false;
+  cfg.convergence = from_seconds(15 * kCycleS);  // past ramp-up
+  cfg.latency = "lan";
+  cfg.seed = 7;
+  cfg.protocol.gossip_enabled = true;
+  cfg.bootstrap_contacts = 5;
+  cfg.track_visited = false;
+  Grid grid(std::move(cfg), uniform_points(space, 0, 80));
+
+  auto gossip_bytes = [&] {
+    std::uint64_t total = 0;
+    for (const auto& [name, tc] : grid.net().stats().sent_by_type())
+      if (name.starts_with("cyclon.") || name.starts_with("vicinity."))
+        total += tc.bytes;
+    return total;
+  };
+
+  const std::uint64_t before = gossip_bytes();
+  grid.sim().run_until(grid.sim().now() +
+                       from_seconds(kMeasureCycles * kCycleS));
+  const std::uint64_t after = gossip_bytes();
+
+  const double per_node_cycle = static_cast<double>(after - before) /
+                                (static_cast<double>(kNodes) * kMeasureCycles);
+  // Paper budget: ~2,560 B/node/cycle, +-15%.
+  EXPECT_GE(per_node_cycle, 2560.0 * 0.85);
+  EXPECT_LE(per_node_cycle, 2560.0 * 1.15);
+}
+
+}  // namespace
+}  // namespace ares

@@ -5,15 +5,35 @@
 #include <string>
 #include <vector>
 
+#include "runtime/wire.h"
+
 namespace ares {
 namespace {
+
+constexpr auto kTextKind = wire::Kind::kTestBase;
 
 struct TextMsg final : Message {
   explicit TextMsg(std::string t) : text(std::move(t)) {}
   std::string text;
   const char* type_name() const override { return "test.text"; }
-  std::size_t wire_size() const override { return text.size(); }
+  wire::Kind kind() const override { return kTextKind; }
 };
+
+// Registered so the suite also passes under codec-checked delivery
+// (ARES_WIRE=1), where every send round-trips through encode/decode.
+const bool kTextCodec = [] {
+  wire::register_codec(
+      kTextKind,
+      {[](const Message& m, wire::Writer& w) {
+         w.str(static_cast<const TextMsg&>(m).text);
+       },
+       [](wire::Reader& r, wire::Kind) -> MessagePtr {
+         auto text = r.str();
+         if (!r.ok()) return nullptr;
+         return std::make_unique<TextMsg>(std::move(text));
+       }});
+  return true;
+}();
 
 /// Records deliveries; optionally echoes every message back to its sender.
 class EchoNode final : public Node {
@@ -158,6 +178,25 @@ TEST(LoopbackRuntime, MetricsRegistryIsShared) {
   NodeId a = rt.add_node(std::make_unique<EchoNode>());
   rt.metrics().inc(a, "test.counter", 2);
   EXPECT_EQ(rt.metrics().total("test.counter"), 2u);
+}
+
+TEST(LoopbackRuntime, CheckedDeliveryRecodesAndDropsUncodable) {
+  struct NoCodecMsg final : Message {
+    const char* type_name() const override { return "test.nocodec"; }
+    wire::Kind kind() const override { return static_cast<wire::Kind>(255); }
+  };
+  wire::ScopedCheckedDelivery wire_true(true);
+  LoopbackRuntime rt;
+  NodeId a = rt.add_node(std::make_unique<EchoNode>());
+  NodeId b = rt.add_node(std::make_unique<EchoNode>());
+  rt.send(a, b, std::make_unique<TextMsg>("over the wire"));
+  rt.send(a, b, std::make_unique<NoCodecMsg>());  // dropped at the boundary
+  rt.deliver_pending();
+  auto& got = rt.find_as<EchoNode>(b)->received;
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, "over the wire");  // decoded copy, text intact
+  EXPECT_EQ(rt.dropped(), 1u);
+  EXPECT_EQ(rt.metrics().total("wire.encode_fail"), 1u);
 }
 
 TEST(LoopbackRuntime, RngIsDeterministicPerSeed) {

@@ -2,14 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/wire.h"
+
 namespace ares {
 namespace {
+
+constexpr auto kPingKind = static_cast<wire::Kind>(
+    static_cast<std::uint8_t>(wire::Kind::kTestBase) + 1);
 
 struct PingMsg final : Message {
   int payload = 0;
   const char* type_name() const override { return "test.ping"; }
-  std::size_t wire_size() const override { return 64; }
+  wire::Kind kind() const override { return kPingKind; }
 };
+
+// Registered so the suite also passes under codec-checked delivery
+// (ARES_WIRE=1), where every send round-trips through encode/decode.
+const bool kPingCodec = [] {
+  wire::register_codec(
+      kPingKind,
+      {[](const Message& m, wire::Writer& w) {
+         w.u32(static_cast<std::uint32_t>(static_cast<const PingMsg&>(m).payload));
+       },
+       [](wire::Reader& r, wire::Kind) -> MessagePtr {
+         auto m = std::make_unique<PingMsg>();
+         m->payload = static_cast<int>(r.u32());
+         return r.ok() ? std::move(m) : nullptr;
+       }});
+  return true;
+}();
 
 class EchoNode final : public Node {
  public:
@@ -141,7 +162,9 @@ TEST_F(NetworkTest, StatsPerType) {
   const auto& by_type = net.stats().sent_by_type();
   ASSERT_TRUE(by_type.contains("test.ping"));
   EXPECT_EQ(by_type.at("test.ping").count, 2u);
-  EXPECT_EQ(by_type.at("test.ping").bytes, 128u);
+  // Byte accounting is codec-derived: exactly the encoded frame length.
+  const std::size_t frame = wire::encoded_size(*ping(0));
+  EXPECT_EQ(by_type.at("test.ping").bytes, 2 * frame);
 }
 
 TEST_F(NetworkTest, LoadFilterCountsPerNode) {
@@ -163,6 +186,70 @@ TEST_F(NetworkTest, FindAsTypeChecks) {
   NodeId a = add();
   EXPECT_NE(net.find_as<EchoNode>(a), nullptr);
   EXPECT_EQ(net.find_as<EchoNode>(9999), nullptr);
+}
+
+// ---- codec-checked delivery (wire-true mode) -------------------------------
+
+TEST_F(NetworkTest, CheckedDeliveryRoundTripsThroughCodec) {
+  wire::ScopedCheckedDelivery wire_true(true);
+  NodeId a = add(), b = add();
+  net.send(a, b, ping(42));
+  sim.run();
+  // The receiver got the decoded copy, fields intact.
+  ASSERT_EQ(echo(b).received.size(), 1u);
+  EXPECT_EQ(echo(b).received[0].second, 42);
+  EXPECT_EQ(net.metrics().total("wire.decode_fail"), 0u);
+  // Byte accounting is unchanged by the mode: same codec, same frame.
+  const auto& by_type = net.stats().sent_by_type();
+  EXPECT_EQ(by_type.at("test.ping").bytes, wire::encoded_size(*ping(0)));
+}
+
+TEST_F(NetworkTest, CheckedDeliveryDropsMessagesWithoutCodec) {
+  struct NoCodecMsg final : Message {
+    const char* type_name() const override { return "test.nocodec"; }
+    wire::Kind kind() const override { return static_cast<wire::Kind>(255); }
+  };
+  wire::ScopedCheckedDelivery wire_true(true);
+  NodeId a = add(), b = add();
+  net.send(a, b, std::make_unique<NoCodecMsg>());
+  sim.run();
+  EXPECT_TRUE(echo(b).received.empty());
+  EXPECT_EQ(net.stats().dropped(), 1u);
+  EXPECT_EQ(net.metrics().total("wire.encode_fail"), 1u);
+}
+
+TEST_F(NetworkTest, CheckedDeliveryDropsUndecodableFrames) {
+  constexpr auto kBrokenKind = static_cast<wire::Kind>(254);
+  struct BrokenMsg final : Message {
+    const char* type_name() const override { return "test.broken"; }
+    wire::Kind kind() const override { return kBrokenKind; }
+  };
+  // A codec whose frames never parse back: encode succeeds, decode refuses.
+  wire::register_codec(kBrokenKind,
+                       {[](const Message&, wire::Writer& w) { w.u8(0); },
+                        [](wire::Reader&, wire::Kind) -> MessagePtr {
+                          return nullptr;
+                        }});
+  wire::ScopedCheckedDelivery wire_true(true);
+  NodeId a = add(), b = add();
+  net.send(a, b, std::make_unique<BrokenMsg>());
+  sim.run();
+  EXPECT_TRUE(echo(b).received.empty());
+  EXPECT_EQ(net.stats().dropped(), 1u);
+  EXPECT_EQ(net.metrics().total("wire.decode_fail"), 1u);
+}
+
+TEST_F(NetworkTest, DefaultModeSkipsCodecForUnregisteredKinds) {
+  // The pointer fast path must not require a codec at all.
+  struct NoCodecMsg final : Message {
+    const char* type_name() const override { return "test.nocodec"; }
+    wire::Kind kind() const override { return static_cast<wire::Kind>(253); }
+  };
+  wire::ScopedCheckedDelivery off(false);
+  NodeId a = add(), b = add();
+  net.send(a, b, std::make_unique<NoCodecMsg>());
+  sim.run();
+  EXPECT_EQ(net.stats().delivered(), 1u);
 }
 
 }  // namespace

@@ -309,22 +309,318 @@ TEST(WireCodec, MutatedMessagesNeverCrash) {
   SUCCEED();
 }
 
-TEST(WireCodec, WireSizeEstimatesAreSane) {
-  // Message::wire_size() drives the traffic accounting; it should be within
-  // a small factor of the real encoded size.
-  CyclonShuffleMsg c;
-  for (NodeId i = 0; i < 8; ++i) c.entries.push_back(sample_descriptor(i));
-  auto actual = static_cast<double>(encode(c).size());
-  auto estimate = static_cast<double>(c.wire_size());
-  EXPECT_GT(estimate, actual / 3);
-  EXPECT_LT(estimate, actual * 3);
+// ---- randomized per-kind round-trip property --------------------------------
+//
+// For EVERY registered wire::Kind: decode(encode(m)) must reproduce all
+// fields, and the codec-derived wire_size() must equal the encoded frame
+// length exactly — both on the original (lazily computed via the counting
+// writer) and on the decoded copy (stamped from the arriving frame).
 
-  QueryMsg q;
-  q.query = RangeQuery::any(5).with(0, 1, 2);
-  auto q_actual = static_cast<double>(encode(q).size());
-  auto q_estimate = static_cast<double>(q.wire_size());
-  EXPECT_GT(q_estimate, q_actual / 3);
-  EXPECT_LT(q_estimate, q_actual * 3);
+constexpr Kind kAllKinds[] = {
+    Kind::kCyclonRequest, Kind::kCyclonReply,  Kind::kVicinityRequest,
+    Kind::kVicinityReply, Kind::kQuery,        Kind::kReply,
+    Kind::kProgress,      Kind::kDhtPut,       Kind::kDhtGet,
+    Kind::kDhtRecords,    Kind::kFloodQuery,   Kind::kFloodHit,
+    Kind::kSliceRequest,  Kind::kSliceReply,
+};
+
+Point rand_point(Rng& rng) {
+  Point p(rng.below(6));
+  for (auto& v : p) v = rng.next();
+  return p;
+}
+
+CellCoord rand_coord(Rng& rng) {
+  CellCoord c(rng.below(6));
+  for (auto& i : c) i = static_cast<CellIndex>(rng.below(1u << 20));
+  return c;
+}
+
+PeerDescriptor rand_descriptor(Rng& rng) {
+  return PeerDescriptor{static_cast<NodeId>(rng.below(100'000)),
+                        rand_point(rng), rand_coord(rng),
+                        static_cast<std::uint32_t>(rng.below(500))};
+}
+
+std::vector<PeerDescriptor> rand_descriptors(Rng& rng) {
+  std::vector<PeerDescriptor> v(rng.below(10));
+  for (auto& d : v) d = rand_descriptor(rng);
+  return v;
+}
+
+RangeQuery rand_query(Rng& rng) {
+  int dims = 1 + static_cast<int>(rng.below(8));
+  auto q = RangeQuery::any(dims);
+  for (int d = 0; d < dims; ++d) {
+    std::optional<std::uint64_t> lo, hi;
+    if (rng.below(2)) lo = rng.below(1000);
+    if (rng.below(2)) hi = (lo ? *lo : 0) + rng.below(1000);
+    q.with(d, lo, hi);
+  }
+  std::uint64_t filters = rng.below(3);
+  for (std::uint64_t i = 0; i < filters; ++i)
+    q.with_dynamic(rng.below(static_cast<std::uint64_t>(dims)),
+                   rng.below(50), 50 + rng.below(50));
+  return q;
+}
+
+MatchRecord rand_record(Rng& rng) {
+  return MatchRecord{static_cast<NodeId>(rng.below(100'000)), rand_point(rng)};
+}
+
+ResourceRecord rand_resource(Rng& rng) {
+  return ResourceRecord{static_cast<NodeId>(rng.below(100'000)),
+                        rand_point(rng)};
+}
+
+double rand_f64(Rng& rng) {
+  return static_cast<double>(rng.below(1'000'000'000)) / 997.0;
+}
+
+MessagePtr make_random(Kind k, Rng& rng) {
+  switch (k) {
+    case Kind::kCyclonRequest:
+    case Kind::kCyclonReply: {
+      auto m = std::make_unique<CyclonShuffleMsg>();
+      m->is_reply = k == Kind::kCyclonReply;
+      m->entries = rand_descriptors(rng);
+      return m;
+    }
+    case Kind::kVicinityRequest:
+    case Kind::kVicinityReply: {
+      auto m = std::make_unique<VicinityExchangeMsg>();
+      m->is_reply = k == Kind::kVicinityReply;
+      m->entries = rand_descriptors(rng);
+      return m;
+    }
+    case Kind::kQuery: {
+      auto m = std::make_unique<QueryMsg>();
+      m->id = rng.next();
+      m->reply_to = static_cast<NodeId>(rng.below(100'000));
+      m->origin = static_cast<NodeId>(rng.below(100'000));
+      m->sigma = rng.below(4) == 0 ? kNoSigma
+                                   : static_cast<std::uint32_t>(rng.below(256));
+      m->level = static_cast<int>(rng.below(12)) - 1;  // [-1, 10]
+      m->dims_mask = static_cast<std::uint32_t>(rng.next());
+      m->query = rand_query(rng);
+      return m;
+    }
+    case Kind::kReply: {
+      auto m = std::make_unique<ReplyMsg>();
+      m->id = rng.next();
+      m->matching.resize(rng.below(8));
+      for (auto& rec : m->matching) rec = rand_record(rng);
+      return m;
+    }
+    case Kind::kProgress: {
+      auto m = std::make_unique<ProgressMsg>();
+      m->id = rng.next();
+      return m;
+    }
+    case Kind::kDhtPut: {
+      auto m = std::make_unique<DhtPutMsg>();
+      m->key = rng.next();
+      m->record = rand_resource(rng);
+      return m;
+    }
+    case Kind::kDhtGet: {
+      auto m = std::make_unique<DhtGetMsg>();
+      m->key = rng.next();
+      m->origin = static_cast<NodeId>(rng.below(100'000));
+      m->request_id = rng.next();
+      return m;
+    }
+    case Kind::kDhtRecords: {
+      auto m = std::make_unique<DhtRecordsMsg>();
+      m->request_id = rng.next();
+      m->key = rng.next();
+      m->records.resize(rng.below(8));
+      for (auto& rec : m->records) rec = rand_resource(rng);
+      return m;
+    }
+    case Kind::kFloodQuery: {
+      auto m = std::make_unique<FloodQueryMsg>();
+      m->id = rng.next();
+      m->origin = static_cast<NodeId>(rng.below(100'000));
+      m->ttl = static_cast<int>(rng.below(16));
+      m->query = rand_query(rng);
+      return m;
+    }
+    case Kind::kFloodHit: {
+      auto m = std::make_unique<FloodHitMsg>();
+      m->id = rng.next();
+      m->match = rand_record(rng);
+      return m;
+    }
+    case Kind::kSliceRequest:
+    case Kind::kSliceReply: {
+      auto m = std::make_unique<SliceExchangeMsg>();
+      m->is_reply = k == Kind::kSliceReply;
+      m->attribute = rand_f64(rng);
+      m->slice_value = rand_f64(rng);
+      m->swapped = rng.below(2) == 1;
+      return m;
+    }
+    default:
+      ADD_FAILURE() << "no generator for kind " << static_cast<int>(k);
+      return nullptr;
+  }
+}
+
+void expect_descriptor_eq(const PeerDescriptor& a, const PeerDescriptor& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.age, b.age);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.coord, b.coord);
+}
+
+void expect_same(const Message& a, const Message& b) {
+  ASSERT_EQ(a.kind(), b.kind());
+  switch (a.kind()) {
+    case Kind::kCyclonRequest:
+    case Kind::kCyclonReply: {
+      const auto& x = static_cast<const CyclonShuffleMsg&>(a);
+      const auto& y = static_cast<const CyclonShuffleMsg&>(b);
+      EXPECT_EQ(x.is_reply, y.is_reply);
+      ASSERT_EQ(x.entries.size(), y.entries.size());
+      for (std::size_t i = 0; i < x.entries.size(); ++i)
+        expect_descriptor_eq(x.entries[i], y.entries[i]);
+      return;
+    }
+    case Kind::kVicinityRequest:
+    case Kind::kVicinityReply: {
+      const auto& x = static_cast<const VicinityExchangeMsg&>(a);
+      const auto& y = static_cast<const VicinityExchangeMsg&>(b);
+      EXPECT_EQ(x.is_reply, y.is_reply);
+      ASSERT_EQ(x.entries.size(), y.entries.size());
+      for (std::size_t i = 0; i < x.entries.size(); ++i)
+        expect_descriptor_eq(x.entries[i], y.entries[i]);
+      return;
+    }
+    case Kind::kQuery: {
+      const auto& x = static_cast<const QueryMsg&>(a);
+      const auto& y = static_cast<const QueryMsg&>(b);
+      EXPECT_EQ(x.id, y.id);
+      EXPECT_EQ(x.reply_to, y.reply_to);
+      EXPECT_EQ(x.origin, y.origin);
+      EXPECT_EQ(x.sigma, y.sigma);
+      EXPECT_EQ(x.level, y.level);
+      EXPECT_EQ(x.dims_mask, y.dims_mask);
+      EXPECT_EQ(x.query, y.query);
+      return;
+    }
+    case Kind::kReply: {
+      const auto& x = static_cast<const ReplyMsg&>(a);
+      const auto& y = static_cast<const ReplyMsg&>(b);
+      EXPECT_EQ(x.id, y.id);
+      ASSERT_EQ(x.matching.size(), y.matching.size());
+      for (std::size_t i = 0; i < x.matching.size(); ++i) {
+        EXPECT_EQ(x.matching[i].id, y.matching[i].id);
+        EXPECT_EQ(x.matching[i].values, y.matching[i].values);
+      }
+      return;
+    }
+    case Kind::kProgress:
+      EXPECT_EQ(static_cast<const ProgressMsg&>(a).id,
+                static_cast<const ProgressMsg&>(b).id);
+      return;
+    case Kind::kDhtPut: {
+      const auto& x = static_cast<const DhtPutMsg&>(a);
+      const auto& y = static_cast<const DhtPutMsg&>(b);
+      EXPECT_EQ(x.key, y.key);
+      EXPECT_EQ(x.record.node, y.record.node);
+      EXPECT_EQ(x.record.values, y.record.values);
+      return;
+    }
+    case Kind::kDhtGet: {
+      const auto& x = static_cast<const DhtGetMsg&>(a);
+      const auto& y = static_cast<const DhtGetMsg&>(b);
+      EXPECT_EQ(x.key, y.key);
+      EXPECT_EQ(x.origin, y.origin);
+      EXPECT_EQ(x.request_id, y.request_id);
+      return;
+    }
+    case Kind::kDhtRecords: {
+      const auto& x = static_cast<const DhtRecordsMsg&>(a);
+      const auto& y = static_cast<const DhtRecordsMsg&>(b);
+      EXPECT_EQ(x.request_id, y.request_id);
+      EXPECT_EQ(x.key, y.key);
+      ASSERT_EQ(x.records.size(), y.records.size());
+      for (std::size_t i = 0; i < x.records.size(); ++i) {
+        EXPECT_EQ(x.records[i].node, y.records[i].node);
+        EXPECT_EQ(x.records[i].values, y.records[i].values);
+      }
+      return;
+    }
+    case Kind::kFloodQuery: {
+      const auto& x = static_cast<const FloodQueryMsg&>(a);
+      const auto& y = static_cast<const FloodQueryMsg&>(b);
+      EXPECT_EQ(x.id, y.id);
+      EXPECT_EQ(x.origin, y.origin);
+      EXPECT_EQ(x.ttl, y.ttl);
+      EXPECT_EQ(x.query, y.query);
+      return;
+    }
+    case Kind::kFloodHit: {
+      const auto& x = static_cast<const FloodHitMsg&>(a);
+      const auto& y = static_cast<const FloodHitMsg&>(b);
+      EXPECT_EQ(x.id, y.id);
+      EXPECT_EQ(x.match.id, y.match.id);
+      EXPECT_EQ(x.match.values, y.match.values);
+      return;
+    }
+    case Kind::kSliceRequest:
+    case Kind::kSliceReply: {
+      const auto& x = static_cast<const SliceExchangeMsg&>(a);
+      const auto& y = static_cast<const SliceExchangeMsg&>(b);
+      EXPECT_EQ(x.is_reply, y.is_reply);
+      EXPECT_EQ(x.attribute, y.attribute);
+      EXPECT_EQ(x.slice_value, y.slice_value);
+      EXPECT_EQ(x.swapped, y.swapped);
+      return;
+    }
+    default:
+      FAIL() << "no comparator for kind " << static_cast<int>(a.kind());
+  }
+}
+
+TEST(WireProperty, EveryKindRoundTripsRandomizedMessages) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (Kind k : kAllKinds) {
+      SCOPED_TRACE("kind " + std::to_string(static_cast<int>(k)) +
+                   " trial " + std::to_string(trial));
+      MessagePtr m = make_random(k, rng);
+      ASSERT_NE(m, nullptr);
+      ASSERT_EQ(m->kind(), k);
+      auto bytes = encode(*m);
+      ASSERT_FALSE(bytes.empty());
+      EXPECT_EQ(bytes[0], static_cast<std::uint8_t>(k));  // frame = tag + body
+      // Codec-derived size: the lazily computed cache equals the frame
+      // length exactly (it IS the frame length, via the counting writer).
+      EXPECT_EQ(m->wire_size(), bytes.size());
+      MessagePtr out = decode(bytes);
+      ASSERT_NE(out, nullptr);
+      ASSERT_EQ(out->kind(), k);
+      // decode() stamps the arriving frame length into the cache.
+      EXPECT_EQ(out->wire_size(), bytes.size());
+      expect_same(*m, *out);
+    }
+  }
+}
+
+TEST(WireProperty, SizeIsStableAcrossRecode) {
+  // recode() (the ARES_WIRE=1 boundary path) must agree with wire_size()
+  // on both sides: no message changes size by crossing the wire.
+  Rng rng(99);
+  for (Kind k : kAllKinds) {
+    MessagePtr m = make_random(k, rng);
+    ASSERT_NE(m, nullptr);
+    auto rc = recode(*m);
+    ASSERT_NE(rc.msg, nullptr) << "kind " << static_cast<int>(k);
+    EXPECT_TRUE(rc.encode_ok);
+    EXPECT_EQ(m->wire_size(), rc.msg->wire_size());
+  }
 }
 
 }  // namespace

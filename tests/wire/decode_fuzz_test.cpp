@@ -1,0 +1,198 @@
+/// Deterministic decode-hardening fuzz: the frame parser must be total.
+/// For corpora derived from valid frames of every wire::Kind — prefix
+/// truncations, single-bit flips, random byte mutations, planted count
+/// bombs — and for pure random buffers, decode() must return nullptr or a
+/// valid message. It must never crash, over-read (ASan/UBSan CI job runs
+/// this suite), or allocate absurd amounts from attacker-chosen counts.
+///
+/// When a mutated frame DOES decode, the result must still uphold the codec
+/// invariants: its kind matches the tag and its cached wire_size() equals
+/// the frame length it arrived in.
+
+#include "wire/codecs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ares::wire {
+namespace {
+
+PeerDescriptor fuzz_descriptor(Rng& rng) {
+  PeerDescriptor d;
+  d.id = static_cast<NodeId>(rng.below(1000));
+  d.age = static_cast<std::uint32_t>(rng.below(100));
+  d.values.resize(rng.below(5));
+  for (auto& v : d.values) v = rng.next();
+  d.coord.resize(rng.below(5));
+  for (auto& c : d.coord) c = static_cast<CellIndex>(rng.below(64));
+  return d;
+}
+
+RangeQuery fuzz_query(Rng& rng) {
+  int dims = 1 + static_cast<int>(rng.below(5));
+  auto q = RangeQuery::any(dims);
+  for (int d = 0; d < dims; ++d)
+    if (rng.below(2)) q.with(d, rng.below(100), 100 + rng.below(100));
+  return q;
+}
+
+/// One valid frame per registered kind, with randomized field content.
+std::vector<std::vector<std::uint8_t>> corpus(Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  auto add = [&](const Message& m) {
+    auto bytes = encode(m);
+    EXPECT_FALSE(bytes.empty()) << m.type_name();
+    frames.push_back(std::move(bytes));
+  };
+
+  for (bool reply : {false, true}) {
+    CyclonShuffleMsg c;
+    c.is_reply = reply;
+    c.entries = {fuzz_descriptor(rng), fuzz_descriptor(rng)};
+    add(c);
+    VicinityExchangeMsg v;
+    v.is_reply = reply;
+    v.entries = {fuzz_descriptor(rng)};
+    add(v);
+    SliceExchangeMsg s;
+    s.is_reply = reply;
+    s.attribute = 0.25;
+    s.slice_value = 0.75;
+    s.swapped = reply;
+    add(s);
+  }
+
+  QueryMsg q;
+  q.id = rng.next();
+  q.reply_to = 1;
+  q.origin = 2;
+  q.sigma = 50;
+  q.level = 3;
+  q.dims_mask = 0b1011;
+  q.query = fuzz_query(rng);
+  q.query.with_dynamic(0, 1, 2);
+  add(q);
+
+  ReplyMsg r;
+  r.id = rng.next();
+  r.matching = {{3, {1, 2, 3}}, {4, {4, 5, 6}}};
+  add(r);
+
+  ProgressMsg p;
+  p.id = rng.next();
+  add(p);
+
+  DhtPutMsg put;
+  put.key = rng.next();
+  put.record = {7, {8, 9}};
+  add(put);
+
+  DhtGetMsg get;
+  get.key = rng.next();
+  get.origin = 11;
+  get.request_id = rng.next();
+  add(get);
+
+  DhtRecordsMsg recs;
+  recs.request_id = rng.next();
+  recs.key = rng.next();
+  recs.records = {{12, {13}}, {14, {15}}};
+  add(recs);
+
+  FloodQueryMsg fq;
+  fq.id = rng.next();
+  fq.origin = 21;
+  fq.ttl = 4;
+  fq.query = fuzz_query(rng);
+  add(fq);
+
+  FloodHitMsg fh;
+  fh.id = rng.next();
+  fh.match = {22, {23, 24}};
+  add(fh);
+
+  return frames;
+}
+
+/// decode() must be total; on success the codec invariants must hold.
+void expect_total(const std::vector<std::uint8_t>& bytes) {
+  MessagePtr m = decode(bytes);
+  if (m == nullptr) return;
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(static_cast<std::uint8_t>(m->kind()), bytes[0]);
+  EXPECT_EQ(m->wire_size(), bytes.size());
+}
+
+TEST(DecodeFuzz, EveryPrefixTruncationOfEveryKindFailsCleanly) {
+  Rng rng(0xF0221);
+  for (const auto& frame : corpus(rng)) {
+    // A strict prefix is missing trailing fields (or the end-of-frame check
+    // trips); none may decode.
+    for (std::size_t len = 0; len < frame.size(); ++len)
+      EXPECT_EQ(decode(frame.data(), len), nullptr)
+          << "kind " << int(frame[0]) << " prefix " << len;
+  }
+}
+
+TEST(DecodeFuzz, SingleBitFlipsNeverCrash) {
+  Rng rng(0xF0222);
+  for (const auto& frame : corpus(rng)) {
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto copy = frame;
+        copy[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        expect_total(copy);
+      }
+    }
+  }
+}
+
+TEST(DecodeFuzz, RandomMutationsNeverCrash) {
+  Rng rng(0xF0223);
+  auto frames = corpus(rng);
+  for (int trial = 0; trial < 4000; ++trial) {
+    auto copy = frames[rng.index(frames.size())];
+    // 1-4 random byte substitutions, plus occasional grow/shrink.
+    std::uint64_t edits = 1 + rng.below(4);
+    for (std::uint64_t e = 0; e < edits && !copy.empty(); ++e)
+      copy[rng.index(copy.size())] = static_cast<std::uint8_t>(rng.below(256));
+    if (rng.below(4) == 0) copy.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    if (rng.below(4) == 0 && !copy.empty()) copy.pop_back();
+    expect_total(copy);
+  }
+}
+
+TEST(DecodeFuzz, PlantedCountBombsAreRejectedWithoutAllocating) {
+  Rng rng(0xF0224);
+  // Splice a maximal varint where each frame's first count-ish field lives
+  // (right after the fixed header bytes); decode must reject via the
+  // remaining-bytes bound, not attempt a giant resize.
+  for (const auto& frame : corpus(rng)) {
+    for (std::size_t pos = 1; pos < std::min<std::size_t>(frame.size(), 24); ++pos) {
+      auto copy = frame;
+      static constexpr std::uint8_t kHugeVarint[] = {0xFF, 0xFF, 0xFF, 0xFF,
+                                                     0xFF, 0xFF, 0xFF, 0x7F};
+      copy.insert(copy.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::begin(kHugeVarint), std::end(kHugeVarint));
+      expect_total(copy);
+    }
+  }
+}
+
+TEST(DecodeFuzz, PureRandomBuffersNeverCrash) {
+  Rng rng(0xF0225);
+  for (int trial = 0; trial < 6000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    // Bias some buffers toward valid tags so bodies actually get parsed.
+    if (!junk.empty() && rng.below(2) == 0)
+      junk[0] = static_cast<std::uint8_t>(1 + rng.below(14));
+    expect_total(junk);
+  }
+}
+
+}  // namespace
+}  // namespace ares::wire
