@@ -115,7 +115,7 @@ MicroResult bench_queue(std::uint64_t ops) {
   for (auto& t : times) t = static_cast<SimTime>(rng.below(1'000'000));
   std::size_t ti = 0;
   auto push_one = [&] {
-    Payload p{times[ti], 1, 2, 3};
+    Payload p{static_cast<std::uint64_t>(times[ti]), 1, 2, 3};
     q.push(times[ti], [p] { sink += p.a + p.b; });
     ti = (ti + 1) & (times.size() - 1);
   };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/sorted.h"
+
 namespace ares {
 
 QueryId FloodingNode::flood(const RangeQuery& q, int ttl) {
@@ -27,7 +29,7 @@ void FloodingNode::on_message(NodeId /*from*/, const Message& m) {
 }
 
 void FloodingNode::handle_flood(const FloodQueryMsg& m) {
-  if (!seen_.insert(m.id).second) return;  // duplicate: drop silently
+  if (!seen_queries_.insert(m.id).second) return;  // duplicate: drop silently
 
   if (m.query.matches(values_)) {
     if (m.origin == id()) {
@@ -73,9 +75,11 @@ void build_random_overlay(Network& net, std::size_t degree, Rng& rng) {
       links[j].insert(nodes[i]->id());
     }
   }
+  // Publish in sorted order: neighbor order decides flood fan-out (and so
+  // simulated delivery order); lifting it out of the hash container through
+  // sorted_elements() keeps runs reproducible across library implementations.
   for (std::size_t i = 0; i < nodes.size(); ++i)
-    nodes[i]->set_neighbors(
-        std::vector<NodeId>(links[i].begin(), links[i].end()));
+    nodes[i]->set_neighbors(sorted_elements(links[i]));
 }
 
 }  // namespace ares

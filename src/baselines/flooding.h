@@ -64,7 +64,7 @@ class FloodingNode final : public Node {
 
   Point values_;
   std::vector<NodeId> neighbors_;
-  std::unordered_set<QueryId> seen_;
+  std::unordered_set<QueryId> seen_queries_;  // membership only, never iterated
   HitFn on_hit_;
   std::uint32_t next_seq_ = 0;
   std::uint64_t forwarded_ = 0;

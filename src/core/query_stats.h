@@ -9,7 +9,7 @@
 ///   - duplicates: repeat visits of the same node by one query (the paper
 ///     reports zero; our property tests assert it).
 
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 #include "common/summary.h"
@@ -42,7 +42,9 @@ class QueryStats final : public QueryObserver {
                           const std::vector<MatchRecord>& matches) override;
 
   const PerQuery* find(QueryId q) const;
-  const std::unordered_map<QueryId, PerQuery>& per_query() const { return queries_; }
+  /// Ordered by QueryId so consumers that iterate (reports, per-query CSV
+  /// dumps) see a deterministic sequence.
+  const std::map<QueryId, PerQuery>& per_query() const { return queries_; }
 
   std::uint64_t total_overhead() const { return total_overhead_; }
   std::uint64_t total_hits() const { return total_hits_; }
@@ -56,7 +58,7 @@ class QueryStats final : public QueryObserver {
 
  private:
   bool track_visited_;
-  std::unordered_map<QueryId, PerQuery> queries_;
+  std::map<QueryId, PerQuery> queries_;
   std::uint64_t total_overhead_ = 0;
   std::uint64_t total_hits_ = 0;
   std::uint64_t total_duplicates_ = 0;

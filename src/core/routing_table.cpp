@@ -2,9 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
+
+#include "common/sorted.h"
 
 namespace ares {
+
+namespace {
+
+/// Slot ordering: youngest first, ids break ties. Total and deterministic
+/// (distinct peers never compare equal), so slot contents are a pure
+/// function of the offered descriptor set.
+bool slot_less(const PeerDescriptor& a, const PeerDescriptor& b) {
+  return a.age != b.age ? a.age < b.age : a.id < b.id;
+}
+
+}  // namespace
 
 RoutingTable::RoutingTable(const Cells& cells, CellCoord self_coord, NodeId self_id,
                            RoutingConfig cfg)
@@ -21,19 +33,16 @@ std::size_t RoutingTable::slot_index(int level, int dim) const {
 
 void RoutingTable::insert_sorted(std::vector<PeerDescriptor>& v,
                                  const PeerDescriptor& d, std::size_t cap) {
-  for (auto& e : v) {
-    if (e.id == d.id) {
-      if (d.age < e.age) e = d;
-      std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
-        return a.age != b.age ? a.age < b.age : a.id < b.id;
-      });
-      return;
-    }
+  // The vector is kept sorted by slot_less at all times, so refreshing an
+  // entry is erase + positioned re-insert instead of the former full
+  // re-sort on every offer.
+  auto by_id = std::find_if(v.begin(), v.end(),
+                            [&d](const PeerDescriptor& e) { return e.id == d.id; });
+  if (by_id != v.end()) {
+    if (d.age >= by_id->age) return;  // existing descriptor is at least as fresh
+    v.erase(by_id);
   }
-  v.push_back(d);
-  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
-    return a.age != b.age ? a.age < b.age : a.id < b.id;
-  });
+  v.insert(std::lower_bound(v.begin(), v.end(), d, slot_less), d);
   if (cap != 0 && v.size() > cap) v.resize(cap);
 }
 
@@ -109,7 +118,7 @@ const std::vector<PeerDescriptor>& RoutingTable::slot(int level, int dim) const 
 }
 
 std::size_t RoutingTable::link_count() const {
-  std::unordered_set<NodeId> ids;
+  FlatSet<NodeId> ids;
   for (const auto& e : zero_) ids.insert(e.id);
   for (const auto& s : slots_)
     for (const auto& e : s) ids.insert(e.id);
@@ -117,7 +126,7 @@ std::size_t RoutingTable::link_count() const {
 }
 
 std::size_t RoutingTable::primary_link_count() const {
-  std::unordered_set<NodeId> ids;
+  FlatSet<NodeId> ids;
   for (const auto& e : zero_) ids.insert(e.id);
   for (const auto& s : slots_)
     if (!s.empty()) ids.insert(s.front().id);

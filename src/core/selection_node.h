@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/sorted.h"
 #include "core/messages.h"
 #include "core/routing_table.h"
 #include "gossip/cyclon.h"
@@ -138,8 +139,11 @@ class SelectionNode final : public Node {
     NodeId parent = kInvalidNode;
     bool is_origin = false;
     CompletionFn done;
-    std::unordered_map<NodeId, MatchRecord> matching;
-    std::unordered_map<NodeId, Outstanding> waiting;
+    // Flat sorted maps: finish() publishes `matching` in iteration order
+    // (replies and the final candidate set go over the wire), so iteration
+    // must be deterministic — ascending NodeId, never hash order.
+    FlatMap<NodeId, MatchRecord> matching;
+    FlatMap<NodeId, Outstanding> waiting;
     std::vector<NodeId> failed;
   };
 

@@ -12,6 +12,7 @@
 /// part of the measured experiment).
 
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -72,7 +73,9 @@ class ChordNode final : public Node {
   /// directly. Returns the request id.
   std::uint64_t get(DhtKey key, GetCallback cb);
 
-  const std::unordered_map<DhtKey, std::vector<ResourceRecord>>& store() const {
+  /// Ordered by key: inspection (tests, load accounting) iterates the store
+  /// and must see a deterministic sequence.
+  const std::map<DhtKey, std::vector<ResourceRecord>>& store() const {
     return store_;
   }
 
@@ -89,8 +92,8 @@ class ChordNode final : public Node {
   NodeId successor_ = kInvalidNode;
   /// Fingers sorted by ring id (deduped); each is (ring position, address).
   std::vector<std::pair<RingId, NodeId>> fingers_;
-  std::unordered_map<DhtKey, std::vector<ResourceRecord>> store_;
-  std::unordered_map<std::uint64_t, GetCallback> pending_;
+  std::map<DhtKey, std::vector<ResourceRecord>> store_;
+  std::unordered_map<std::uint64_t, GetCallback> pending_;  // looked up, never iterated
   std::uint64_t next_request_ = 1;
 };
 

@@ -41,6 +41,14 @@ void oracle_bootstrap(Network& net, const AttributeSpace& space,
 
   Rng& rng = net.sim().rng();
 
+  // NOTE(determinism): the group maps below are iterated in hash order,
+  // which is deterministic for a fixed standard library but not portable
+  // across implementations. That order only affects *which* RNG draws feed
+  // which cell's sampling (take < population), i.e. it reshuffles an
+  // already-uniform choice; per-binary reproducibility — what the fig06
+  // byte-identity gates check — is unaffected. exp/ is outside the
+  // ares-lint unordered-iter rule for exactly this kind of harness code.
+
   // --- neighborsZero: complete level-0 cell membership ---
   if (opt.fill_zero) {
     std::unordered_map<std::uint64_t, std::vector<std::size_t>> zero_groups;

@@ -37,7 +37,7 @@ class Grid {
   struct Config {
     AttributeSpace space;
     std::size_t nodes = 1000;
-    ProtocolConfig protocol;
+    ProtocolConfig protocol{};
     /// Oracle mode installs converged routing tables instantly; gossip mode
     /// runs CYCLON+Vicinity for `convergence` of simulated time first.
     bool oracle = true;
@@ -47,7 +47,7 @@ class Grid {
     std::uint64_t seed = 1;
     /// Introducers handed to each joining node in gossip mode.
     std::size_t bootstrap_contacts = 5;
-    OracleOptions oracle_options;
+    OracleOptions oracle_options{};
     /// Keep exact per-query visited sets in the stats observer.
     bool track_visited = true;
     /// Record full dissemination trees (see QueryTracer); costs memory per

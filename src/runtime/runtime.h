@@ -23,7 +23,7 @@
 ///   - LoopbackRuntime (runtime/loopback.h): immediate in-process delivery
 ///     with a manually advanced clock — used by unit tests.
 ///
-/// Dependency rule (enforced by the include_hygiene ctest): src/core and
+/// Dependency rule (enforced by the lint_ares ctest): src/core and
 /// src/gossip may include only runtime/, space/, common/, and themselves —
 /// never sim/ or exp/.
 

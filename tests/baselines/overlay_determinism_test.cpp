@@ -1,0 +1,66 @@
+// Regression tests for the hash-order leak ares-lint flagged in
+// build_random_overlay: neighbor lists used to be published by iterating an
+// unordered_set, so the flood fan-out order (and thus message interleaving)
+// depended on the standard library's hash seed. The fix publishes them via
+// sorted_elements(); these tests pin both the ordering and the
+// run-to-run reproducibility.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/flooding.h"
+
+namespace ares {
+namespace {
+
+struct Overlay {
+  Overlay() : sim(1), net(sim, std::make_unique<ConstantLatency>(kMillisecond)) {}
+
+  void build(std::size_t n, std::size_t degree, std::uint64_t seed) {
+    Rng gen(3);
+    for (std::size_t i = 0; i < n; ++i)
+      ids.push_back(net.add_node(
+          std::make_unique<FloodingNode>(Point{gen.range(0, 80), gen.range(0, 80)})));
+    Rng rng(seed);
+    build_random_overlay(net, degree, rng);
+  }
+
+  std::vector<std::vector<NodeId>> neighbor_lists() {
+    std::vector<std::vector<NodeId>> out;
+    for (NodeId id : ids) out.push_back(net.find_as<FloodingNode>(id)->neighbors());
+    return out;
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<NodeId> ids;
+};
+
+TEST(OverlayDeterminism, NeighborListsAreSorted) {
+  Overlay o;
+  o.build(80, 5, /*seed=*/7);
+  for (const auto& nbrs : o.neighbor_lists()) {
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+}
+
+TEST(OverlayDeterminism, SameSeedSameOverlay) {
+  Overlay a, b;
+  a.build(120, 4, /*seed=*/11);
+  b.build(120, 4, /*seed=*/11);
+  EXPECT_EQ(a.neighbor_lists(), b.neighbor_lists());
+}
+
+TEST(OverlayDeterminism, DifferentSeedDifferentOverlay) {
+  Overlay a, b;
+  a.build(120, 4, /*seed=*/11);
+  b.build(120, 4, /*seed=*/12);
+  EXPECT_NE(a.neighbor_lists(), b.neighbor_lists());
+}
+
+}  // namespace
+}  // namespace ares

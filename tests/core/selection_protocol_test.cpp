@@ -116,6 +116,40 @@ TEST(SelectionProtocol, UnconstrainedQueryReachesEveryone) {
   EXPECT_EQ(out.matches.size(), 150u);
 }
 
+// Regression for the hash-order leak ares-lint flagged in
+// SelectionNode::finish(): match records were accumulated in an
+// unordered_map and published in its iteration order, so the result list
+// (which travels in ReplyMsg and feeds the trace) depended on the standard
+// library's hash seed. QueryState::matching is a FlatMap now; results must
+// come out in ascending NodeId order, identically on every run.
+TEST(SelectionProtocol, MatchesArriveInAscendingIdOrder) {
+  auto cfg = small_config(300);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  auto q = RangeQuery::any(2).with(0, 20, std::nullopt).with(1, 0, 69);
+  auto out = grid.run_query(grid.random_node(), q);
+  ASSERT_TRUE(out.completed);
+  ASSERT_GT(out.matches.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(
+      out.matches.begin(), out.matches.end(),
+      [](const MatchRecord& a, const MatchRecord& b) { return a.id < b.id; }));
+}
+
+TEST(SelectionProtocol, ResultOrderIsReproducible) {
+  auto collect = [] {
+    auto cfg = small_config(200, /*seed=*/17);
+    Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+    auto q = RangeQuery::any(2).with(0, 30, std::nullopt);
+    auto out = grid.run_query(grid.node_ids().front(), q);
+    EXPECT_TRUE(out.completed);
+    std::vector<NodeId> ids;
+    for (const auto& m : out.matches) ids.push_back(m.id);
+    return ids;
+  };
+  auto first = collect();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, collect());
+}
+
 TEST(SelectionProtocol, DynamicFiltersCheckedLocally) {
   auto cfg = small_config(100);
   Grid grid(cfg, uniform_points(cfg.space, 0, 80));

@@ -72,8 +72,11 @@ TEST(AttributeChange, RepeatedChangesConverge) {
   for (const auto& m : out.matches) found = found || m.id == mover;
   EXPECT_TRUE(found);
   // And the result must carry the CURRENT values.
-  for (const auto& m : out.matches)
-    if (m.id == mover) EXPECT_EQ(m.values, (Point{70, 70}));
+  for (const auto& m : out.matches) {
+    if (m.id == mover) {
+      EXPECT_EQ(m.values, (Point{70, 70}));
+    }
+  }
 }
 
 TEST(AttributeChange, DynamicAttributesNeverNeedReplacement) {

@@ -1,0 +1,21 @@
+#include <unordered_map>
+#include <unordered_set>
+
+// Fixture: both traversal forms the unordered-iter rule must catch, with no
+// suppression tags.
+
+namespace ares {
+
+struct Tracker {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<int> seen;
+};
+
+int leak_hash_order(const Tracker& t) {
+  int sum = 0;
+  for (const auto& kv : t.counts) sum += kv.second;  // range-for traversal
+  for (auto it = t.seen.begin(); it != t.seen.end(); ++it) sum += *it;
+  return sum;
+}
+
+}  // namespace ares

@@ -1,0 +1,17 @@
+#include <cstdlib>
+#include <random>
+
+// Fixture: two forbidden-API uses in a protocol layer (gossip), untagged.
+
+namespace ares {
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;  // forbidden: ambient entropy in protocol code
+  return rd();
+}
+
+const char* env_peek() {
+  return std::getenv("ARES_FIXTURE");  // forbidden: env access in protocol code
+}
+
+}  // namespace ares

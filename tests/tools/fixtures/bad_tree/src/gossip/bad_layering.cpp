@@ -1,0 +1,10 @@
+// Fixture: gossip may include only {common, space, runtime, gossip} — both
+// edges below are forbidden and must be reported.
+#include "exp/grid.h"
+#include "sim/network.h"
+
+namespace ares {
+
+void touch() {}
+
+}  // namespace ares

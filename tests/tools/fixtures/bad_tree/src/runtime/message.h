@@ -1,0 +1,14 @@
+#pragma once
+// Fixture: kPong below is registered nowhere and tested nowhere — the codec
+// rule must flag it twice (missing registration, missing round-trip case).
+
+namespace ares::wire {
+
+enum class Kind : unsigned char {
+  kInvalid = 0,
+  kPing = 1,
+  kPong = 2,
+  kTestBase = 240,
+};
+
+}  // namespace ares::wire

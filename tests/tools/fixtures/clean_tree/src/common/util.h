@@ -1,0 +1,7 @@
+#pragma once
+
+namespace ares {
+
+inline int identity(int v) { return v; }
+
+}  // namespace ares

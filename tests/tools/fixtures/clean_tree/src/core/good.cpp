@@ -1,0 +1,35 @@
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "space/geometry.h"
+
+// Fixture: near-miss code the linter must NOT flag — membership-only use of
+// unordered containers, a range-for over a plain vector, plus exactly one
+// documented suppression (counted by the baseline machinery).
+
+namespace ares {
+
+struct Dedup {
+  std::unordered_set<int> seen;
+  std::unordered_map<int, int> weights;
+};
+
+int membership_only(Dedup& d, const std::vector<int>& ids) {
+  int fresh = 0;
+  for (int id : ids) {  // vector traversal: ordered, fine
+    if (d.seen.insert(id).second) ++fresh;
+    auto it = d.weights.find(id);  // lookup, not traversal: fine
+    if (it != d.weights.end()) fresh += it->second;
+  }
+  return fresh;
+}
+
+int documented_traversal(const Dedup& d) {
+  int sum = 0;
+  // ares-lint: unordered-iter-ok(commutative sum; order cannot leak)
+  for (const auto& kv : d.weights) sum += kv.second;
+  return sum;
+}
+
+}  // namespace ares

@@ -1,0 +1,12 @@
+#pragma once
+// Fixture: every non-sentinel kind is registered and round-trip tested.
+
+namespace ares::wire {
+
+enum class Kind : unsigned char {
+  kInvalid = 0,
+  kPing = 1,
+  kTestBase = 240,
+};
+
+}  // namespace ares::wire

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "common/util.h"
+
+namespace ares {
+
+inline int twice(int v) { return 2 * v; }
+
+}  // namespace ares

@@ -1,0 +1,6 @@
+#include "runtime/message.h"
+
+void roundtrip_all() {
+  auto k = ares::wire::Kind::kPing;
+  (void)k;
+}
