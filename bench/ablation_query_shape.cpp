@@ -146,13 +146,13 @@ int main() {
                                          uniform_points(cfg.space, 0, 80));
       // Region: full range on dims 0..d-4, aligned half-range on the last 3.
       auto bad_order_query = [&](const AttributeSpace& space, Rng& rng) {
-        std::vector<IndexInterval> ivs(static_cast<std::size_t>(d), {0, 7});
+        IntervalVec ivs(static_cast<std::size_t>(d), {0, 7});
         for (int k = d - 3; k < d; ++k) {
           CellIndex half = static_cast<CellIndex>(rng.below(2));
           ivs[static_cast<std::size_t>(k)] = {static_cast<CellIndex>(half * 4),
                                               static_cast<CellIndex>(half * 4 + 3)};
         }
-        return query_from_region(space, Region(std::move(ivs)));
+        return query_from_region(space, Region(ivs));
       };
       Rng rng(s.seed + 5);
       std::vector<RangeQuery> queries;

@@ -6,9 +6,12 @@
 /// satisfies the threshold before the query iterates all overlapping cells.
 ///
 /// Default sizes stop at 30,000 to keep the run short; set
-/// ARES_MAX_N=100000 for the paper-scale point. Sweep points run in
-/// parallel (ARES_THREADS workers); output is identical at any thread
-/// count.
+/// ARES_MAX_N=100000 for the paper-scale point, and ARES_MIN_N to skip the
+/// small sizes (the CI bench-smoke profile runs the 100,000-node point
+/// alone). Sweep points run in parallel (ARES_THREADS workers); output is
+/// identical at any thread count. Exits nonzero if any trial executed late
+/// events — at paper scale a silently overloaded event queue would
+/// invalidate the overhead numbers.
 
 #include "bench_common.h"
 #include "exp/bench_json.h"
@@ -27,8 +30,10 @@ int main() {
 
   std::vector<std::size_t> sizes{100, 316, 1000, 3162, 10000, 30000};
   const std::size_t max_n = option_u64("MAX_N", 30000);
+  const std::size_t min_n = option_u64("MIN_N", 0);
   if (max_n >= 100000) sizes.push_back(100000);
   while (!sizes.empty() && sizes.back() > max_n) sizes.pop_back();
+  while (!sizes.empty() && sizes.front() < min_n) sizes.erase(sizes.begin());
 
   const std::size_t threads = exp::resolve_threads(sizes.size());
   exp::BenchReport report("fig06_network_size");
@@ -63,6 +68,19 @@ int main() {
   t.print();
   std::cout << "late events: " << report.late_events() << "\n";
   exp::maybe_export_csv(t, "fig06_network_size");
+  const double wall = report.elapsed_s();
+  report.summary()
+      .num("max_n", static_cast<std::uint64_t>(sizes.empty() ? 0 : sizes.back()))
+      .num("sweep_points", static_cast<std::uint64_t>(sizes.size()))
+      .num("wall_clock_s", wall)
+      .num("events_per_sec",
+           wall > 0 ? static_cast<double>(report.sim_events()) / wall : 0.0);
   report.write();
+  // Late events mean the simulated gossip/query timers could not keep up —
+  // the overhead series would be measuring an overloaded scheduler.
+  if (report.late_events() != 0) {
+    std::cout << "FAIL: " << report.late_events() << " late events\n";
+    return 1;
+  }
   return 0;
 }

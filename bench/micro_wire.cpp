@@ -188,6 +188,8 @@ int main() {
   }
   t.print();
 
+  // events_per_sec falls back to this codec op rate (no simulator runs here).
+  report.add_ops(2 * ops * representative_messages().size());
   report.summary()
       .num("kinds", static_cast<std::uint64_t>(representative_messages().size()))
       .num("ops_per_direction", ops)

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <numbers>
+#include <unordered_map>
 
 namespace ares {
 namespace {
@@ -91,16 +92,45 @@ std::size_t Rng::index(std::size_t size) {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> idx;
+  sample_indices_into(n, k, idx);
+  return idx;
+}
+
+void Rng::sample_indices_into(std::size_t n, std::size_t k, std::vector<std::size_t>& out) {
   assert(k <= n);
-  // Partial Fisher-Yates over an index vector; O(n) setup, fine for sim scale.
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher-Yates. Both branches make the same RNG draws and produce
+  // the same indices; the split is purely a cost choice, so recorded runs
+  // stay bit-identical regardless of which path a call takes.
+  if (n <= 1024 || k >= n / 8) {
+    // Dense: materialize the identity permutation and swap in place.
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + index(n - i);
+      std::swap(out[i], out[j]);
+    }
+    out.resize(k);
+    return;
+  }
+  // Sparse: only positions actually touched by a swap are tracked, so a
+  // k-sample from a large population costs O(k) instead of O(n). Without
+  // this, sampling bootstrap introducers on every join made large-n grid
+  // construction quadratic.
+  out.clear();
+  out.reserve(k);
+  std::unordered_map<std::size_t, std::size_t> displaced;
+  displaced.reserve(2 * k);
   for (std::size_t i = 0; i < k; ++i) {
     std::size_t j = i + index(n - i);
-    std::swap(idx[i], idx[j]);
+    auto it = displaced.find(j);
+    std::size_t vj = it == displaced.end() ? j : it->second;
+    // Position i is never revisited (future j >= future i > i), so only the
+    // value swapped into position j needs recording.
+    auto self = displaced.find(i);
+    displaced[j] = self == displaced.end() ? i : self->second;
+    out.push_back(vj);
   }
-  idx.resize(k);
-  return idx;
 }
 
 Rng Rng::fork() { return Rng(next()); }

@@ -72,6 +72,11 @@ class Rng {
   /// Draws k distinct indices from [0, n) (k <= n), in random order.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// As sample_indices, but fills `out` (reusing its capacity — no
+  /// allocation once warm). Consumes the stream identically to
+  /// sample_indices for the same (n, k).
+  void sample_indices_into(std::size_t n, std::size_t k, std::vector<std::size_t>& out);
+
   /// Forks an independent child stream (seeded from this stream).
   Rng fork();
 

@@ -7,6 +7,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/inline_vec.h"
+
 namespace ares {
 
 /// Identifier of a (simulated) network endpoint. Stable for the lifetime of a
@@ -24,9 +26,23 @@ using QueryId = std::uint64_t;
 /// mapped to natural numbers; we adopt that mapping directly.
 using AttrValue = std::uint64_t;
 
+/// Hard upper bound on attribute-space dimensionality. Capping d lets
+/// Point/CellCoord store their elements inline, making PeerDescriptor a
+/// flat, heap-free value (see common/inline_vec.h). The gossip figures
+/// never exceed d = 5, but the SWORD comparison (fig09 panel b) runs the
+/// full protocol over the paper's 16-attribute machine space, so 16 is the
+/// floor here. Enforced by the AttributeSpace constructor.
+inline constexpr std::size_t kMaxDimensions = 16;
+
 /// A node's position in the d-dimensional attribute space: one value per
 /// attribute/dimension, index i holding the value of attribute a_i.
-using Point = std::vector<AttrValue>;
+/// Inline storage — copying a Point never allocates.
+using Point = InlineVec<AttrValue, kMaxDimensions>;
+
+/// An unbounded list of attribute values (dimension cut vectors, dynamic
+/// per-query attribute lists). Use Point for per-dimension positions; use
+/// this alias wherever the element count is not bounded by kMaxDimensions.
+using AttrValues = std::vector<AttrValue>;
 
 /// Simulated time in microseconds since simulation start.
 using SimTime = std::int64_t;

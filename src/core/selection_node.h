@@ -101,8 +101,8 @@ class SelectionNode final : public Node {
 
   /// Dynamic attributes checked locally by queries with dynamic filters
   /// (paper §4.2 footnote 1); never routed on.
-  void set_dynamic_values(std::vector<AttrValue> v) { dynamic_values_ = std::move(v); }
-  const std::vector<AttrValue>& dynamic_values() const { return dynamic_values_; }
+  void set_dynamic_values(AttrValues v) { dynamic_values_ = std::move(v); }
+  const AttrValues& dynamic_values() const { return dynamic_values_; }
 
   // -- user/query API -----------------------------------------------------
 
@@ -164,7 +164,7 @@ class SelectionNode final : public Node {
   Cells cells_;
   Point values_;
   CellCoord coord_;
-  std::vector<AttrValue> dynamic_values_;
+  AttrValues dynamic_values_;
   ProtocolConfig cfg_;
   std::vector<PeerDescriptor> bootstrap_;
   Rng rng_;

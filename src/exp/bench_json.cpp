@@ -101,10 +101,13 @@ void BenchReport::add_events(std::uint64_t executed, std::uint64_t late) {
   late_ += late;
 }
 
+double BenchReport::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
 bool BenchReport::write() {
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
+  const double wall = elapsed_s();
 
   std::string dir = ".";
   if (const char* d = std::getenv("ARES_BENCH_DIR"); d != nullptr && *d != '\0')
@@ -121,8 +124,11 @@ bool BenchReport::write() {
   field(json_quote("wall_clock_s") + ": " + render_double(wall));
   field(json_quote("sim_events") + ": " + std::to_string(events_));
   field(json_quote("late_events") + ": " + std::to_string(late_));
+  // Micro benches drive no simulator: report their op rate instead of a
+  // meaningless 0 events/sec.
+  const std::uint64_t rate_count = events_ > 0 ? events_ : ops_;
   field(json_quote("events_per_sec") + ": " +
-        render_double(wall > 0 ? static_cast<double>(events_) / wall : 0.0));
+        render_double(wall > 0 ? static_cast<double>(rate_count) / wall : 0.0));
   field(json_quote("peak_rss_bytes") + ": " + std::to_string(peak_rss_bytes()));
   field(json_quote("summary") + ": " + summary_.dump());
   out += "  " + json_quote("points") + ": [";

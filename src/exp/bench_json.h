@@ -14,7 +14,9 @@
 ///     "wall_clock_s": 12.34,         // whole-binary wall clock
 ///     "sim_events": 123456,          // executed simulator events, all trials
 ///     "late_events": 0,              // Simulator::late_events(), all trials
-///     "events_per_sec": 1.0e6,       // sim_events / wall_clock_s
+///     "events_per_sec": 1.0e6,       // sim_events / wall_clock_s; when the
+///                                    // binary drives no sim events, falls
+///                                    // back to add_ops() ops / wall_clock_s
 ///     "peak_rss_bytes": 104857600,
 ///     "summary": { ... },            // binary-specific scalars (optional)
 ///     "points": [ { ... }, ... ]     // one object per sweep point
@@ -68,11 +70,19 @@ class BenchReport {
   /// Accumulates executed-event / late-event counts from one trial.
   void add_events(std::uint64_t executed, std::uint64_t late = 0);
 
+  /// Accumulates non-simulator operations (micro-bench iterations). When a
+  /// binary drives no sim events, events_per_sec falls back to ops / wall —
+  /// a report should never ship a meaningless zero rate.
+  void add_ops(std::uint64_t ops) { ops_ += ops; }
+
   /// Records the worker-thread count used for the sweep.
   void set_threads(std::size_t threads) { threads_ = threads; }
 
   std::uint64_t sim_events() const { return events_; }
   std::uint64_t late_events() const { return late_; }
+
+  /// Wall-clock seconds since construction (what write() reports).
+  double elapsed_s() const;
 
   /// Writes BENCH_<name>.json (ARES_BENCH_DIR or cwd) and prints a one-line
   /// pointer to stdout. Returns false (after printing a warning) on I/O
@@ -85,6 +95,7 @@ class BenchReport {
   std::size_t threads_ = 1;
   std::uint64_t events_ = 0;
   std::uint64_t late_ = 0;
+  std::uint64_t ops_ = 0;
   JsonObject summary_;
   std::vector<JsonObject> points_;
 };

@@ -26,12 +26,12 @@ void Cyclon::tick() {
   // 2. Build the subset: self (age 0) plus up to shuffle_len-1 random others.
   auto msg = std::make_unique<CyclonShuffleMsg>();
   msg->is_reply = false;
-  msg->entries = view_.random_subset(rng_, cfg_.shuffle_len - 1);
+  view_.random_subset_into(rng_, cfg_.shuffle_len - 1, msg->entries);
   PeerDescriptor me = self_;
   me.age = 0;
   msg->entries.push_back(me);
 
-  last_sent_ = msg->entries;
+  last_sent_.assign(msg->entries.begin(), msg->entries.end());
   send_(target.id, std::move(msg));
   // If the target is dead, the message is dropped and the dead link is
   // already gone from the view — CYCLON's built-in failure handling.
@@ -45,10 +45,10 @@ bool Cyclon::handle(NodeId from, const Message& m) {
     // Answer with a random subset of our own view, then merge theirs.
     auto reply = std::make_unique<CyclonShuffleMsg>();
     reply->is_reply = true;
-    reply->entries = view_.random_subset(rng_, cfg_.shuffle_len);
-    std::vector<PeerDescriptor> sent = reply->entries;
+    view_.random_subset_into(rng_, cfg_.shuffle_len, reply->entries);
+    sent_scratch_.assign(reply->entries.begin(), reply->entries.end());
     send_(from, std::move(reply));
-    merge(from, shuffle->entries, sent);
+    merge(from, shuffle->entries, sent_scratch_);
   } else {
     if (from == shuffle_partner_) shuffle_partner_ = kInvalidNode;
     merge(from, shuffle->entries, last_sent_);

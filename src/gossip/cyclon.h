@@ -13,13 +13,21 @@
 
 #include <functional>
 
+#include "common/object_pool.h"
 #include "gossip/view.h"
 #include "runtime/message.h"
 
 namespace ares {
 
-/// Shuffle request/reply carrying a subset of peer descriptors.
-struct CyclonShuffleMsg final : Message {
+/// Shuffle request/reply carrying a subset of peer descriptors. Pooled:
+/// the message block and the entries buffer are both recycled per thread,
+/// so a warm shuffle exchange performs no heap allocation.
+struct CyclonShuffleMsg final : Message, PoolNew<CyclonShuffleMsg> {
+  CyclonShuffleMsg() : entries(VecPool<PeerDescriptor>::acquire()) {}
+  ~CyclonShuffleMsg() override { VecPool<PeerDescriptor>::release(std::move(entries)); }
+  CyclonShuffleMsg(const CyclonShuffleMsg&) = delete;
+  CyclonShuffleMsg& operator=(const CyclonShuffleMsg&) = delete;
+
   bool is_reply = false;
   std::vector<PeerDescriptor> entries;
 
@@ -66,7 +74,8 @@ class Cyclon {
   Rng& rng_;
   SendFn send_;
   View view_;
-  std::vector<PeerDescriptor> last_sent_;  // subset sent in the ongoing shuffle
+  std::vector<PeerDescriptor> last_sent_;     // subset sent in the ongoing shuffle
+  std::vector<PeerDescriptor> sent_scratch_;  // reply subset copy for merge()
   NodeId shuffle_partner_ = kInvalidNode;
 };
 

@@ -32,7 +32,7 @@ void Vicinity::tick(const View& cyclon_view) {
 
   auto msg = std::make_unique<VicinityExchangeMsg>();
   msg->is_reply = false;
-  msg->entries = subset_for(target, cyclon_view, cfg_.exchange_len);
+  subset_into(target, cyclon_view, cfg_.exchange_len, msg->entries);
   send_(target.id, std::move(msg));
 }
 
@@ -50,9 +50,9 @@ bool Vicinity::handle(NodeId from, const Message& m, const View& cyclon_view) {
     for (const auto& e : ex->entries)
       if (e.id == from) requester = &e;
     if (requester != nullptr) {
-      reply->entries = subset_for(*requester, cyclon_view, cfg_.exchange_len);
+      subset_into(*requester, cyclon_view, cfg_.exchange_len, reply->entries);
     } else {
-      reply->entries = view_.random_subset(rng_, cfg_.exchange_len);
+      view_.random_subset_into(rng_, cfg_.exchange_len, reply->entries);
     }
     send_(from, std::move(reply));
   }
@@ -63,31 +63,39 @@ bool Vicinity::handle(NodeId from, const Message& m, const View& cyclon_view) {
 void Vicinity::merge(const std::vector<PeerDescriptor>& received,
                      const View& cyclon_view) {
   scratch_.clear();
-  for (const auto& d : view_.entries()) scratch_.push_back(&d);
-  for (const auto& d : received) scratch_.push_back(&d);
+  for (const auto& d : view_.entries()) stage(d);
+  for (const auto& d : received) stage(d);
   // Exploit the CYCLON stream as an extra candidate source (two-layer
   // coupling from [9]): random entries occasionally fill empty slots.
-  for (const auto& d : cyclon_view.entries()) scratch_.push_back(&d);
-  // The winners are copied out of the staged pointers before assign()
-  // replaces the view they may point into.
-  view_.assign(select_staged(cfg_.view_size));
+  for (const auto& d : cyclon_view.entries()) stage(d);
+  // The winners are copied out of the staged pointers into kept_ before
+  // adopt() swaps them with the view they may point into; the displaced
+  // entries stay in kept_ as warm capacity for the next merge.
+  select_staged_into(cfg_.view_size, kept_);
+  view_.adopt(kept_);
 }
 
 void Vicinity::dedupe_staged(NodeId exclude) const {
   scratch_.erase(std::remove_if(scratch_.begin(), scratch_.end(),
-                                [&](const PeerDescriptor* d) {
-                                  return d->id == exclude || d->age > cfg_.max_age;
+                                [&](const Staged& s) {
+                                  return static_cast<NodeId>(s.key >> 32) ==
+                                             exclude ||
+                                         static_cast<std::uint32_t>(s.key) >
+                                             cfg_.max_age;
                                 }),
                  scratch_.end());
-  // Youngest-first per id; stable so equal (id, age) keeps the first staged
-  // descriptor, matching the old map's insertion-order tie-break.
-  std::stable_sort(scratch_.begin(), scratch_.end(),
-                   [](const PeerDescriptor* a, const PeerDescriptor* b) {
-                     return a->id != b->id ? a->id < b->id : a->age < b->age;
-                   });
+  // key = (id << 32) | age sorts youngest-first per id; the staging index
+  // breaks (id, age) ties so the first staged descriptor wins, matching the
+  // old map's insertion-order tie-break. The explicit key keeps the sort
+  // stable without std::stable_sort, whose temporary merge buffer would
+  // heap-allocate on every exchange.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const Staged& a, const Staged& b) {
+              return a.key != b.key ? a.key < b.key : a.idx < b.idx;
+            });
   scratch_.erase(std::unique(scratch_.begin(), scratch_.end(),
-                             [](const PeerDescriptor* a, const PeerDescriptor* b) {
-                               return a->id == b->id;
+                             [](const Staged& a, const Staged& b) {
+                               return (a.key >> 32) == (b.key >> 32);
                              }),
                  scratch_.end());
 }
@@ -95,11 +103,14 @@ void Vicinity::dedupe_staged(NodeId exclude) const {
 std::vector<PeerDescriptor> Vicinity::select_best(
     std::vector<PeerDescriptor> candidates, std::size_t cap) const {
   scratch_.clear();
-  for (const auto& c : candidates) scratch_.push_back(&c);
-  return select_staged(cap);
+  for (const auto& c : candidates) stage(c);
+  std::vector<PeerDescriptor> kept;
+  select_staged_into(cap, kept);
+  return kept;
 }
 
-std::vector<PeerDescriptor> Vicinity::select_staged(std::size_t cap) const {
+void Vicinity::select_staged_into(std::size_t cap,
+                                  std::vector<PeerDescriptor>& out) const {
   // Dedupe by id, keeping the youngest descriptor; drop self and expired.
   dedupe_staged(self_.id);
 
@@ -107,84 +118,88 @@ std::vector<PeerDescriptor> Vicinity::select_staged(std::size_t cap) const {
   // level-0 cohabitants first (neighborsZero must be complete), then the
   // near subcells. Groups become contiguous runs of the sorted flat array.
   ranked_.clear();
-  for (const PeerDescriptor* d : scratch_) {
-    auto slot = cells_.classify(self_.coord, d->coord);
+  for (const Staged& s : scratch_) {
+    auto slot = cells_.classify(self_.coord, s.d->coord);
     if (!slot) continue;  // defensive; cannot happen (see cells.h)
-    ranked_.push_back({slot->level, slot->dim, d->age, d->id, d});
+    // lo swaps the staged (id, age) key halves into (age << 32) | id:
+    // youngest first within a slot group, id as the final tie-break.
+    ranked_.push_back(
+        {rank_hi(slot->level, slot->dim), (s.key << 32) | (s.key >> 32), s.d});
   }
+  // (hi, lo) = the old (level, dim, age, id) lexicographic order.
   std::sort(ranked_.begin(), ranked_.end(), [](const Ranked& a, const Ranked& b) {
-    if (a.level != b.level) return a.level < b.level;
-    if (a.dim != b.dim) return a.dim < b.dim;
-    if (a.age != b.age) return a.age < b.age;
-    return a.id < b.id;
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
   });
   groups_.clear();
   for (std::size_t i = 0; i < ranked_.size();) {
     std::size_t j = i + 1;
-    while (j < ranked_.size() && ranked_[j].level == ranked_[i].level &&
-           ranked_[j].dim == ranked_[i].dim)
-      ++j;
+    while (j < ranked_.size() && ranked_[j].hi == ranked_[i].hi) ++j;
     groups_.emplace_back(i, j);
     i = j;
   }
 
   // Round-robin across groups: first pass gives every slot one (young)
   // representative; later passes add backups until capacity.
-  std::vector<PeerDescriptor> kept;
-  kept.reserve(std::min(cap, ranked_.size()));
-  for (std::size_t round = 0; kept.size() < cap; ++round) {
+  out.clear();
+  out.reserve(std::min(cap, ranked_.size()));
+  for (std::size_t round = 0; out.size() < cap; ++round) {
     bool any = false;
     for (const auto& [begin, end] : groups_) {
-      if (begin + round < end && kept.size() < cap) {
-        kept.push_back(*ranked_[begin + round].d);
+      if (begin + round < end && out.size() < cap) {
+        out.push_back(*ranked_[begin + round].d);
         any = true;
       }
     }
     if (!any) break;
   }
-  return kept;
 }
 
 std::vector<PeerDescriptor> Vicinity::subset_for(const PeerDescriptor& target,
                                                  const View& cyclon_view,
                                                  std::size_t k) const {
+  std::vector<PeerDescriptor> all;
+  subset_into(target, cyclon_view, k, all);
+  return all;
+}
+
+void Vicinity::subset_into(const PeerDescriptor& target, const View& cyclon_view,
+                           std::size_t k, std::vector<PeerDescriptor>& out) const {
   PeerDescriptor me = self_;
   me.age = 0;
   scratch_.clear();
-  scratch_.push_back(&me);  // always advertise ourselves
-  for (const auto& d : view_.entries()) scratch_.push_back(&d);
-  for (const auto& d : cyclon_view.entries()) scratch_.push_back(&d);
+  stage(me);  // always advertise ourselves
+  for (const auto& d : view_.entries()) stage(d);
+  for (const auto& d : cyclon_view.entries()) stage(d);
   dedupe_staged(target.id);
 
   // Rank by usefulness to the target: lowest common-cell level first (level
   // 0 = same zero cell = most useful), then youngest. The level is computed
   // once per candidate (the old comparator re-classified on every
-  // comparison inside the sort).
+  // comparison inside the sort). Unclassifiable candidates rank last.
   ranked_.clear();
-  for (const PeerDescriptor* d : scratch_) {
-    auto slot = cells_.classify(target.coord, d->coord);
-    ranked_.push_back({slot ? slot->level : 1 << 20, 0, d->age, d->id, d});
+  for (const Staged& s : scratch_) {
+    auto slot = cells_.classify(target.coord, s.d->coord);
+    ranked_.push_back({rank_hi(slot ? slot->level : kUnrankedLevel, 0),
+                       (s.key << 32) | (s.key >> 32), s.d});
   }
+  // (hi, lo) = the old (level, age, id) order (dim is constant here).
   std::sort(ranked_.begin(), ranked_.end(), [](const Ranked& a, const Ranked& b) {
-    if (a.level != b.level) return a.level < b.level;
-    if (a.age != b.age) return a.age < b.age;
-    return a.id < b.id;
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
   });
 
   const bool truncated = ranked_.size() > k;
   if (truncated) ranked_.resize(k);
-  std::vector<PeerDescriptor> all;
-  all.reserve(ranked_.size());
-  for (const auto& r : ranked_) all.push_back(*r.d);
+  out.clear();
+  out.reserve(ranked_.size());
+  for (const auto& r : ranked_) out.push_back(*r.d);
   if (truncated) {
     // Self must always be advertised (the remove-on-exploit washout relies
     // on a live partner re-entering through its reply): if truncation cut
     // it, put it back in the last slot.
     bool has_self = false;
-    for (const auto& d : all) has_self = has_self || d.id == self_.id;
-    if (!has_self && !all.empty()) all.back() = me;
+    for (const auto& d : out) has_self = has_self || d.id == self_.id;
+    if (!has_self && !out.empty()) out.back() = me;
   }
-  return all;
 }
 
 }  // namespace ares

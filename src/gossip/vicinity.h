@@ -11,13 +11,31 @@
 
 #include <functional>
 
+#include "common/object_pool.h"
 #include "gossip/view.h"
 #include "runtime/message.h"
 #include "space/cells.h"
 
 namespace ares {
 
-struct VicinityExchangeMsg final : Message {
+/// Sort level for candidates whose coordinates cannot be classified against
+/// the ranking target (e.g. a descriptor carrying out-of-range cell indices
+/// from a differently-cut space). They rank after every real level — the
+/// cell hierarchy never exceeds max_level <= 20, so 1 << 20 is above any
+/// classifiable common-cell level.
+inline constexpr int kUnrankedLevel = 1 << 20;
+
+/// Exchange request/reply. Pooled like CyclonShuffleMsg: message block and
+/// entries buffer are recycled per thread, so warm exchanges do not touch
+/// the heap.
+struct VicinityExchangeMsg final : Message, PoolNew<VicinityExchangeMsg> {
+  VicinityExchangeMsg() : entries(VecPool<PeerDescriptor>::acquire()) {}
+  ~VicinityExchangeMsg() override {
+    VecPool<PeerDescriptor>::release(std::move(entries));
+  }
+  VicinityExchangeMsg(const VicinityExchangeMsg&) = delete;
+  VicinityExchangeMsg& operator=(const VicinityExchangeMsg&) = delete;
+
   bool is_reply = false;
   std::vector<PeerDescriptor> entries;
 
@@ -78,11 +96,17 @@ class Vicinity {
                                          const View& cyclon_view,
                                          std::size_t k) const;
 
+  /// As subset_for, but fills `out` (clearing it first) — the hot path
+  /// writes straight into a pooled message's entries buffer.
+  void subset_into(const PeerDescriptor& target, const View& cyclon_view,
+                   std::size_t k, std::vector<PeerDescriptor>& out) const;
+
  private:
   void merge(const std::vector<PeerDescriptor>& received, const View& cyclon_view);
 
-  /// Selection core over the candidates currently staged in scratch_.
-  std::vector<PeerDescriptor> select_staged(std::size_t cap) const;
+  /// Selection core over the candidates currently staged in scratch_; fills
+  /// `out` (clearing it first) with copies of the winners.
+  void select_staged_into(std::size_t cap, std::vector<PeerDescriptor>& out) const;
 
   /// Dedupes scratch_ by id, keeping the youngest descriptor (ties: first
   /// staged); drops `exclude` and entries older than max_age.
@@ -101,16 +125,38 @@ class Vicinity {
   // candidate); these flat vectors amortize to zero steady-state
   // allocations. Mutable because the selection functions are conceptually
   // const; a node runs on one simulation thread, so no synchronization.
+  /// Sort entries carry their keys inline: comparators touch only the entry
+  /// itself, never the (much larger) descriptor behind the pointer — the
+  /// selection sorts were dominated by that pointer-chase before.
+  /// hi = (level << 5) | (dim + 1), lo = (age << 32) | id: one (hi, lo)
+  /// comparison is the old (level, dim, age, id) lexicographic order.
   struct Ranked {
-    int level;
-    int dim;
-    std::uint32_t age;
-    NodeId id;
+    std::uint64_t hi;
+    std::uint64_t lo;
     const PeerDescriptor* d;
   };
-  mutable std::vector<const PeerDescriptor*> scratch_;
+  static std::uint64_t rank_hi(int level, int dim) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level)) << 5) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(dim + 1));
+  }
+  /// A staged candidate: key = (id << 32) | age, plus the staging position.
+  /// The position is the dedupe tie-break: sorting by (key, idx) with
+  /// std::sort yields exactly the order std::stable_sort by (id, age)
+  /// would — without the temporary merge buffer stable_sort heap-allocates
+  /// on every call.
+  struct Staged {
+    std::uint64_t key;
+    const PeerDescriptor* d;
+    std::uint32_t idx;
+  };
+  void stage(const PeerDescriptor& d) const {
+    scratch_.push_back({(static_cast<std::uint64_t>(d.id) << 32) | d.age, &d,
+                        static_cast<std::uint32_t>(scratch_.size())});
+  }
+  mutable std::vector<Staged> scratch_;
   mutable std::vector<Ranked> ranked_;
   mutable std::vector<std::pair<std::size_t, std::size_t>> groups_;
+  std::vector<PeerDescriptor> kept_;  // merge() staging, swapped into view_
 };
 
 }  // namespace ares

@@ -63,17 +63,28 @@ PeerDescriptor View::take_oldest() {
 }
 
 std::vector<PeerDescriptor> View::random_subset(Rng& rng, std::size_t k) const {
-  k = std::min(k, entries_.size());
-  auto idx = rng.sample_indices(entries_.size(), k);
   std::vector<PeerDescriptor> out;
-  out.reserve(k);
-  for (std::size_t i : idx) out.push_back(entries_[i]);
+  random_subset_into(rng, k, out);
   return out;
+}
+
+void View::random_subset_into(Rng& rng, std::size_t k,
+                              std::vector<PeerDescriptor>& out) const {
+  k = std::min(k, entries_.size());
+  rng.sample_indices_into(entries_.size(), k, idx_scratch_);
+  out.clear();
+  out.reserve(k);
+  for (std::size_t i : idx_scratch_) out.push_back(entries_[i]);
 }
 
 void View::assign(std::vector<PeerDescriptor> v) {
   assert(v.size() <= capacity_);
   entries_ = std::move(v);
+}
+
+void View::adopt(std::vector<PeerDescriptor>& v) {
+  assert(v.size() <= capacity_);
+  entries_.swap(v);
 }
 
 }  // namespace ares

@@ -53,13 +53,25 @@ class View {
   /// Up to `k` distinct entries chosen uniformly at random.
   std::vector<PeerDescriptor> random_subset(Rng& rng, std::size_t k) const;
 
+  /// As random_subset, but fills `out` (clearing it first) so a warm caller
+  /// reuses the buffer's capacity. Consumes `rng` identically to
+  /// random_subset for the same k.
+  void random_subset_into(Rng& rng, std::size_t k,
+                          std::vector<PeerDescriptor>& out) const;
+
   /// Replaces the whole content (used by selection-function merges); the
   /// caller guarantees |v| <= capacity and no duplicates.
   void assign(std::vector<PeerDescriptor> v);
 
+  /// As assign, but swaps buffers with `v` instead of moving: both the view
+  /// and the caller's staging vector keep their warmed-up capacity. `v` is
+  /// left holding the previous entries (callers clear it on next use).
+  void adopt(std::vector<PeerDescriptor>& v);
+
  private:
   std::size_t capacity_;
   std::vector<PeerDescriptor> entries_;
+  mutable std::vector<std::size_t> idx_scratch_;  // random_subset_into scratch
 };
 
 }  // namespace ares

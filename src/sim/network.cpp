@@ -20,7 +20,11 @@ NodeId Network::add_node(std::unique_ptr<Node> node) {
   bind(*node, *this, id);
   Node* raw = node.get();
   nodes_.emplace(id, std::move(node));
-  alive_cache_valid_ = false;
+  // Ids are monotonically increasing, so appending keeps the cache sorted:
+  // no need to invalidate and pay a full rebuild + sort per add. Bootstrap
+  // samples introducers from alive_ids() after every join, which made grid
+  // construction O(n^2 log n) before this.
+  if (alive_cache_valid_) alive_cache_.push_back(id);
   raw->start();
   return id;
 }

@@ -9,6 +9,13 @@ namespace ares {
 AttributeSpace::AttributeSpace(std::vector<DimensionSpec> dims, int max_level)
     : dims_(std::move(dims)), max_level_(max_level) {
   if (dims_.empty()) throw std::invalid_argument("AttributeSpace: need >= 1 dimension");
+  if (dims_.size() > kMaxDimensions)
+    throw std::invalid_argument(
+        "AttributeSpace: " + std::to_string(dims_.size()) +
+        " dimensions exceed the inline descriptor capacity of " +
+        std::to_string(kMaxDimensions) +
+        " (Point/CellCoord store their elements inline; raise kMaxDimensions "
+        "in common/types.h to go wider)");
   if (max_level_ < 1 || max_level_ > 20)
     throw std::invalid_argument("AttributeSpace: max_level out of range [1,20]");
   const std::size_t want = (std::size_t{1} << max_level_) - 1;

@@ -23,8 +23,9 @@ namespace ares {
 using CellIndex = std::uint32_t;
 
 /// Per-node vector of level-0 cell indices (one per dimension); the discrete
-/// coordinates of a node in the cell grid.
-using CellCoord = std::vector<CellIndex>;
+/// coordinates of a node in the cell grid. Inline storage (d <=
+/// kMaxDimensions) — copying a CellCoord never allocates.
+using CellCoord = InlineVec<CellIndex, kMaxDimensions>;
 
 /// Describes one attribute dimension.
 struct DimensionSpec {
@@ -33,8 +34,9 @@ struct DimensionSpec {
   AttrValue min_value = 0;
   /// Interior cut points, strictly increasing, exactly 2^max_level - 1 of
   /// them. Level-0 cell i covers [edge(i-1), edge(i)) with edge(-1) =
-  /// min_value; the last cell covers [edge(last), +inf).
-  std::vector<AttrValue> cuts;
+  /// min_value; the last cell covers [edge(last), +inf). Up to 2^20 - 1
+  /// entries, so deliberately heap-backed (AttrValues), not inline.
+  AttrValues cuts;
 };
 
 /// Immutable description of the whole attribute space.
@@ -42,6 +44,9 @@ class AttributeSpace {
  public:
   /// \param max_level the paper's max(l): nesting depth of the cell
   ///        hierarchy. Each dimension has 2^max_level level-0 cells.
+  /// \throws std::invalid_argument if dims is empty, has more than
+  ///         kMaxDimensions entries (Point/CellCoord store elements inline),
+  ///         max_level is out of range, or a cut vector is malformed.
   AttributeSpace(std::vector<DimensionSpec> dims, int max_level);
 
   /// Regular grid: d dimensions, values in [lo, hi) cut into equal-width

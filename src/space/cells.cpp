@@ -12,19 +12,19 @@ bool Cells::same_cell(const CellCoord& a, const CellCoord& b, int level) const {
 }
 
 Region Cells::cell_region(const CellCoord& c, int level) const {
-  std::vector<IndexInterval> ivs(c.size());
+  IntervalVec ivs(c.size());
   for (std::size_t d = 0; d < c.size(); ++d) {
     CellIndex base = at_level(c[d], level) << level;
     ivs[d] = {base, static_cast<CellIndex>(base + (CellIndex{1} << level) - 1)};
   }
-  return Region(std::move(ivs));
+  return Region(ivs);
 }
 
 Region Cells::neighbor_region(const CellCoord& c, int level, int dim) const {
   assert(level >= 1 && level <= space_->max_level());
   assert(dim >= 0 && dim < space_->dimensions());
   const int half = level - 1;  // half of C_level == a C_(level-1)-scale slab
-  std::vector<IndexInterval> ivs(c.size());
+  IntervalVec ivs(c.size());
   for (int j = 0; j < static_cast<int>(c.size()); ++j) {
     const CellIndex idx0 = c[static_cast<std::size_t>(j)];
     CellIndex slab;  // level-(l-1) index of the slab this dimension spans
@@ -43,7 +43,7 @@ Region Cells::neighbor_region(const CellCoord& c, int level, int dim) const {
     ivs[static_cast<std::size_t>(j)] = {
         base, static_cast<CellIndex>(base + (CellIndex{1} << half) - 1)};
   }
-  return Region(std::move(ivs));
+  return Region(ivs);
 }
 
 std::optional<CellSlot> Cells::classify(const CellCoord& self,

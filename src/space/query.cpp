@@ -28,7 +28,7 @@ bool RangeQuery::matches(const Point& p) const {
   return true;
 }
 
-bool RangeQuery::matches_dynamic(const std::vector<AttrValue>& dynamic_values) const {
+bool RangeQuery::matches_dynamic(const AttrValues& dynamic_values) const {
   for (const auto& f : dynamic_filters_) {
     if (f.index >= dynamic_values.size()) return false;
     if (!f.range.contains(dynamic_values[f.index])) return false;
@@ -38,7 +38,7 @@ bool RangeQuery::matches_dynamic(const std::vector<AttrValue>& dynamic_values) c
 
 Region RangeQuery::to_region(const AttributeSpace& space) const {
   assert(space.dimensions() == dimensions());
-  std::vector<IndexInterval> ivs(ranges_.size());
+  IntervalVec ivs(ranges_.size());
   const CellIndex last = space.cells_per_dim() - 1;
   for (int d = 0; d < dimensions(); ++d) {
     const auto& r = ranges_[static_cast<std::size_t>(d)];
@@ -46,7 +46,7 @@ Region RangeQuery::to_region(const AttributeSpace& space) const {
     CellIndex hi = r.hi ? space.cell_index(d, *r.hi) : last;
     ivs[static_cast<std::size_t>(d)] = {lo, hi};
   }
-  return Region(std::move(ivs));
+  return Region(ivs);
 }
 
 }  // namespace ares

@@ -67,7 +67,7 @@ class RangeQuery {
 
   /// Match of the dynamic filters against a node's dynamic attribute vector.
   /// Filters referencing indices beyond the vector fail the match.
-  bool matches_dynamic(const std::vector<AttrValue>& dynamic_values) const;
+  bool matches_dynamic(const AttrValues& dynamic_values) const;
 
   bool has_dynamic_filters() const { return !dynamic_filters_.empty(); }
   const std::vector<DynamicFilter>& dynamic_filters() const { return dynamic_filters_; }

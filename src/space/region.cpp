@@ -6,9 +6,9 @@
 namespace ares {
 
 Region Region::whole(const AttributeSpace& space) {
-  std::vector<IndexInterval> ivs(static_cast<std::size_t>(space.dimensions()));
+  IntervalVec ivs(static_cast<std::size_t>(space.dimensions()));
   for (auto& iv : ivs) iv = {0, space.cells_per_dim() - 1};
-  return Region(std::move(ivs));
+  return Region(ivs);
 }
 
 bool Region::contains(const CellCoord& c) const {
@@ -27,12 +27,12 @@ bool Region::intersects(const Region& o) const {
 
 Region Region::intersect(const Region& o) const {
   assert(o.ivs_.size() == ivs_.size());
-  std::vector<IndexInterval> out(ivs_.size());
+  IntervalVec out(ivs_.size());
   for (std::size_t d = 0; d < ivs_.size(); ++d) {
     out[d].lo = std::max(ivs_[d].lo, o.ivs_[d].lo);
     out[d].hi = std::min(ivs_[d].hi, o.ivs_[d].hi);
   }
-  return Region(std::move(out));
+  return Region(out);
 }
 
 bool Region::empty() const {

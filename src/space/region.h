@@ -24,11 +24,14 @@ struct IndexInterval {
   friend bool operator==(const IndexInterval&, const IndexInterval&) = default;
 };
 
+/// One IndexInterval per dimension, stored inline (d <= kMaxDimensions).
+using IntervalVec = InlineVec<IndexInterval, kMaxDimensions>;
+
 /// Axis-aligned box: one IndexInterval per dimension.
 class Region {
  public:
   Region() = default;
-  explicit Region(std::vector<IndexInterval> ivs) : ivs_(std::move(ivs)) {}
+  explicit Region(IntervalVec ivs) : ivs_(ivs) {}
 
   /// The whole level-0 grid of a space.
   static Region whole(const AttributeSpace& space);
@@ -52,7 +55,7 @@ class Region {
   friend bool operator==(const Region&, const Region&) = default;
 
  private:
-  std::vector<IndexInterval> ivs_;
+  IntervalVec ivs_;
 };
 
 }  // namespace ares

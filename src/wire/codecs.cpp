@@ -22,7 +22,9 @@ void put_point(Writer& w, const Point& p) {
 
 bool get_point(Reader& r, Point& p) {
   std::uint64_t n = r.count(8);
-  if (!r.ok()) return false;
+  // Point stores its elements inline: a count beyond the fixed capacity can
+  // only come from a corrupt/hostile frame. Fail the decode, never throw.
+  if (!r.ok() || n > Point::max_size()) return false;
   p.resize(static_cast<std::size_t>(n));
   for (auto& v : p) v = r.u64();
   return r.ok();
@@ -35,7 +37,7 @@ void put_coord(Writer& w, const CellCoord& c) {
 
 bool get_coord(Reader& r, CellCoord& c) {
   std::uint64_t n = r.count(4);
-  if (!r.ok()) return false;
+  if (!r.ok() || n > CellCoord::max_size()) return false;  // see get_point
   c.resize(static_cast<std::size_t>(n));
   for (auto& i : c) i = static_cast<CellIndex>(r.u32());
   return r.ok();

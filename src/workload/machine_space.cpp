@@ -21,27 +21,27 @@ MachineGen machine_points() {
     double archetype = rng.uniform();
     if (archetype < 0.20) {  // embedded / SBC
       p[kCpuIsa] = rng.chance(0.7) ? kIsaArm32 : kIsaArm64;
-      p[kMemoryMb] = rng.pick(std::vector<AttrValue>{128, 256, 512, 1024});
+      p[kMemoryMb] = rng.pick(AttrValues{128, 256, 512, 1024});
       p[kBandwidthKbps] = rng.range(64, 1024);
       p[kDiskGb] = rng.range(4, 32);
       p[kOsCode] = kOsLinux + rng.below(80);  // linux 1xx band
     } else if (archetype < 0.65) {  // desktop
       p[kCpuIsa] = rng.chance(0.8) ? kIsaX86_64 : kIsaX86;
-      p[kMemoryMb] = rng.pick(std::vector<AttrValue>{2048, 4096, 8192, 16384});
+      p[kMemoryMb] = rng.pick(AttrValues{2048, 4096, 8192, 16384});
       p[kBandwidthKbps] = rng.range(512, 10240);
       p[kDiskGb] = rng.range(64, 512);
       p[kOsCode] = rng.chance(0.5) ? kOsWindows + rng.below(80)
                                    : kOsLinux + rng.below(80);
     } else if (archetype < 0.90) {  // workstation / mac
       p[kCpuIsa] = rng.chance(0.6) ? kIsaX86_64 : kIsaArm64;
-      p[kMemoryMb] = rng.pick(std::vector<AttrValue>{8192, 16384, 32768});
+      p[kMemoryMb] = rng.pick(AttrValues{8192, 16384, 32768});
       p[kBandwidthKbps] = rng.range(4096, 102400);
       p[kDiskGb] = rng.range(256, 2048);
       p[kOsCode] = rng.chance(0.5) ? kOsMac + rng.below(80)
                                    : kOsLinux + rng.below(80);
     } else {  // server
       p[kCpuIsa] = rng.chance(0.85) ? kIsaX86_64 : kIsaPpc64;
-      p[kMemoryMb] = rng.pick(std::vector<AttrValue>{16384, 32768, 65536, 131072});
+      p[kMemoryMb] = rng.pick(AttrValues{16384, 32768, 65536, 131072});
       p[kBandwidthKbps] = rng.range(102400, 1024000);
       p[kDiskGb] = rng.range(512, 16384);
       p[kOsCode] = kOsLinux + rng.below(80);

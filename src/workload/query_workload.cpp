@@ -49,7 +49,7 @@ RangeQuery best_case_query(const AttributeSpace& space, double f, Rng& rng) {
     if (!progressed) break;  // whole grid reached
   }
   // Random aligned placement per dimension.
-  std::vector<IndexInterval> ivs(static_cast<std::size_t>(d));
+  IntervalVec ivs(static_cast<std::size_t>(d));
   for (int k = 0; k < d; ++k) {
     auto sk = static_cast<std::size_t>(k);
     CellIndex width = CellIndex{1} << g[sk];
@@ -58,7 +58,7 @@ RangeQuery best_case_query(const AttributeSpace& space, double f, Rng& rng) {
     ivs[sk] = {static_cast<CellIndex>(a * width),
                static_cast<CellIndex>(a * width + width - 1)};
   }
-  return query_from_region(space, Region(std::move(ivs)));
+  return query_from_region(space, Region(ivs));
 }
 
 RangeQuery worst_case_query(const AttributeSpace& space, double f) {
@@ -75,13 +75,13 @@ RangeQuery worst_case_query(const AttributeSpace& space, double f) {
   double per_dim = std::pow(f, 1.0 / d) * static_cast<double>(n);
   auto w = static_cast<CellIndex>(std::llround(per_dim));
   w = std::clamp<CellIndex>(w, 2, n);
-  std::vector<IndexInterval> ivs(static_cast<std::size_t>(d));
+  IntervalVec ivs(static_cast<std::size_t>(d));
   for (int k = 0; k < d; ++k) {
     CellIndex lo = mid - w / 2;
     CellIndex hi = lo + w - 1;  // crosses `mid` since w >= 2 and lo < mid
     ivs[static_cast<std::size_t>(k)] = {lo, hi};
   }
-  return query_from_region(space, Region(std::move(ivs)));
+  return query_from_region(space, Region(ivs));
 }
 
 RangeQuery empirical_query(const AttributeSpace& space,
@@ -96,7 +96,7 @@ RangeQuery empirical_query(const AttributeSpace& space,
                                  static_cast<std::size_t>(constrain_dims));
   const double per_dim = std::pow(f, 1.0 / constrain_dims);
   for (std::size_t dim : dims) {
-    std::vector<AttrValue> vals;
+    AttrValues vals;
     vals.reserve(sample.size());
     for (const auto& p : sample) vals.push_back(p[dim]);
     std::sort(vals.begin(), vals.end());

@@ -1,0 +1,115 @@
+#include "common/inline_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace ares {
+namespace {
+
+using Small = InlineVec<std::uint32_t, 4>;
+
+TEST(InlineVecTest, DefaultConstructedIsEmpty) {
+  Small v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(Small::capacity(), 4u);
+  EXPECT_EQ(Small::max_size(), 4u);
+}
+
+TEST(InlineVecTest, SizedConstructorValueInitializes) {
+  // Matches std::vector: Point p(d) yields d zeros.
+  Small v(3);
+  ASSERT_EQ(v.size(), 3u);
+  for (auto x : v) EXPECT_EQ(x, 0u);
+  Small w(2, 9);
+  EXPECT_EQ(w[0], 9u);
+  EXPECT_EQ(w[1], 9u);
+}
+
+TEST(InlineVecTest, InitializerListAndIndexing) {
+  Small v{1, 2, 3};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v.front(), 1u);
+  EXPECT_EQ(v.back(), 3u);
+  v[1] = 7;
+  EXPECT_EQ(v[1], 7u);
+}
+
+TEST(InlineVecTest, PushPopResizeClear) {
+  Small v;
+  v.push_back(5);
+  v.push_back(6);
+  EXPECT_EQ(v.size(), 2u);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  v.resize(3, 8);
+  EXPECT_EQ(v[0], 5u);
+  EXPECT_EQ(v[1], 8u);
+  EXPECT_EQ(v[2], 8u);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVecTest, IterationMatchesContents) {
+  Small v{4, 5, 6};
+  std::uint32_t sum = 0;
+  for (auto x : v) sum += x;
+  EXPECT_EQ(sum, 15u);
+  for (auto& x : v) x += 1;
+  EXPECT_EQ(v[0], 5u);
+}
+
+TEST(InlineVecTest, EqualityIgnoresUninitializedTail) {
+  // Two vectors with equal live prefixes must compare equal even though
+  // their storage beyond size() holds different garbage.
+  Small a{1, 2, 3, 4};
+  Small b{9, 9, 9, 9};
+  a.clear();
+  b.clear();
+  a.push_back(5);
+  b.push_back(5);
+  EXPECT_EQ(a, b);
+  b.push_back(6);
+  EXPECT_NE(a, b);
+}
+
+TEST(InlineVecTest, LexicographicOrder) {
+  Small a{1, 2};
+  Small b{1, 3};
+  Small c{1, 2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);  // proper prefix sorts first, like std::vector
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(InlineVecTest, OverflowThrowsLengthError) {
+  Small v{1, 2, 3, 4};
+  EXPECT_THROW(v.push_back(5), std::length_error);
+  EXPECT_THROW(v.resize(5), std::length_error);
+  EXPECT_THROW(Small(5), std::length_error);
+  // The failed push must not have corrupted the live contents.
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.back(), 4u);
+}
+
+TEST(InlineVecTest, PointAndCoordAliasesAreInline) {
+  // The whole purpose of the type: descriptor coordinates never allocate.
+  static_assert(Point::capacity() == kMaxDimensions);
+  static_assert(std::is_trivially_copyable_v<AttrValue>);
+  Point p{10, 20, 30};
+  Point q = p;  // plain memberwise copy, no heap
+  EXPECT_EQ(p, q);
+  q.push_back(40);
+  EXPECT_NE(p, q);
+}
+
+}  // namespace
+}  // namespace ares

@@ -145,6 +145,26 @@ TEST(Rng, SampleIndicesZero) {
   EXPECT_TRUE(r.sample_indices(5, 0).empty());
 }
 
+TEST(Rng, SampleIndicesSparsePathMatchesDense) {
+  // The sparse k << n path must reproduce the dense Fisher-Yates exactly:
+  // same draws, same indices, same order. Replay the dense algorithm with a
+  // twin Rng and compare element-wise across the path-selection threshold.
+  for (std::size_t n : {2000u, 5000u, 50000u}) {
+    for (std::size_t k : {1u, 5u, 64u, 200u}) {
+      Rng sparse_rng(47), dense_rng(47);
+      auto got = sparse_rng.sample_indices(n, k);
+      std::vector<std::size_t> perm(n);
+      for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+      for (std::size_t i = 0; i < k; ++i)
+        std::swap(perm[i], perm[i + dense_rng.index(n - i)]);
+      perm.resize(k);
+      ASSERT_EQ(got, perm) << "n=" << n << " k=" << k;
+      // Both consumed the same number of draws.
+      EXPECT_EQ(sparse_rng.next(), dense_rng.next());
+    }
+  }
+}
+
 TEST(Rng, ShuffleIsPermutation) {
   Rng r(43);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};

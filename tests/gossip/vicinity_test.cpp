@@ -81,6 +81,26 @@ TEST_F(VicinityUnit, SubsetForRanksByUsefulnessToTarget) {
   EXPECT_EQ(subset[0].id, 30u);
 }
 
+TEST_F(VicinityUnit, SubsetForRanksUnclassifiableCandidatesLast) {
+  // A descriptor whose cached coordinates fall outside this space's grid
+  // (e.g. minted against a differently-cut space) cannot be classified
+  // against the ranking target. It must sort at kUnrankedLevel — after
+  // every classifiable candidate — rather than being dropped or misordered.
+  auto v = make_vicinity(make(1, 5, 5));
+  PeerDescriptor rogue;
+  rogue.id = 77;
+  rogue.values = Point{500, 500};
+  rogue.coord = CellCoord{255, 255};  // cells_per_dim is 8: out of range
+  View cyclon_view(8);
+  cyclon_view.insert_or_refresh(make(30, 6, 6));
+  cyclon_view.insert_or_refresh(rogue);
+  auto subset = v.subset_for(make(99, 5, 6), cyclon_view, 3);
+  ASSERT_EQ(subset.size(), 3u);  // self + classifiable + unclassifiable
+  EXPECT_EQ(subset.back().id, 77u);
+  // The sentinel must outrank (sort after) every real common-cell level.
+  EXPECT_GT(kUnrankedLevel, space.max_level());
+}
+
 TEST_F(VicinityUnit, SubsetForAdvertisesSelf) {
   auto v = make_vicinity(make(1, 5, 5));
   View cyclon_view(8);

@@ -71,12 +71,29 @@ TEST(AttributeSpace, CellCount) {
 }
 
 TEST(AttributeSpace, CellCountSaturates) {
-  auto s = AttributeSpace::uniform(25, 3, 0, 80);  // 75 bits > 64
+  auto s = AttributeSpace::uniform(16, 5, 0, 320);  // 80 bits > 64
   EXPECT_EQ(s.cell_count(0), std::numeric_limits<std::uint64_t>::max());
 }
 
 TEST(AttributeSpace, RejectsEmptyDimensions) {
   EXPECT_THROW(AttributeSpace({}, 3), std::invalid_argument);
+}
+
+TEST(AttributeSpace, RejectsMoreDimensionsThanInlineCapacity) {
+  // Point/CellCoord store their elements inline (common/inline_vec.h), so
+  // construction is the enforcement point for d <= kMaxDimensions. At the
+  // cap it must succeed; one past it must throw with an actionable message.
+  EXPECT_NO_THROW(
+      AttributeSpace::uniform(static_cast<int>(kMaxDimensions), 3, 0, 80));
+  try {
+    AttributeSpace::uniform(static_cast<int>(kMaxDimensions) + 1, 3, 0, 80);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("inline descriptor capacity"),
+              std::string::npos)
+        << "actual message: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("kMaxDimensions"), std::string::npos);
+  }
 }
 
 TEST(AttributeSpace, RejectsWrongCutCount) {

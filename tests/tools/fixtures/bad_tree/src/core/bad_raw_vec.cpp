@@ -1,0 +1,12 @@
+// Fixture: raw descriptor-coordinate vector spellings outside common/.
+// Both lines must trip the raw-descriptor-vec rule — descriptor coordinates
+// are inline types (Point / CellCoord), never std::vector.
+
+#include <vector>
+
+using AttrValue = unsigned long long;
+using CellIndex = unsigned;
+
+std::vector<AttrValue> values_the_wrong_way() { return {1, 2, 3}; }
+
+std::vector<CellIndex> coord_the_wrong_way() { return {4, 5}; }

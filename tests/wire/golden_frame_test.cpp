@@ -1,0 +1,162 @@
+// Golden-frame pins for the gossip exchange messages.
+//
+// The hex fixtures below are the exact frames the codec produced BEFORE
+// Point/CellCoord moved to inline storage (captured from the tree at commit
+// "Add clang-tidy gate and ares-lint determinism/layering linter"). The
+// descriptor retype must be invisible on the wire: encoding the same
+// logical messages must reproduce these bytes exactly, and decoding them
+// must reproduce the same field values. If this test fails, the wire format
+// changed — that breaks recorded-trace compatibility and the paper's
+// byte-accounting, so it must be deliberate and versioned, never a side
+// effect of a container swap.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gossip/cyclon.h"
+#include "gossip/vicinity.h"
+#include "runtime/wire.h"
+
+namespace ares {
+namespace {
+
+// One descriptor exercises every field width: small id / huge id, varint
+// point length, u64 values beyond 32 bits, multi-entry coord.
+PeerDescriptor golden_descriptor(NodeId id, std::uint32_t age) {
+  PeerDescriptor d;
+  d.id = id;
+  d.age = age;
+  d.values = Point{10, 2000, 300000000000ULL};
+  d.coord = CellCoord{1, 2, 7};
+  return d;
+}
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoul(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+// 36-byte descriptor body shared by all four frames:
+//   id(u32) age(u32) |values|=3(varint) 3*u64 |coord|=3(varint) 3*u32
+const char* const kDescBody =
+    "030a00000000000000d00700000000000000b86"
+    "4d94500000003010000000200000007000000";
+
+const std::string kDesc5Age0 = std::string("0500000000000000") + kDescBody;
+const std::string kDescBeefAge42 = std::string("efbeadde2a000000") + kDescBody;
+const std::string kDesc7Age1 = std::string("0700000001000000") + kDescBody;
+
+// kind tag, count=2, then the two descriptors (94 bytes total).
+const std::string kCyclonRequestHex = "0102" + kDesc5Age0 + kDescBeefAge42;
+// kind tag, count=1, one descriptor (48 bytes total).
+const std::string kCyclonReplyHex = "0201" + kDesc7Age1;
+const std::string kVicinityRequestHex = "0302" + kDesc5Age0 + kDescBeefAge42;
+const std::string kVicinityReplyHex = "0401" + kDesc7Age1;
+
+void check_decoded_entries(const std::vector<PeerDescriptor>& entries,
+                           bool two_entry_frame) {
+  ASSERT_EQ(entries.size(), two_entry_frame ? 2u : 1u);
+  const PeerDescriptor want =
+      two_entry_frame ? golden_descriptor(5, 0) : golden_descriptor(7, 1);
+  EXPECT_EQ(entries[0].id, want.id);
+  EXPECT_EQ(entries[0].age, want.age);
+  EXPECT_EQ(entries[0].values, want.values);
+  EXPECT_EQ(entries[0].coord, want.coord);
+  if (two_entry_frame) {
+    EXPECT_EQ(entries[1].id, 0xDEADBEEFu);
+    EXPECT_EQ(entries[1].age, 42u);
+  }
+}
+
+TEST(GoldenFrames, CyclonRequestBytesUnchanged) {
+  CyclonShuffleMsg m;
+  m.is_reply = false;
+  m.entries.push_back(golden_descriptor(5, 0));
+  m.entries.push_back(golden_descriptor(0xDEADBEEF, 42));
+  EXPECT_EQ(to_hex(wire::encode(m)), kCyclonRequestHex);
+  EXPECT_EQ(m.wire_size(), kCyclonRequestHex.size() / 2);
+}
+
+TEST(GoldenFrames, CyclonReplyBytesUnchanged) {
+  CyclonShuffleMsg m;
+  m.is_reply = true;
+  m.entries.push_back(golden_descriptor(7, 1));
+  EXPECT_EQ(to_hex(wire::encode(m)), kCyclonReplyHex);
+}
+
+TEST(GoldenFrames, VicinityRequestBytesUnchanged) {
+  VicinityExchangeMsg m;
+  m.is_reply = false;
+  m.entries.push_back(golden_descriptor(5, 0));
+  m.entries.push_back(golden_descriptor(0xDEADBEEF, 42));
+  EXPECT_EQ(to_hex(wire::encode(m)), kVicinityRequestHex);
+}
+
+TEST(GoldenFrames, VicinityReplyBytesUnchanged) {
+  VicinityExchangeMsg m;
+  m.is_reply = true;
+  m.entries.push_back(golden_descriptor(7, 1));
+  EXPECT_EQ(to_hex(wire::encode(m)), kVicinityReplyHex);
+}
+
+TEST(GoldenFrames, PinnedFramesDecodeToOriginalFields) {
+  struct Case {
+    const std::string& hex;
+    bool is_vicinity;
+    bool is_reply;
+  };
+  const Case cases[] = {
+      {kCyclonRequestHex, false, false},
+      {kCyclonReplyHex, false, true},
+      {kVicinityRequestHex, true, false},
+      {kVicinityReplyHex, true, true},
+  };
+  for (const auto& c : cases) {
+    MessagePtr m = wire::decode(from_hex(c.hex));
+    ASSERT_NE(m, nullptr) << c.hex;
+    if (c.is_vicinity) {
+      const auto* v = dynamic_cast<const VicinityExchangeMsg*>(m.get());
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(v->is_reply, c.is_reply);
+      check_decoded_entries(v->entries, !c.is_reply);
+    } else {
+      const auto* s = dynamic_cast<const CyclonShuffleMsg*>(m.get());
+      ASSERT_NE(s, nullptr);
+      EXPECT_EQ(s->is_reply, c.is_reply);
+      check_decoded_entries(s->entries, !c.is_reply);
+    }
+  }
+}
+
+TEST(GoldenFrames, OverCapacityPointCountFailsDecodeCleanly) {
+  // A frame claiming a point one past the inline capacity must decode to
+  // nullptr — never throw from InlineVec — even with enough payload bytes.
+  constexpr std::size_t n = Point::max_size() + 1;
+  std::string hex = std::string("0201") + "0500000000000000";
+  hex.push_back("0123456789abcdef"[n >> 4]);
+  hex.push_back("0123456789abcdef"[n & 0xF]);
+  for (std::size_t i = 0; i < n; ++i) hex += "0a00000000000000";
+  hex += "00";  // empty coord
+  EXPECT_EQ(wire::decode(from_hex(hex)), nullptr);
+}
+
+}  // namespace
+}  // namespace ares

@@ -21,6 +21,14 @@ invariants"):
                    common/options.h. Suppress with
                        // ares-lint: forbidden-api-ok(<reason>)
 
+  raw-descriptor-vec
+                   No std::vector<AttrValue> / std::vector<CellIndex>
+                   spellings in src/ outside src/common. Descriptor
+                   coordinates store their elements inline: spell them
+                   Point / CellCoord (or AttrValues for genuinely unbounded
+                   value lists) so descriptor copies stay allocation-free.
+                   Suppress with  // ares-lint: raw-descriptor-vec-ok(<reason>)
+
   layering         Full declared include-DAG over src/ (generalizes the old
                    cmake/check_include_hygiene.cmake core/gossip rule).
                    Violations are reported per edge. Suppress a single
@@ -82,6 +90,16 @@ CODEC_ENUM = "src/runtime/message.h"
 CODEC_IMPL = "src/wire/codecs.cpp"
 CODEC_TEST = "tests/wire/codec_test.cpp"
 CODEC_SENTINELS = {"kInvalid", "kTestBase"}
+
+# raw-descriptor-vec applies to src/ except src/common (where the canonical
+# aliases themselves live).
+RAW_DESCRIPTOR_VEC = [
+    (re.compile(r"\bstd\s*::\s*vector\s*<\s*AttrValue\s*>"),
+     "std::vector<AttrValue>",
+     "Point (inline storage) or AttrValues (unbounded value lists)"),
+    (re.compile(r"\bstd\s*::\s*vector\s*<\s*CellIndex\s*>"),
+     "std::vector<CellIndex>", "CellCoord (inline storage)"),
+]
 
 FORBIDDEN_API = [
     (re.compile(r"\brand\s*\("), "rand()"),
@@ -207,7 +225,7 @@ class Linter:
         self.root = root
         self.findings = []
         self.suppression_counts = {"unordered-iter": 0, "forbidden-api": 0,
-                                   "layering": 0}
+                                   "raw-descriptor-vec": 0, "layering": 0}
 
     def add(self, rule, sf, offset_or_line, message, offset=True):
         line = sf.line_of(offset_or_line) if offset else offset_or_line
@@ -298,6 +316,23 @@ class Linter:
                              "the simulated clock, environment access "
                              "through common/options.h")
 
+    # -- rule: raw-descriptor-vec --------------------------------------------
+
+    def check_raw_descriptor_vec(self):
+        src = self.root / "src"
+        if not src.is_dir():
+            return
+        scan_dirs = [d.name for d in sorted(src.iterdir())
+                     if d.is_dir() and d.name != "common"]
+        for p in iter_files(src, scan_dirs):
+            sf = SourceFile(p, str(p.relative_to(self.root)))
+            for rx, what, use in RAW_DESCRIPTOR_VEC:
+                for m in rx.finditer(sf.code):
+                    self.add("raw-descriptor-vec", sf, m.start(),
+                             f"{what} outside common/ — spell it {use}; "
+                             "descriptor coordinates store elements inline "
+                             "(common/inline_vec.h) so copies never allocate")
+
     # -- rule: layering ------------------------------------------------------
 
     def check_layering(self):
@@ -374,6 +409,7 @@ class Linter:
     def run(self):
         self.check_unordered_iter()
         self.check_forbidden_api()
+        self.check_raw_descriptor_vec()
         self.check_layering()
         self.check_codec()
         return self.findings
@@ -416,10 +452,11 @@ def self_test(fixture_root: pathlib.Path) -> int:
         by_rule.setdefault(f.rule, []).append(f)
     failures = []
     expect = {
-        "unordered-iter": 2,  # range-for + .begin() traversal
-        "forbidden-api": 2,   # random_device + getenv
-        "layering": 2,        # gossip -> sim, gossip -> exp
-        "codec": 2,           # kPong: missing registration + missing test
+        "unordered-iter": 2,       # range-for + .begin() traversal
+        "forbidden-api": 2,        # random_device + getenv
+        "raw-descriptor-vec": 2,   # vector<AttrValue> + vector<CellIndex>
+        "layering": 2,             # gossip -> sim, gossip -> exp
+        "codec": 2,                # kPong: missing registration + missing test
     }
     for rule, minimum in expect.items():
         got = len(by_rule.get(rule, []))
