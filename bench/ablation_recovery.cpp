@@ -92,6 +92,7 @@ int main() {
   const std::size_t threads = exp::resolve_threads(configs.size());
   exp::BenchReport report("ablation_recovery");
   report.set_threads(threads);
+  report.set_shards(s.shards);
 
   auto results = exp::run_trials(
       configs,

@@ -31,6 +31,7 @@
 #include "gossip/cyclon.h"
 #include "gossip/vicinity.h"
 #include "space/cells.h"
+#include "space/descriptor_store.h"
 #include "workload/distributions.h"
 
 namespace {
@@ -72,12 +73,15 @@ struct GossipHost {
 class Cluster {
  public:
   Cluster(const AttributeSpace& space, const Cells& cells, std::size_t n,
-          Rng& rng) {
+          Rng& rng)
+      : store_(space) {
     auto gen = uniform_points(space, 0, 80);
     std::vector<PeerDescriptor> all;
     all.reserve(n);
-    for (NodeId i = 0; i < n; ++i)
+    for (NodeId i = 0; i < n; ++i) {
       all.push_back(make_descriptor(space, i, gen(rng)));
+      store_.put(i, all.back().values);
+    }
     hosts_.reserve(n);
     for (NodeId i = 0; i < n; ++i) {
       auto host = std::make_unique<GossipHost>();
@@ -86,11 +90,11 @@ class Cluster {
         deliver(i, to, std::move(m));
       };
       host->cyclon =
-          std::make_unique<Cyclon>(all[i], CyclonConfig{}, rng_, send);
-      host->vicinity = std::make_unique<Vicinity>(all[i], cells,
+          std::make_unique<Cyclon>(i, store_, CyclonConfig{}, rng_, send);
+      host->vicinity = std::make_unique<Vicinity>(i, all[i].coord, cells, store_,
                                                   VicinityConfig{}, rng_, send);
       host->rt = std::make_unique<RoutingTable>(cells, all[i].coord, i,
-                                                RoutingConfig{});
+                                                RoutingConfig{}, store_);
       hosts_.push_back(std::move(host));
     }
     // Bootstrap every node with a handful of ring neighbors.
@@ -125,6 +129,7 @@ class Cluster {
   }
 
   Rng rng_{42};
+  DescriptorStore store_;
   std::vector<std::unique_ptr<GossipHost>> hosts_;
 };
 

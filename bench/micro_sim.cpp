@@ -37,6 +37,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "space/cells.h"
+#include "space/descriptor_store.h"
 #include "workload/distributions.h"
 
 namespace {
@@ -241,11 +242,15 @@ MicroResult bench_vicinity(std::uint64_t ops) {
   std::vector<PeerDescriptor> candidates;
   for (NodeId i = 0; i < 60; ++i)
     candidates.push_back(make_descriptor(space, i, gen(rng), rng.below(20)));
+  DescriptorStore store(space);
+  for (const PeerDescriptor& d : candidates) store.put(d.id, d.values);
   View cyclon(20);
   for (std::size_t i = 0; i < 20; ++i)
-    cyclon.insert_evicting_oldest(candidates[i]);
+    cyclon.insert_evicting_oldest({candidates[i].id, candidates[i].age});
 
-  Vicinity vic(make_descriptor(space, 1000, gen(rng)), cells, VicinityConfig{},
+  const Point self_values = gen(rng);
+  store.put(1000, self_values);
+  Vicinity vic(1000, space.coord_of(self_values), cells, store, VicinityConfig{},
                rng, [](NodeId, MessagePtr) {});
   vic.seed(candidates, cyclon);
   PeerDescriptor target = make_descriptor(space, 2000, gen(rng));

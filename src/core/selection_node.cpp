@@ -4,10 +4,12 @@
 
 namespace ares {
 
-SelectionNode::SelectionNode(const AttributeSpace& space, Point values,
-                             ProtocolConfig cfg, std::vector<PeerDescriptor> bootstrap,
-                             Rng rng, QueryObserver* observer)
+SelectionNode::SelectionNode(const AttributeSpace& space, DescriptorStore& store,
+                             Point values, ProtocolConfig cfg,
+                             std::vector<PeerDescriptor> bootstrap, Rng rng,
+                             QueryObserver* observer)
     : space_(space),
+      store_(store),
       cells_(space),
       values_(std::move(values)),
       coord_(space.coord_of(values_)),
@@ -27,12 +29,14 @@ void SelectionNode::start() {
   m_query_timeouts_ = metrics().counter("query.timeouts");
   m_query_retries_ = metrics().counter("query.retries");
 
-  rt_ = std::make_unique<RoutingTable>(cells_, coord_, id(), cfg_.routing);
+  // Register our own profile before any layer hands out handles to it.
+  store_.put(id(), values_);
+  rt_ = std::make_unique<RoutingTable>(cells_, coord_, id(), cfg_.routing, store_);
 
   auto send_fn = [this](NodeId to, MessagePtr m) { send(to, std::move(m)); };
-  cyclon_ = std::make_unique<Cyclon>(descriptor(), cfg_.cyclon, rng_, send_fn);
-  vicinity_ =
-      std::make_unique<Vicinity>(descriptor(), cells_, cfg_.vicinity, rng_, send_fn);
+  cyclon_ = std::make_unique<Cyclon>(id(), store_, cfg_.cyclon, rng_, send_fn);
+  vicinity_ = std::make_unique<Vicinity>(id(), coord_, cells_, store_, cfg_.vicinity,
+                                         rng_, send_fn);
 
   cyclon_->seed(bootstrap_);
   vicinity_->seed(bootstrap_, cyclon_->view());
@@ -60,8 +64,8 @@ void SelectionNode::gossip_tick() {
 }
 
 void SelectionNode::refresh_routing() {
-  for (const auto& d : cyclon_->view().entries()) rt_->offer(d);
-  for (const auto& d : vicinity_->view().entries()) rt_->offer(d);
+  for (const CompactPeer c : cyclon_->view().entries()) rt_->offer(c);
+  for (const CompactPeer c : vicinity_->view().entries()) rt_->offer(c);
 }
 
 void SelectionNode::set_values(Point values) {
@@ -69,22 +73,30 @@ void SelectionNode::set_values(Point values) {
   values_ = std::move(values);
   coord_ = space_.coord_of(values_);
   if (rt_ == nullptr) return;  // not started yet
+  store_.put(id(), values_);  // authoritative profile update
   // Re-place ourselves: every link classifies differently now.
-  std::vector<PeerDescriptor> known;
-  for (const auto& e : rt_->zero()) known.push_back(e);
+  std::vector<CompactPeer> known;
+  for (const CompactPeer e : rt_->zero()) known.push_back(e);
   for (int l = 1; l <= rt_->levels(); ++l)
     for (int k = 0; k < rt_->dims(); ++k)
-      for (const auto& e : rt_->slot(l, k)) known.push_back(e);
-  rt_ = std::make_unique<RoutingTable>(cells_, coord_, id(), cfg_.routing);
-  for (const auto& e : known) rt_->offer(e);
-  // Recreate gossip layers with the new self profile; views carry over.
+      for (const CompactPeer e : rt_->slot(l, k)) known.push_back(e);
+  rt_ = std::make_unique<RoutingTable>(cells_, coord_, id(), cfg_.routing, store_);
+  for (const CompactPeer e : known) rt_->offer(e);
+  // Recreate gossip layers with the new self profile; views carry over
+  // (materialized through the store: seed() re-registers ids idempotently).
   auto send_fn = [this](NodeId to, MessagePtr m) { send(to, std::move(m)); };
-  auto cyclon_entries = cyclon_->view().entries();
-  auto vicinity_entries = vicinity_->view().entries();
-  cyclon_ = std::make_unique<Cyclon>(descriptor(), cfg_.cyclon, rng_, send_fn);
+  auto materialize_view = [this](const View& v) {
+    std::vector<PeerDescriptor> out;
+    out.reserve(v.size());
+    for (const CompactPeer p : v.entries()) out.push_back(materialize(store_, p));
+    return out;
+  };
+  auto cyclon_entries = materialize_view(cyclon_->view());
+  auto vicinity_entries = materialize_view(vicinity_->view());
+  cyclon_ = std::make_unique<Cyclon>(id(), store_, cfg_.cyclon, rng_, send_fn);
   cyclon_->seed(cyclon_entries);
-  vicinity_ =
-      std::make_unique<Vicinity>(descriptor(), cells_, cfg_.vicinity, rng_, send_fn);
+  vicinity_ = std::make_unique<Vicinity>(id(), coord_, cells_, store_, cfg_.vicinity,
+                                         rng_, send_fn);
   vicinity_->seed(vicinity_entries, cyclon_->view());
 }
 
@@ -198,7 +210,7 @@ void SelectionNode::continue_query(QueryState& st) {
       const std::uint32_t bit = std::uint32_t{1} << k;
       if ((q.dims_mask & bit) == 0) continue;
       if (!st.region.intersects(cells_.neighbor_region(coord_, q.level, k))) continue;
-      const PeerDescriptor* n =
+      const CompactPeer* n =
           cfg_.query_aware_forwarding
               ? rt_->best_for_region(q.level, k, st.failed, st.region)
               : rt_->alternate(q.level, k, st.failed);
@@ -214,8 +226,8 @@ void SelectionNode::continue_query(QueryState& st) {
   if (q.level == 0) {
     // Probe every matching cohabitant of our level-0 cell not yet known to
     // match (Fig. 5, forward lines 10-17).
-    for (const auto& n : rt_->zero()) {
-      if (!q.query.matches(n.values)) continue;
+    for (const CompactPeer n : rt_->zero()) {
+      if (!q.query.matches(store_.point_of(n.id))) continue;
       if (st.matching.contains(n.id)) continue;
       if (st.waiting.contains(n.id)) continue;
       bool failed = false;
@@ -280,7 +292,7 @@ void SelectionNode::on_timeout(QueryId qid, NodeId to) {
   if (vicinity_ != nullptr) vicinity_->remove(to);
 
   if (cfg_.retry_alternates && slot.dim >= 0) {
-    if (const PeerDescriptor* alt = rt_->alternate(slot.level, slot.dim, st.failed)) {
+    if (const CompactPeer* alt = rt_->alternate(slot.level, slot.dim, st.failed)) {
       metrics().inc(id(), m_query_retries_);
       dispatch(st, alt->id, slot);
       return;

@@ -81,12 +81,15 @@ class SelectionNode final : public Node {
   using CompletionFn = std::function<void(const std::vector<MatchRecord>&)>;
 
   /// \param space attribute space; must outlive the node
+  /// \param store the deployment-wide descriptor store (Grid owns it); the
+  ///        node registers its own profile on start() and resolves peer
+  ///        handles against it. Must outlive the node.
   /// \param values this node's attribute values (one per dimension)
   /// \param bootstrap descriptors of introducer nodes (may be empty for the
   ///        first node); used to seed both gossip layers
   /// \param observer optional global measurement hook (may be nullptr)
-  SelectionNode(const AttributeSpace& space, Point values, ProtocolConfig cfg,
-                std::vector<PeerDescriptor> bootstrap, Rng rng,
+  SelectionNode(const AttributeSpace& space, DescriptorStore& store, Point values,
+                ProtocolConfig cfg, std::vector<PeerDescriptor> bootstrap, Rng rng,
                 QueryObserver* observer = nullptr);
 
   // -- resource-owner API -------------------------------------------------
@@ -161,6 +164,7 @@ class SelectionNode final : public Node {
   void refresh_routing();
 
   const AttributeSpace& space_;
+  DescriptorStore& store_;
   Cells cells_;
   Point values_;
   CellCoord coord_;

@@ -2,6 +2,10 @@
 
 #include <sys/resource.h>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -81,6 +85,19 @@ std::string JsonObject::dump() const {
   return out;
 }
 
+AllocStats allocator_stats() {
+  AllocStats out;
+#if defined(__GLIBC__) && defined(__GLIBC_MINOR__) && \
+    (__GLIBC__ > 2 || (__GLIBC__ == 2 && __GLIBC_MINOR__ >= 33))
+  struct mallinfo2 mi = mallinfo2();
+  out.in_use_bytes = static_cast<std::uint64_t>(mi.uordblks) +
+                     static_cast<std::uint64_t>(mi.hblkhd);
+  out.arena_bytes = static_cast<std::uint64_t>(mi.arena) +
+                    static_cast<std::uint64_t>(mi.hblkhd);
+#endif
+  return out;
+}
+
 std::uint64_t peak_rss_bytes() {
   struct rusage ru{};
   if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
@@ -119,8 +136,9 @@ bool BenchReport::write() {
     out += "  " + rendered + (last ? "\n" : ",\n");
   };
   field(json_quote("name") + ": " + json_quote(name_));
-  field(json_quote("schema_version") + ": 1");
+  field(json_quote("schema_version") + ": 2");
   field(json_quote("threads") + ": " + std::to_string(threads_));
+  field(json_quote("shards") + ": " + std::to_string(shards_));
   field(json_quote("wall_clock_s") + ": " + render_double(wall));
   field(json_quote("sim_events") + ": " + std::to_string(events_));
   field(json_quote("late_events") + ": " + std::to_string(late_));
@@ -130,6 +148,9 @@ bool BenchReport::write() {
   field(json_quote("events_per_sec") + ": " +
         render_double(wall > 0 ? static_cast<double>(rate_count) / wall : 0.0));
   field(json_quote("peak_rss_bytes") + ": " + std::to_string(peak_rss_bytes()));
+  const AllocStats alloc = allocator_stats();
+  field(json_quote("alloc_in_use_bytes") + ": " + std::to_string(alloc.in_use_bytes));
+  field(json_quote("alloc_arena_bytes") + ": " + std::to_string(alloc.arena_bytes));
   field(json_quote("summary") + ": " + summary_.dump());
   out += "  " + json_quote("points") + ": [";
   for (std::size_t i = 0; i < points_.size(); ++i) {

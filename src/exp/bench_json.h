@@ -9,8 +9,9 @@
 ///
 ///   {
 ///     "name": "fig06_network_size",
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "threads": 8,                  // worker threads used for the sweep
+///     "shards": 0,                   // ARES_SHARDS (0 = classic event loop)
 ///     "wall_clock_s": 12.34,         // whole-binary wall clock
 ///     "sim_events": 123456,          // executed simulator events, all trials
 ///     "late_events": 0,              // Simulator::late_events(), all trials
@@ -18,9 +19,16 @@
 ///                                    // binary drives no sim events, falls
 ///                                    // back to add_ops() ops / wall_clock_s
 ///     "peak_rss_bytes": 104857600,
+///     "alloc_in_use_bytes": 9999,    // mallinfo2 heap-in-use at write() time
+///     "alloc_arena_bytes": 9999,     // mallinfo2 arena+mmap footprint
+///                                    // (both 0 on non-glibc libcs)
 ///     "summary": { ... },            // binary-specific scalars (optional)
 ///     "points": [ { ... }, ... ]     // one object per sweep point
 ///   }
+///
+/// schema v1 -> v2: added "shards", "alloc_in_use_bytes", "alloc_arena_bytes"
+/// so the perf trajectory distinguishes sharded configurations and separates
+/// live-heap from RSS high-water.
 ///
 /// The output directory is ARES_BENCH_DIR when set, else the working
 /// directory. The report is written by write() — call it once, after all
@@ -78,6 +86,9 @@ class BenchReport {
   /// Records the worker-thread count used for the sweep.
   void set_threads(std::size_t threads) { threads_ = threads; }
 
+  /// Records the per-simulation shard count (0 = classic event loop).
+  void set_shards(std::uint32_t shards) { shards_ = shards; }
+
   std::uint64_t sim_events() const { return events_; }
   std::uint64_t late_events() const { return late_; }
 
@@ -93,6 +104,7 @@ class BenchReport {
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::size_t threads_ = 1;
+  std::uint32_t shards_ = 0;
   std::uint64_t events_ = 0;
   std::uint64_t late_ = 0;
   std::uint64_t ops_ = 0;
@@ -102,5 +114,14 @@ class BenchReport {
 
 /// Resident-set high-water mark of this process, in bytes (getrusage).
 std::uint64_t peak_rss_bytes();
+
+/// Allocator footprint at call time. Both values are 0 on libcs without
+/// mallinfo2 (the report still carries the fields, so consumers need no
+/// per-platform schema).
+struct AllocStats {
+  std::uint64_t in_use_bytes = 0;  // live allocations (uordblks + hblkhd)
+  std::uint64_t arena_bytes = 0;   // arena + mmap footprint held from the OS
+};
+AllocStats allocator_stats();
 
 }  // namespace ares::exp

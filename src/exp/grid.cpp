@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/latency.h"
+#include "space/cells.h"
 
 namespace ares {
 namespace {
@@ -23,10 +24,25 @@ Grid::Grid(Config cfg, PointGenerator generator)
     : cfg_(std::move(cfg)),
       generator_(std::move(generator)),
       sim_(std::make_unique<Simulator>(cfg_.seed)),
-      net_(std::make_unique<Network>(*sim_, latency_from_name(cfg_.latency, cfg_.seed))),
+      store_(std::make_unique<DescriptorStore>(cfg_.space)),
       stats_(std::make_unique<QueryStats>(cfg_.track_visited)),
       node_seeder_(cfg_.seed ^ 0xA5A5A5A5ULL) {
   assert(generator_ != nullptr);
+  auto latency = latency_from_name(cfg_.latency, cfg_.seed);
+  if (cfg_.shards > 0) {
+    // The latency floor is the lookahead window: every message crosses a
+    // window barrier, which is what makes the sharded drain deterministic.
+    if (!latency->concurrent_safe())
+      throw std::invalid_argument("Grid: latency model '" + cfg_.latency +
+                                  "' cannot run under sharded execution");
+    const SimTime window = latency->min_latency();
+    if (window <= 0)
+      throw std::invalid_argument(
+          "Grid: sharded execution needs a positive latency floor");
+    sim_->enable_sharding(cfg_.shards, window);
+  }
+  net_ = std::make_unique<Network>(*sim_, std::move(latency));
+  store_->reserve(cfg_.nodes);
   if (cfg_.trace_queries) tracer_ = std::make_unique<QueryTracer>(stats_.get());
   for (std::size_t i = 0; i < cfg_.nodes; ++i) add_node();
   if (cfg_.oracle) {
@@ -42,9 +58,9 @@ std::unique_ptr<Node> Grid::make_node(Point values) {
   auto introducers = sample_introducers(cfg_.bootstrap_contacts);
   QueryObserver* observer =
       tracer_ != nullptr ? static_cast<QueryObserver*>(tracer_.get()) : stats_.get();
-  return std::make_unique<SelectionNode>(cfg_.space, std::move(values), cfg_.protocol,
-                                         std::move(introducers), node_seeder_.fork(),
-                                         observer);
+  return std::make_unique<SelectionNode>(cfg_.space, *store_, std::move(values),
+                                         cfg_.protocol, std::move(introducers),
+                                         node_seeder_.fork(), observer);
 }
 
 std::vector<PeerDescriptor> Grid::sample_introducers(std::size_t k) {
@@ -59,7 +75,12 @@ std::vector<PeerDescriptor> Grid::sample_introducers(std::size_t k) {
   return out;
 }
 
-NodeId Grid::add_node(Point values) { return net_->add_node(make_node(std::move(values))); }
+NodeId Grid::add_node(Point values) {
+  std::uint32_t shard = 0;
+  if (cfg_.shards > 0)
+    shard = shard_of_coord(cfg_.space, cfg_.space.coord_of(values), cfg_.shards);
+  return net_->add_node(make_node(std::move(values)), shard);
+}
 
 NodeId Grid::add_node() { return add_node(generator_(node_seeder_)); }
 

@@ -53,6 +53,12 @@ class Grid {
     /// Record full dissemination trees (see QueryTracer); costs memory per
     /// query, so off by default.
     bool trace_queries = false;
+    /// 0 = classic single-queue event loop (byte-identical to the pre-shard
+    /// engine). >= 1 partitions nodes by cell-prefix (shard_of_coord) into
+    /// this many shards, each drained by a worker thread inside
+    /// lookahead-window barriers; outputs are byte-identical at ANY shard
+    /// count (see DESIGN.md §"Sharded execution").
+    std::uint32_t shards = 0;
   };
 
   Grid(Config cfg, PointGenerator generator);
@@ -64,6 +70,7 @@ class Grid {
   // -- plumbing ------------------------------------------------------------
   Simulator& sim() { return *sim_; }
   Network& net() { return *net_; }
+  DescriptorStore& store() { return *store_; }
   const AttributeSpace& space() const { return cfg_.space; }
   QueryStats& stats() { return *stats_; }
   /// Non-null only when Config::trace_queries is set.
@@ -117,6 +124,7 @@ class Grid {
   Config cfg_;
   PointGenerator generator_;
   std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<DescriptorStore> store_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<QueryStats> stats_;
   std::unique_ptr<QueryTracer> tracer_;  // wraps stats_ when tracing

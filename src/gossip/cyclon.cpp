@@ -4,14 +4,16 @@
 
 namespace ares {
 
-Cyclon::Cyclon(PeerDescriptor self, CyclonConfig cfg, Rng& rng, SendFn send)
-    : self_(std::move(self)), cfg_(cfg), rng_(rng), send_(std::move(send)),
+Cyclon::Cyclon(NodeId self, DescriptorStore& store, CyclonConfig cfg, Rng& rng,
+               SendFn send)
+    : self_(self), store_(store), cfg_(cfg), rng_(rng), send_(std::move(send)),
       view_(cfg.cache_size) {}
 
 void Cyclon::seed(const std::vector<PeerDescriptor>& contacts) {
   for (const auto& c : contacts) {
-    if (c.id == self_.id) continue;
-    view_.insert_evicting_oldest(c);
+    if (c.id == self_) continue;
+    store_.put_if_absent(c.id, c.values);
+    view_.insert_evicting_oldest({c.id, c.age});
   }
 }
 
@@ -20,18 +22,20 @@ void Cyclon::tick() {
   view_.age_all();
 
   // 1. Remove the oldest neighbor Q from the view; it is the shuffle target.
-  PeerDescriptor target = view_.take_oldest();
+  CompactPeer target = view_.take_oldest();
   shuffle_partner_ = target.id;
 
   // 2. Build the subset: self (age 0) plus up to shuffle_len-1 random others.
   auto msg = std::make_unique<CyclonShuffleMsg>();
   msg->is_reply = false;
-  view_.random_subset_into(rng_, cfg_.shuffle_len - 1, msg->entries);
-  PeerDescriptor me = self_;
-  me.age = 0;
-  msg->entries.push_back(me);
+  view_.random_subset_into(rng_, cfg_.shuffle_len - 1, subset_scratch_);
+  subset_scratch_.push_back({self_, 0});
+  msg->entries.clear();
+  msg->entries.reserve(subset_scratch_.size());
+  for (CompactPeer p : subset_scratch_)
+    msg->entries.push_back(materialize(store_, p));
 
-  last_sent_.assign(msg->entries.begin(), msg->entries.end());
+  last_sent_.assign(subset_scratch_.begin(), subset_scratch_.end());
   send_(target.id, std::move(msg));
   // If the target is dead, the message is dropped and the dead link is
   // already gone from the view — CYCLON's built-in failure handling.
@@ -45,8 +49,11 @@ bool Cyclon::handle(NodeId from, const Message& m) {
     // Answer with a random subset of our own view, then merge theirs.
     auto reply = std::make_unique<CyclonShuffleMsg>();
     reply->is_reply = true;
-    view_.random_subset_into(rng_, cfg_.shuffle_len, reply->entries);
-    sent_scratch_.assign(reply->entries.begin(), reply->entries.end());
+    view_.random_subset_into(rng_, cfg_.shuffle_len, sent_scratch_);
+    reply->entries.clear();
+    reply->entries.reserve(sent_scratch_.size());
+    for (CompactPeer p : sent_scratch_)
+      reply->entries.push_back(materialize(store_, p));
     send_(from, std::move(reply));
     merge(from, shuffle->entries, sent_scratch_);
   } else {
@@ -58,25 +65,27 @@ bool Cyclon::handle(NodeId from, const Message& m) {
 }
 
 void Cyclon::merge(NodeId peer, const std::vector<PeerDescriptor>& received,
-                   const std::vector<PeerDescriptor>& sent) {
+                   const std::vector<CompactPeer>& sent) {
   (void)peer;
   // CYCLON merge rule: discard self and duplicates; fill empty slots first,
   // then replace entries that were part of the sent subset, then the oldest.
   for (const auto& d : received) {
-    if (d.id == self_.id) continue;
-    if (view_.insert_or_refresh(d)) continue;  // had room / refreshed
+    if (d.id == self_) continue;
+    store_.put_if_absent(d.id, d.values);
+    const CompactPeer c{d.id, d.age};
+    if (view_.insert_or_refresh(c)) continue;  // had room / refreshed
     // View full: replace one of the entries we shipped out, if still present.
     bool replaced = false;
-    for (const auto& s : sent) {
-      if (s.id == d.id) continue;
+    for (const CompactPeer s : sent) {
+      if (s.id == c.id) continue;
       if (view_.contains(s.id)) {
         view_.remove(s.id);
-        view_.insert_or_refresh(d);
+        view_.insert_or_refresh(c);
         replaced = true;
         break;
       }
     }
-    if (!replaced) view_.insert_evicting_oldest(d);
+    if (!replaced) view_.insert_evicting_oldest(c);
   }
 }
 

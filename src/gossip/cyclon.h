@@ -10,6 +10,11 @@
 ///
 /// Cyclon is embedded in a host sim::Node (composition): the host forwards
 /// matching messages to handle() and drives tick() from its gossip timer.
+///
+/// The view stores 8-byte CompactPeer handles; full descriptors exist only
+/// inside messages. Outgoing entries are materialized from the shared
+/// DescriptorStore, incoming descriptors register unknown peers in it
+/// (put_if_absent — receive paths never overwrite a profile).
 
 #include <functional>
 
@@ -48,8 +53,11 @@ class Cyclon {
  public:
   using SendFn = std::function<void(NodeId to, MessagePtr)>;
 
-  /// \param self descriptor of the hosting node (age ignored)
-  Cyclon(PeerDescriptor self, CyclonConfig cfg, Rng& rng, SendFn send);
+  /// \param self id of the hosting node; its profile must already be
+  ///        registered in `store` (SelectionNode::start() does this before
+  ///        constructing the gossip layers)
+  Cyclon(NodeId self, DescriptorStore& store, CyclonConfig cfg, Rng& rng,
+         SendFn send);
 
   /// Seeds the view with bootstrap contacts (e.g. the introducer node).
   void seed(const std::vector<PeerDescriptor>& contacts);
@@ -67,15 +75,17 @@ class Cyclon {
 
  private:
   void merge(NodeId peer, const std::vector<PeerDescriptor>& received,
-             const std::vector<PeerDescriptor>& sent);
+             const std::vector<CompactPeer>& sent);
 
-  PeerDescriptor self_;
+  NodeId self_;
+  DescriptorStore& store_;
   CyclonConfig cfg_;
   Rng& rng_;
   SendFn send_;
   View view_;
-  std::vector<PeerDescriptor> last_sent_;     // subset sent in the ongoing shuffle
-  std::vector<PeerDescriptor> sent_scratch_;  // reply subset copy for merge()
+  std::vector<CompactPeer> last_sent_;      // subset sent in the ongoing shuffle
+  std::vector<CompactPeer> sent_scratch_;   // reply subset copy for merge()
+  std::vector<CompactPeer> subset_scratch_; // random-subset staging
   NodeId shuffle_partner_ = kInvalidNode;
 };
 

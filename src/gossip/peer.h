@@ -10,8 +10,23 @@
 
 #include "common/types.h"
 #include "space/attribute_space.h"
+#include "space/descriptor_store.h"
 
 namespace ares {
+
+/// The 8-byte in-memory handle the gossip views and routing tables store
+/// instead of a flat PeerDescriptor copy: the peer's address plus this
+/// node's local freshness counter for the link. The peer's attribute
+/// profile lives in the deployment-wide DescriptorStore; full descriptors
+/// are materialized only when a message is built.
+struct CompactPeer {
+  NodeId id = kInvalidNode;
+  std::uint32_t age = 0;
+
+  friend bool operator==(const CompactPeer& a, const CompactPeer& b) {
+    return a.id == b.id;  // identity comparison; ages may differ
+  }
+};
 
 struct PeerDescriptor {
   NodeId id = kInvalidNode;
@@ -27,6 +42,12 @@ struct PeerDescriptor {
 inline PeerDescriptor make_descriptor(const AttributeSpace& space, NodeId id,
                                       const Point& values, std::uint32_t age = 0) {
   return PeerDescriptor{id, values, space.coord_of(values), age};
+}
+
+/// Rebuilds the wire-format descriptor for a stored peer. Precondition:
+/// store.contains(p.id).
+inline PeerDescriptor materialize(const DescriptorStore& store, CompactPeer p) {
+  return PeerDescriptor{p.id, store.point_of(p.id), store.coord_of(p.id), p.age};
 }
 
 }  // namespace ares

@@ -4,10 +4,11 @@
 
 namespace ares {
 
-Vicinity::Vicinity(PeerDescriptor self, const Cells& cells, VicinityConfig cfg,
-                   Rng& rng, SendFn send)
-    : self_(std::move(self)), cells_(cells), cfg_(cfg), rng_(rng),
-      send_(std::move(send)), view_(cfg.view_size) {}
+Vicinity::Vicinity(NodeId self, CellCoord self_coord, const Cells& cells,
+                   DescriptorStore& store, VicinityConfig cfg, Rng& rng,
+                   SendFn send)
+    : self_(self), self_coord_(self_coord), cells_(cells), store_(store),
+      cfg_(cfg), rng_(rng), send_(std::move(send)), view_(cfg.view_size) {}
 
 void Vicinity::tick(const View& cyclon_view) {
   view_.age_all();
@@ -15,7 +16,7 @@ void Vicinity::tick(const View& cyclon_view) {
 
   // Choose a partner: alternate exploitation (oldest vicinity entry) and
   // exploration (random CYCLON entry).
-  PeerDescriptor target;
+  CompactPeer target;
   if (!explore_next_ && !view_.empty()) {
     // Exploitation: like CYCLON, drop the (oldest) partner from the view
     // before the exchange — a live partner re-enters via its reply (with a
@@ -32,7 +33,7 @@ void Vicinity::tick(const View& cyclon_view) {
 
   auto msg = std::make_unique<VicinityExchangeMsg>();
   msg->is_reply = false;
-  subset_into(target, cyclon_view, cfg_.exchange_len, msg->entries);
+  subset_into(target.id, cyclon_view, cfg_.exchange_len, msg->entries);
   send_(target.id, std::move(msg));
 }
 
@@ -50,9 +51,14 @@ bool Vicinity::handle(NodeId from, const Message& m, const View& cyclon_view) {
     for (const auto& e : ex->entries)
       if (e.id == from) requester = &e;
     if (requester != nullptr) {
-      subset_into(*requester, cyclon_view, cfg_.exchange_len, reply->entries);
+      store_.put_if_absent(requester->id, requester->values);
+      subset_into(requester->id, cyclon_view, cfg_.exchange_len, reply->entries);
     } else {
-      view_.random_subset_into(rng_, cfg_.exchange_len, reply->entries);
+      view_.random_subset_into(rng_, cfg_.exchange_len, subset_scratch_);
+      reply->entries.clear();
+      reply->entries.reserve(subset_scratch_.size());
+      for (CompactPeer p : subset_scratch_)
+        reply->entries.push_back(materialize(store_, p));
     }
     send_(from, std::move(reply));
   }
@@ -63,14 +69,16 @@ bool Vicinity::handle(NodeId from, const Message& m, const View& cyclon_view) {
 void Vicinity::merge(const std::vector<PeerDescriptor>& received,
                      const View& cyclon_view) {
   scratch_.clear();
-  for (const auto& d : view_.entries()) stage(d);
-  for (const auto& d : received) stage(d);
+  for (const CompactPeer p : view_.entries()) stage(p);
+  for (const auto& d : received) {
+    store_.put_if_absent(d.id, d.values);
+    stage({d.id, d.age});
+  }
   // Exploit the CYCLON stream as an extra candidate source (two-layer
   // coupling from [9]): random entries occasionally fill empty slots.
-  for (const auto& d : cyclon_view.entries()) stage(d);
-  // The winners are copied out of the staged pointers into kept_ before
-  // adopt() swaps them with the view they may point into; the displaced
-  // entries stay in kept_ as warm capacity for the next merge.
+  for (const CompactPeer p : cyclon_view.entries()) stage(p);
+  // Winners land in kept_ before adopt() swaps it with the view; the
+  // displaced entries stay in kept_ as warm capacity for the next merge.
   select_staged_into(cfg_.view_size, kept_);
   view_.adopt(kept_);
 }
@@ -85,7 +93,7 @@ void Vicinity::dedupe_staged(NodeId exclude) const {
                                 }),
                  scratch_.end());
   // key = (id << 32) | age sorts youngest-first per id; the staging index
-  // breaks (id, age) ties so the first staged descriptor wins, matching the
+  // breaks (id, age) ties so the first staged entry wins, matching the
   // old map's insertion-order tie-break. The explicit key keeps the sort
   // stable without std::stable_sort, whose temporary merge buffer would
   // heap-allocate on every exchange.
@@ -103,28 +111,36 @@ void Vicinity::dedupe_staged(NodeId exclude) const {
 std::vector<PeerDescriptor> Vicinity::select_best(
     std::vector<PeerDescriptor> candidates, std::size_t cap) const {
   scratch_.clear();
-  for (const auto& c : candidates) stage(c);
-  std::vector<PeerDescriptor> kept;
+  for (const auto& c : candidates) {
+    store_.put_if_absent(c.id, c.values);
+    stage({c.id, c.age});
+  }
+  std::vector<CompactPeer> kept;
   select_staged_into(cap, kept);
-  return kept;
+  std::vector<PeerDescriptor> out;
+  out.reserve(kept.size());
+  for (CompactPeer p : kept) out.push_back(materialize(store_, p));
+  return out;
 }
 
 void Vicinity::select_staged_into(std::size_t cap,
-                                  std::vector<PeerDescriptor>& out) const {
-  // Dedupe by id, keeping the youngest descriptor; drop self and expired.
-  dedupe_staged(self_.id);
+                                  std::vector<CompactPeer>& out) const {
+  // Dedupe by id, keeping the youngest entry; drop self and expired.
+  dedupe_staged(self_);
 
   // Group by routing slot relative to self. Key order: level asc, dim asc —
   // level-0 cohabitants first (neighborsZero must be complete), then the
   // near subcells. Groups become contiguous runs of the sorted flat array.
   ranked_.clear();
   for (const Staged& s : scratch_) {
-    auto slot = cells_.classify(self_.coord, s.d->coord);
+    const CompactPeer p{static_cast<NodeId>(s.key >> 32),
+                        static_cast<std::uint32_t>(s.key)};
+    auto slot = cells_.classify(self_coord_, store_.coord_of(p.id));
     if (!slot) continue;  // defensive; cannot happen (see cells.h)
     // lo swaps the staged (id, age) key halves into (age << 32) | id:
     // youngest first within a slot group, id as the final tie-break.
     ranked_.push_back(
-        {rank_hi(slot->level, slot->dim), (s.key << 32) | (s.key >> 32), s.d});
+        {rank_hi(slot->level, slot->dim), (s.key << 32) | (s.key >> 32), p});
   }
   // (hi, lo) = the old (level, dim, age, id) lexicographic order.
   std::sort(ranked_.begin(), ranked_.end(), [](const Ranked& a, const Ranked& b) {
@@ -146,7 +162,7 @@ void Vicinity::select_staged_into(std::size_t cap,
     bool any = false;
     for (const auto& [begin, end] : groups_) {
       if (begin + round < end && out.size() < cap) {
-        out.push_back(*ranked_[begin + round].d);
+        out.push_back(ranked_[begin + round].p);
         any = true;
       }
     }
@@ -157,30 +173,31 @@ void Vicinity::select_staged_into(std::size_t cap,
 std::vector<PeerDescriptor> Vicinity::subset_for(const PeerDescriptor& target,
                                                  const View& cyclon_view,
                                                  std::size_t k) const {
+  store_.put_if_absent(target.id, target.values);
   std::vector<PeerDescriptor> all;
-  subset_into(target, cyclon_view, k, all);
+  subset_into(target.id, cyclon_view, k, all);
   return all;
 }
 
-void Vicinity::subset_into(const PeerDescriptor& target, const View& cyclon_view,
-                           std::size_t k, std::vector<PeerDescriptor>& out) const {
-  PeerDescriptor me = self_;
-  me.age = 0;
+void Vicinity::subset_into(NodeId target, const View& cyclon_view, std::size_t k,
+                           std::vector<PeerDescriptor>& out) const {
   scratch_.clear();
-  stage(me);  // always advertise ourselves
-  for (const auto& d : view_.entries()) stage(d);
-  for (const auto& d : cyclon_view.entries()) stage(d);
-  dedupe_staged(target.id);
+  stage({self_, 0});  // always advertise ourselves
+  for (const CompactPeer p : view_.entries()) stage(p);
+  for (const CompactPeer p : cyclon_view.entries()) stage(p);
+  dedupe_staged(target);
 
   // Rank by usefulness to the target: lowest common-cell level first (level
   // 0 = same zero cell = most useful), then youngest. The level is computed
-  // once per candidate (the old comparator re-classified on every
-  // comparison inside the sort). Unclassifiable candidates rank last.
+  // once per candidate. Unclassifiable candidates rank last.
+  const CellCoord target_coord = store_.coord_of(target);
   ranked_.clear();
   for (const Staged& s : scratch_) {
-    auto slot = cells_.classify(target.coord, s.d->coord);
+    const CompactPeer p{static_cast<NodeId>(s.key >> 32),
+                        static_cast<std::uint32_t>(s.key)};
+    auto slot = cells_.classify(target_coord, store_.coord_of(p.id));
     ranked_.push_back({rank_hi(slot ? slot->level : kUnrankedLevel, 0),
-                       (s.key << 32) | (s.key >> 32), s.d});
+                       (s.key << 32) | (s.key >> 32), p});
   }
   // (hi, lo) = the old (level, age, id) order (dim is constant here).
   std::sort(ranked_.begin(), ranked_.end(), [](const Ranked& a, const Ranked& b) {
@@ -191,14 +208,14 @@ void Vicinity::subset_into(const PeerDescriptor& target, const View& cyclon_view
   if (truncated) ranked_.resize(k);
   out.clear();
   out.reserve(ranked_.size());
-  for (const auto& r : ranked_) out.push_back(*r.d);
+  for (const auto& r : ranked_) out.push_back(materialize(store_, r.p));
   if (truncated) {
     // Self must always be advertised (the remove-on-exploit washout relies
     // on a live partner re-entering through its reply): if truncation cut
     // it, put it back in the last slot.
     bool has_self = false;
-    for (const auto& d : out) has_self = has_self || d.id == self_.id;
-    if (!has_self && !out.empty()) out.back() = me;
+    for (const auto& d : out) has_self = has_self || d.id == self_;
+    if (!has_self && !out.empty()) out.back() = materialize(store_, {self_, 0});
   }
 }
 

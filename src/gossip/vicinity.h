@@ -8,6 +8,10 @@
 /// most useful to its partner. The CYCLON layer underneath continuously
 /// feeds random descriptors so the selection escapes local optima (this is
 /// the Voulgaris & van Steen two-layer design the paper builds on [9]).
+///
+/// Views and staging buffers hold 8-byte CompactPeer handles; candidate
+/// coordinates are read from the shared DescriptorStore during ranking, and
+/// full descriptors are materialized only into outgoing messages.
 
 #include <functional>
 
@@ -64,8 +68,11 @@ class Vicinity {
  public:
   using SendFn = std::function<void(NodeId to, MessagePtr)>;
 
-  Vicinity(PeerDescriptor self, const Cells& cells, VicinityConfig cfg, Rng& rng,
-           SendFn send);
+  /// \param self id of the hosting node; its profile must already be in
+  ///        `store` (SelectionNode::start() registers it first)
+  /// \param self_coord the hosting node's level-0 cell coordinates
+  Vicinity(NodeId self, CellCoord self_coord, const Cells& cells,
+           DescriptorStore& store, VicinityConfig cfg, Rng& rng, SendFn send);
 
   /// Seeds the view with bootstrap contacts (runs them through the
   /// selection function).
@@ -96,44 +103,45 @@ class Vicinity {
                                          const View& cyclon_view,
                                          std::size_t k) const;
 
-  /// As subset_for, but fills `out` (clearing it first) — the hot path
-  /// writes straight into a pooled message's entries buffer.
-  void subset_into(const PeerDescriptor& target, const View& cyclon_view,
-                   std::size_t k, std::vector<PeerDescriptor>& out) const;
+  /// As subset_for, but keyed by a stored peer and filling `out` (clearing
+  /// it first) — the hot path writes straight into a pooled message's
+  /// entries buffer. Precondition: store.contains(target).
+  void subset_into(NodeId target, const View& cyclon_view, std::size_t k,
+                   std::vector<PeerDescriptor>& out) const;
 
  private:
   void merge(const std::vector<PeerDescriptor>& received, const View& cyclon_view);
 
   /// Selection core over the candidates currently staged in scratch_; fills
-  /// `out` (clearing it first) with copies of the winners.
-  void select_staged_into(std::size_t cap, std::vector<PeerDescriptor>& out) const;
+  /// `out` (clearing it first) with the winning handles.
+  void select_staged_into(std::size_t cap, std::vector<CompactPeer>& out) const;
 
-  /// Dedupes scratch_ by id, keeping the youngest descriptor (ties: first
+  /// Dedupes scratch_ by id, keeping the youngest entry (ties: first
   /// staged); drops `exclude` and entries older than max_age.
   void dedupe_staged(NodeId exclude) const;
 
-  PeerDescriptor self_;
+  NodeId self_;
+  CellCoord self_coord_;
   const Cells& cells_;
+  DescriptorStore& store_;
   VicinityConfig cfg_;
   Rng& rng_;
   SendFn send_;
   View view_;
   bool explore_next_ = false;
 
-  // Reused per-exchange scratch. select_best/subset_for used to build two
-  // std::maps per gossip exchange (a tree node plus a descriptor copy per
-  // candidate); these flat vectors amortize to zero steady-state
-  // allocations. Mutable because the selection functions are conceptually
-  // const; a node runs on one simulation thread, so no synchronization.
+  // Reused per-exchange scratch; see the allocation notes in the history of
+  // this file. Mutable because the selection functions are conceptually
+  // const; a node's events run on one thread at a time (classic loop or its
+  // shard's worker), so no synchronization.
   /// Sort entries carry their keys inline: comparators touch only the entry
-  /// itself, never the (much larger) descriptor behind the pointer — the
-  /// selection sorts were dominated by that pointer-chase before.
-  /// hi = (level << 5) | (dim + 1), lo = (age << 32) | id: one (hi, lo)
-  /// comparison is the old (level, dim, age, id) lexicographic order.
+  /// itself. hi = (level << 5) | (dim + 1), lo = (age << 32) | id: one
+  /// (hi, lo) comparison is the old (level, dim, age, id) lexicographic
+  /// order.
   struct Ranked {
     std::uint64_t hi;
     std::uint64_t lo;
-    const PeerDescriptor* d;
+    CompactPeer p;
   };
   static std::uint64_t rank_hi(int level, int dim) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level)) << 5) |
@@ -146,17 +154,17 @@ class Vicinity {
   /// on every call.
   struct Staged {
     std::uint64_t key;
-    const PeerDescriptor* d;
     std::uint32_t idx;
   };
-  void stage(const PeerDescriptor& d) const {
-    scratch_.push_back({(static_cast<std::uint64_t>(d.id) << 32) | d.age, &d,
+  void stage(CompactPeer p) const {
+    scratch_.push_back({(static_cast<std::uint64_t>(p.id) << 32) | p.age,
                         static_cast<std::uint32_t>(scratch_.size())});
   }
   mutable std::vector<Staged> scratch_;
+  mutable std::vector<CompactPeer> subset_scratch_;  // random-subset fallback
   mutable std::vector<Ranked> ranked_;
   mutable std::vector<std::pair<std::size_t, std::size_t>> groups_;
-  std::vector<PeerDescriptor> kept_;  // merge() staging, swapped into view_
+  std::vector<CompactPeer> kept_;  // merge() staging, swapped into view_
 };
 
 }  // namespace ares

@@ -7,13 +7,13 @@ namespace ares {
 
 bool View::contains(NodeId id) const { return find(id) != nullptr; }
 
-const PeerDescriptor* View::find(NodeId id) const {
+const CompactPeer* View::find(NodeId id) const {
   for (const auto& e : entries_)
     if (e.id == id) return &e;
   return nullptr;
 }
 
-bool View::insert_or_refresh(const PeerDescriptor& d) {
+bool View::insert_or_refresh(const CompactPeer& d) {
   for (auto& e : entries_) {
     if (e.id == d.id) {
       if (d.age < e.age) e = d;  // younger descriptor wins
@@ -25,14 +25,14 @@ bool View::insert_or_refresh(const PeerDescriptor& d) {
   return true;
 }
 
-void View::insert_evicting_oldest(const PeerDescriptor& d) {
+void View::insert_evicting_oldest(const CompactPeer& d) {
   if (insert_or_refresh(d)) return;
   entries_[oldest_index()] = d;
 }
 
 void View::remove(NodeId id) {
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [id](const PeerDescriptor& e) { return e.id == id; }),
+                                [id](const CompactPeer& e) { return e.id == id; }),
                  entries_.end());
 }
 
@@ -43,7 +43,7 @@ void View::age_all() {
 void View::drop_older_than(std::uint32_t max_age) {
   entries_.erase(
       std::remove_if(entries_.begin(), entries_.end(),
-                     [max_age](const PeerDescriptor& e) { return e.age > max_age; }),
+                     [max_age](const CompactPeer& e) { return e.age > max_age; }),
       entries_.end());
 }
 
@@ -55,21 +55,21 @@ std::size_t View::oldest_index() const {
   return best;
 }
 
-PeerDescriptor View::take_oldest() {
+CompactPeer View::take_oldest() {
   std::size_t i = oldest_index();
-  PeerDescriptor d = entries_[i];
+  CompactPeer d = entries_[i];
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
   return d;
 }
 
-std::vector<PeerDescriptor> View::random_subset(Rng& rng, std::size_t k) const {
-  std::vector<PeerDescriptor> out;
+std::vector<CompactPeer> View::random_subset(Rng& rng, std::size_t k) const {
+  std::vector<CompactPeer> out;
   random_subset_into(rng, k, out);
   return out;
 }
 
 void View::random_subset_into(Rng& rng, std::size_t k,
-                              std::vector<PeerDescriptor>& out) const {
+                              std::vector<CompactPeer>& out) const {
   k = std::min(k, entries_.size());
   rng.sample_indices_into(entries_.size(), k, idx_scratch_);
   out.clear();
@@ -77,12 +77,12 @@ void View::random_subset_into(Rng& rng, std::size_t k,
   for (std::size_t i : idx_scratch_) out.push_back(entries_[i]);
 }
 
-void View::assign(std::vector<PeerDescriptor> v) {
+void View::assign(std::vector<CompactPeer> v) {
   assert(v.size() <= capacity_);
   entries_ = std::move(v);
 }
 
-void View::adopt(std::vector<PeerDescriptor>& v) {
+void View::adopt(std::vector<CompactPeer>& v) {
   assert(v.size() <= capacity_);
   entries_.swap(v);
 }

@@ -8,7 +8,8 @@ Metrics::Counter Metrics::counter(std::string_view name) {
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   auto id = static_cast<Counter>(slots_.size());
-  slots_.push_back(Slot{std::string(name), {}, 0});
+  slots_.push_back(Slot{std::string(name),
+                        std::vector<std::uint64_t>(reserved_nodes_, 0)});
   index_.emplace(std::string(name), id);
   return id;
 }
@@ -27,7 +28,19 @@ void Metrics::observe(std::string_view name, double value) {
 
 std::uint64_t Metrics::total(std::string_view name) const {
   const Slot* s = find(name);
-  return s == nullptr ? 0 : s->total;
+  if (s == nullptr) return 0;
+  // Summed on read: a shared running total would be a write contention
+  // point between shard workers, while per-node rows are single-writer.
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : s->by_node) sum += v;
+  return sum;
+}
+
+void Metrics::reserve_nodes(std::size_t n) {
+  if (n <= reserved_nodes_) return;
+  reserved_nodes_ = n;
+  for (auto& s : slots_)
+    if (s.by_node.size() < n) s.by_node.resize(n, 0);
 }
 
 std::uint64_t Metrics::node_value(NodeId node, std::string_view name) const {
@@ -53,17 +66,17 @@ const Summary* Metrics::distribution(std::string_view name) const {
 
 std::vector<std::string> Metrics::counter_names() const {
   std::vector<std::string> out;
-  for (const auto& s : slots_)
-    if (s.total != 0) out.push_back(s.name);
+  for (const auto& s : slots_) {
+    bool bumped = false;
+    for (std::uint64_t v : s.by_node) bumped |= v != 0;
+    if (bumped) out.push_back(s.name);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 void Metrics::clear() {
-  for (auto& s : slots_) {
-    s.by_node.clear();
-    s.total = 0;
-  }
+  for (auto& s : slots_) s.by_node.assign(reserved_nodes_, 0);
   distributions_.clear();
 }
 

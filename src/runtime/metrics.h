@@ -67,6 +67,12 @@ class Metrics {
   /// excluded), sorted.
   std::vector<std::string> counter_names() const;
 
+  /// Pre-sizes every counter's per-node vector for node ids < n. The
+  /// sharded simulator (sim/sharded.h) runs node code on shard workers,
+  /// where inc()'s lazy grow would race; backends call this on every join
+  /// so worker-phase increments are plain writes to pre-existing rows.
+  void reserve_nodes(std::size_t n);
+
   /// Drops all counter values and distributions (between experiment
   /// phases). Interned handles stay valid.
   void clear();
@@ -75,12 +81,12 @@ class Metrics {
   struct Slot {
     std::string name;
     std::vector<std::uint64_t> by_node;  // dense, indexed by NodeId
-    std::uint64_t total = 0;
   };
 
   const Slot* find(std::string_view name) const;
 
   std::vector<Slot> slots_;
+  std::size_t reserved_nodes_ = 0;
   // Keys are owned copies (not views into slots_: Slot moves on vector
   // growth would dangle SSO string views). std::less<> gives heterogeneous
   // string_view lookup; interning is cold, so a tree map is fine.
@@ -90,9 +96,11 @@ class Metrics {
 
 inline void Metrics::inc(NodeId node, Counter c, std::uint64_t delta) {
   Slot& s = slots_[c];
+  // Lazy-grow fallback for runtimes that never call reserve_nodes() (the
+  // loopback tests). Under the sharded simulator every live id is reserved
+  // on join, so worker-phase increments never take this branch.
   if (node >= s.by_node.size()) s.by_node.resize(node + 1, 0);
   s.by_node[node] += delta;
-  s.total += delta;
 }
 
 }  // namespace ares

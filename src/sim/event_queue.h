@@ -30,6 +30,13 @@ class EventQueue {
   /// times; enforced by the Simulator, not here).
   void push(SimTime t, Action action);
 
+  /// Enqueues with a caller-supplied tie-break key instead of the internal
+  /// insertion counter. The sharded engine (sim/sharded.h) derives keys from
+  /// (source node, per-source counter), which makes the drain order of
+  /// merged cross-shard mailboxes independent of the shard count. Do not mix
+  /// with push() on the same queue — the two key spaces are unrelated.
+  void push_keyed(SimTime t, std::uint64_t seq, Action action);
+
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 

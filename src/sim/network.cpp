@@ -3,20 +3,59 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/hashing.h"
 #include "runtime/wire.h"
 
 namespace ares {
 
 Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency)
-    : sim_(sim), latency_(std::move(latency)) {
+    : sim_(sim),
+      latency_(std::move(latency)),
+      latency_seed_(hash_mix(sim.seed(), 0x4C415443ULL /* "LATC" */)),
+      m_wire_decode_fail_(metrics().counter("wire.decode_fail")),
+      m_wire_encode_fail_(metrics().counter("wire.encode_fail")) {
   assert(latency_ != nullptr);
+  if (ShardEngine* eng = sim_.shard_engine()) {
+    assert(latency_->concurrent_safe() &&
+           "latency model unsafe under concurrent shard workers");
+    assert(latency_->min_latency() >= eng->window() &&
+           "latency floor below the lookahead window");
+    shard_stats_.resize(eng->shards());
+  }
 }
 
 Network::~Network() = default;
 
-NodeId Network::add_node(std::unique_ptr<Node> node) {
+NetworkStats& Network::stats() {
+  assert(ShardEngine::current_shard() < 0);
+  for (NetworkStats& s : shard_stats_) stats_.absorb(s);
+  return stats_;
+}
+
+void Network::set_load_filter(NetworkStats::LoadFilter f) {
+  for (NetworkStats& s : shard_stats_) s.set_load_filter(f);
+  stats_.set_load_filter(std::move(f));
+}
+
+NetworkStats& Network::stats_sink() {
+  const int s = ShardEngine::current_shard();
+  return s < 0 ? stats_ : shard_stats_[static_cast<std::size_t>(s)];
+}
+
+NodeId Network::add_node(std::unique_ptr<Node> node) { return add_node(std::move(node), 0); }
+
+NodeId Network::add_node(std::unique_ptr<Node> node, std::uint32_t shard) {
   assert(node != nullptr && !node->attached());
   NodeId id = next_id_++;
+  if (ShardEngine* eng = sim_.shard_engine()) {
+    eng->set_node_shard(id, shard);
+  } else {
+    assert(shard == 0 && "shard placement needs a sharded simulator");
+  }
+  // Worker-phase metric bumps index into per-counter vectors; growing them
+  // lazily there would race, so the registry is pre-sized on every join
+  // (amortized O(1) per node).
+  metrics().reserve_nodes(static_cast<std::size_t>(id) + 1);
   bind(*node, *this, id);
   Node* raw = node.get();
   nodes_.emplace(id, std::move(node));
@@ -62,14 +101,37 @@ void Network::send(NodeId from, NodeId to, MessagePtr m) {
     // (and metered), never delivered or crashed on.
     auto rc = wire::recode(*m);
     if (rc.msg == nullptr) {
-      metrics().inc(from, rc.encode_ok ? "wire.decode_fail" : "wire.encode_fail");
-      stats_.on_send(from, *m);
-      stats_.on_drop(*m);
+      metrics().inc(from, rc.encode_ok ? m_wire_decode_fail_ : m_wire_encode_fail_);
+      NetworkStats& st = stats_sink();
+      st.on_send(from, *m);
+      st.on_drop(*m);
       return;
     }
     m = std::move(rc.msg);
   }
-  stats_.on_send(from, *m);
+  stats_sink().on_send(from, *m);
+  if (ShardEngine* eng = sim_.shard_engine()) {
+    // Keyed delivery: the event key orders the destination's history
+    // independently of the shard count, and the latency draw comes from a
+    // per-message stream derived from (seed, key, dst) — sharing the
+    // simulator Rng across shards would tie the draw sequence to the drain
+    // interleaving.
+    const std::uint64_t key = eng->alloc_key(from);
+    Rng lat_rng(hash_mix(hash_mix(latency_seed_, key), to));
+    const SimTime latency = latency_->sample(lat_rng, from, to);
+    eng->schedule(to, key, eng->now() + latency,
+                  [this, from, to, msg = std::move(m)] {
+                    Node* dst = find(to);
+                    NetworkStats& st = stats_sink();
+                    if (dst == nullptr) {
+                      st.on_drop(*msg);
+                      return;
+                    }
+                    st.on_deliver(to, *msg);
+                    dst->on_message(from, *msg);
+                  });
+    return;
+  }
   SimTime latency = latency_->sample(sim_.rng(), from, to);
   // Ownership moves straight into the (move-only, small-buffer) event
   // closure: no shared_ptr control block, no closure heap allocation.
@@ -85,6 +147,16 @@ void Network::send(NodeId from, NodeId to, MessagePtr m) {
 }
 
 void Network::node_timer(NodeId id, SimTime delay, std::function<void()> fn) {
+  if (ShardEngine* eng = sim_.shard_engine()) {
+    // Timers are same-shard events (owner == source), so they may fire
+    // inside the window that set them — no lookahead constraint.
+    const std::uint64_t key = eng->alloc_key(id);
+    eng->schedule(id, key, eng->now() + std::max<SimTime>(delay, 0),
+                  [this, id, fn = std::move(fn)] {
+                    if (alive(id)) fn();
+                  });
+    return;
+  }
   sim_.schedule_after(delay, [this, id, fn = std::move(fn)] {
     if (alive(id)) fn();
   });

@@ -1,0 +1,235 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ares {
+
+namespace {
+
+/// -1 = coordinator (or any thread the engine never met). Workers set their
+/// shard index on entry; the inline solo-drain fast path sets/restores it
+/// around the drain.
+thread_local int tls_shard = -1;
+
+}  // namespace
+
+int ShardEngine::current_shard() { return tls_shard; }
+
+ShardEngine::ShardEngine(std::uint32_t shards, SimTime window)
+    : shards_(shards), window_(window), shard_(shards) {
+  assert(shards_ >= 1 && shards_ <= 64 && "work_mask_ is a 64-bit set");
+  assert(window_ > 0 && "lookahead window must be positive");
+  if (shards_ > 1) {
+    threads_.reserve(shards_);
+    for (std::uint32_t s = 0; s < shards_; ++s)
+      threads_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+}
+
+void ShardEngine::set_node_shard(NodeId id, std::uint32_t shard) {
+  assert(current_shard() < 0 && "membership changes are coordinator-only");
+  assert(shard < shards_);
+  if (id >= node_shard_.size()) {
+    node_shard_.resize(id + 1, 0);
+    src_ctr_.resize(id + 1, 0);
+  }
+  node_shard_[id] = shard;
+}
+
+std::uint64_t ShardEngine::alloc_key(NodeId src) {
+  if (src >= src_ctr_.size()) {
+    // Workers only allocate keys for their own (registered) nodes; growing
+    // the table concurrently would race.
+    assert(current_shard() < 0 && "unregistered source in a worker phase");
+    src_ctr_.resize(src + 1, 0);
+  }
+  return (static_cast<std::uint64_t>(src) << 32) | src_ctr_[src]++;
+}
+
+void ShardEngine::schedule(NodeId owner, std::uint64_t key, SimTime t,
+                           EventQueue::Action a) {
+  const int cur = current_shard();
+  const std::uint32_t dst = shard_of(owner);
+  if (cur < 0) {
+    if (t < coord_now_) {
+      ++coord_late_;
+      t = coord_now_;
+    }
+    shard_[dst].queue.push_keyed(t, key, std::move(a));
+    return;
+  }
+  ShardState& me = shard_[static_cast<std::uint32_t>(cur)];
+  if (t < me.now) {
+    ++me.late;
+    t = me.now;
+  }
+  if (dst == static_cast<std::uint32_t>(cur)) {
+    me.queue.push_keyed(t, key, std::move(a));
+  } else {
+    // The conservative-PDES invariant: every cross-shard hop travels at
+    // least Δ, so it lands past the barrier. A latency model whose floor is
+    // below the configured window breaks determinism — catch it here.
+    assert(t >= window_end_ && "cross-shard event inside the lookahead window");
+    me.outbox.push_back(Outgoing{dst, t, key, std::move(a)});
+  }
+}
+
+void ShardEngine::schedule_coord(SimTime t, EventQueue::Action a) {
+  assert(current_shard() < 0 && "schedule_at/_after is coordinator-only when sharded");
+  if (t < coord_now_) {
+    ++coord_late_;
+    t = coord_now_;
+  }
+  // Coordinator keys use the (invalid) source 2^32-1; the coordinator queue
+  // never merges with shard queues, so they only need to be unique here.
+  coord_queue_.push_keyed(t, (0xFFFFFFFFULL << 32) | coord_ctr_++, std::move(a));
+}
+
+SimTime ShardEngine::now() const {
+  const int cur = current_shard();
+  return cur < 0 ? coord_now_ : shard_[static_cast<std::uint32_t>(cur)].now;
+}
+
+void ShardEngine::advance_clock(SimTime t) { coord_now_ = std::max(coord_now_, t); }
+
+SimTime ShardEngine::next_time() const {
+  SimTime t = coord_queue_.empty() ? kNoEvent : coord_queue_.next_time();
+  for (const ShardState& st : shard_)
+    if (!st.queue.empty()) t = std::min(t, st.queue.next_time());
+  return t;
+}
+
+bool ShardEngine::idle() const { return next_time() == kNoEvent; }
+
+std::size_t ShardEngine::pending() const {
+  std::size_t n = coord_queue_.size();
+  for (const ShardState& st : shard_) n += st.queue.size() + st.outbox.size();
+  return n;
+}
+
+std::uint64_t ShardEngine::executed() const {
+  std::uint64_t n = coord_executed_;
+  for (const ShardState& st : shard_) n += st.executed;
+  return n;
+}
+
+std::uint64_t ShardEngine::late() const {
+  std::uint64_t n = coord_late_;
+  for (const ShardState& st : shard_) n += st.late;
+  return n;
+}
+
+void ShardEngine::drain_shard(std::uint32_t s, SimTime end_excl) {
+  ShardState& st = shard_[s];
+  while (!st.queue.empty() && st.queue.next_time() < end_excl) {
+    st.now = st.queue.next_time();
+    auto action = st.queue.pop();
+    ++st.executed;
+    action();
+  }
+}
+
+void ShardEngine::worker_main(std::uint32_t s) {
+  tls_shard = static_cast<int>(s);
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime end_excl;
+    bool mine;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      mine = (work_mask_ >> s) & 1U;
+      end_excl = window_end_;
+    }
+    if (mine) drain_shard(s, end_excl);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+std::uint64_t ShardEngine::run_window(SimTime limit) {
+  const SimTime tmin = next_time();
+  if (tmin == kNoEvent || tmin > limit) return 0;
+  const SimTime wstart = tmin - (tmin % window_);
+  SimTime wend = wstart + window_;  // exclusive
+  if (limit < wend - 1) wend = limit + 1;
+  window_end_ = wend;
+
+  // Phase 1 — coordinator first: experiment-driver events observe node
+  // state as of the start of the window, identically for every shard count.
+  std::uint64_t n = 0;
+  while (!coord_queue_.empty() && coord_queue_.next_time() < wend) {
+    coord_now_ = coord_queue_.next_time();
+    auto action = coord_queue_.pop();
+    ++coord_executed_;
+    ++n;
+    action();
+  }
+
+  // Phase 2 — shard drains.
+  std::uint64_t mask = 0;
+  std::uint32_t active_count = 0;
+  std::uint32_t solo = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    const EventQueue& q = shard_[s].queue;
+    if (!q.empty() && q.next_time() < wend) {
+      mask |= 1ULL << s;
+      solo = s;
+      ++active_count;
+    }
+  }
+  const std::uint64_t before = executed() - coord_executed_;
+  if (active_count == 1) {
+    // Solo window: drain inline. This is the common case for query-only
+    // runs (a sequential DFS touches one node per window) and skips the
+    // pool handshake entirely.
+    tls_shard = static_cast<int>(solo);
+    drain_shard(solo, wend);
+    tls_shard = -1;
+  } else if (active_count > 1) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      work_mask_ = mask;
+      active_ = static_cast<std::uint32_t>(threads_.size());
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return active_ == 0; });
+    }
+  }
+  n += (executed() - coord_executed_) - before;
+
+  // Phase 3 — barrier merge, source shards in ascending order. The keyed
+  // heap makes the merge order immaterial for drain order; the fixed order
+  // keeps even transient container state reproducible.
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    for (Outgoing& o : shard_[s].outbox)
+      shard_[o.dst].queue.push_keyed(o.t, o.key, std::move(o.action));
+    shard_[s].outbox.clear();
+  }
+
+  // The coordinator clock tracks window completion so inter-window driver
+  // code (query submission, churn) stamps times at the frontier.
+  coord_now_ = std::max(coord_now_, wend - 1);
+  return n;
+}
+
+}  // namespace ares

@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file sharded.h
+/// Sharded event execution with deterministic lookahead-window barriers —
+/// the engine behind Simulator::enable_sharding() (see DESIGN.md §"Sharded
+/// execution").
+///
+/// Nodes are partitioned into S shards (the Grid uses the cell-prefix map
+/// shard_of_coord(), so attribute-space neighbours — who exchange most of
+/// the traffic — tend to share a shard). Each shard owns an EventQueue;
+/// virtual time advances in windows of length Δ = the latency model's
+/// minimum one-way latency (the conservative-PDES lookahead). Within a
+/// window:
+///
+///   1. The *coordinator* (the thread driving the Simulator) drains its own
+///      queue first — experiment-driver events (churn, measurement) observe
+///      node state as of the start of the window, for every shard count.
+///   2. Each shard with pending events in the window is drained by a worker
+///      thread. Same-shard follow-ups (timers, self-sends) push straight
+///      into the draining heap; cross-shard sends go to a per-source-shard
+///      outbox. Because every message travels >= Δ, a cross-shard event can
+///      never land inside the window that produced it (asserted).
+///   3. At the barrier the coordinator merges all outboxes into the target
+///      queues, iterating source shards in ascending order.
+///
+/// Determinism at ANY shard count is a consequence of the event key: every
+/// event carries (time, (src_node << 32) | per-source-counter) and queues
+/// order by that key, so the drain order of a shard's heap — and therefore
+/// each node's observed history — is a pure function of the event set, not
+/// of which shard produced an event or when the mailbox delivered it. The
+/// per-source counters themselves are shard-count independent by induction:
+/// node X's counter is bumped only by X's own event executions (nodes send
+/// as themselves) or by coordinator-phase code, both of which are ordered
+/// identically for every S. The barrier-determinism ctest
+/// (tests/exp/shard_determinism_test.cpp) checks the end-to-end property.
+///
+/// Threading contract: membership changes, set_node_shard(), alloc_key()
+/// for unseen ids, and schedule_coord() are coordinator-only. During the
+/// worker phase, shared mutable state is limited to the seams that are
+/// explicitly per-shard here and in sim/network.h (per-shard NetworkStats,
+/// outboxes); everything else a worker touches belongs to its own nodes.
+/// The ares-lint "shard-seam" rule keeps mailbox primitives out of protocol
+/// code.
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace ares {
+
+class ShardEngine {
+ public:
+  /// No pending event (next_time()).
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+  /// \param shards number of shards, in [1, 64]
+  /// \param window the lookahead Δ in microseconds; every message latency
+  ///        must be >= window (the latency model's min_latency()), > 0
+  ShardEngine(std::uint32_t shards, SimTime window);
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  std::uint32_t shards() const { return shards_; }
+  SimTime window() const { return window_; }
+
+  /// Shard of the calling thread: 0..S-1 inside a worker drain, -1 on the
+  /// coordinator. Thread-local; also -1 on threads the engine never met.
+  static int current_shard();
+
+  /// Maps a node to its shard. Coordinator-only; call before the node's
+  /// start() runs (Network::add_node does).
+  void set_node_shard(NodeId id, std::uint32_t shard);
+  std::uint32_t shard_of(NodeId id) const {
+    return id < node_shard_.size() ? node_shard_[id] : 0;
+  }
+
+  /// Allocates the next event key for source node `src`:
+  /// (src << 32) | counter. Growing the table is coordinator-only; workers
+  /// may only allocate for already-registered ids (their own nodes).
+  std::uint64_t alloc_key(NodeId src);
+
+  /// Schedules a keyed event owned by node `owner` at absolute time `t`.
+  /// Late times are clamped to the caller's clock and counted. From a
+  /// worker, cross-shard events must satisfy t >= the current window end.
+  void schedule(NodeId owner, std::uint64_t key, SimTime t, EventQueue::Action a);
+
+  /// Schedules a coordinator event (experiment drivers; schedule_at/_after
+  /// forward here). Coordinator-only.
+  void schedule_coord(SimTime t, EventQueue::Action a);
+
+  /// Context-aware clock: the draining shard's clock on a worker, the
+  /// coordinator clock otherwise.
+  SimTime now() const;
+
+  /// Advances the coordinator clock to at least `t` (run_until semantics).
+  void advance_clock(SimTime t);
+
+  /// Earliest pending event time across all queues; kNoEvent when idle.
+  SimTime next_time() const;
+
+  bool idle() const;
+  std::size_t pending() const;
+  std::uint64_t executed() const;
+  std::uint64_t late() const;
+
+  /// Executes the next non-empty window, restricted to events with
+  /// time <= limit. Returns the number of events executed (0 when nothing
+  /// is pending at or before `limit`).
+  std::uint64_t run_window(SimTime limit);
+
+ private:
+  /// A cross-shard event parked in its source shard's outbox until the
+  /// window barrier.
+  struct Outgoing {
+    std::uint32_t dst;
+    SimTime t;
+    std::uint64_t key;
+    EventQueue::Action action;
+  };
+
+  /// Cache-line separation: adjacent shards' clocks and counters are
+  /// written concurrently during the worker phase.
+  struct alignas(64) ShardState {
+    EventQueue queue;
+    SimTime now = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t late = 0;
+    std::vector<Outgoing> outbox;
+  };
+
+  void drain_shard(std::uint32_t s, SimTime end_excl);
+  void worker_main(std::uint32_t s);
+
+  std::uint32_t shards_;
+  SimTime window_;
+  std::vector<ShardState> shard_;
+  EventQueue coord_queue_;
+  SimTime coord_now_ = 0;
+  std::uint64_t coord_executed_ = 0;
+  std::uint64_t coord_late_ = 0;
+  std::uint64_t coord_ctr_ = 0;           // coordinator event keys
+  std::vector<std::uint32_t> node_shard_;  // NodeId -> shard
+  std::vector<std::uint32_t> src_ctr_;     // NodeId -> per-source counter
+
+  // Worker pool (spawned only when shards > 1). Handshake: the coordinator
+  // publishes {window_end_, work_mask_} under mu_, bumps generation_, and
+  // waits for active_ to reach zero. Windows where a single shard has work
+  // skip the pool and drain inline on the coordinator thread.
+  SimTime window_end_ = 0;  // exclusive end of the in-flight window
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_, done_cv_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t work_mask_ = 0;
+  std::uint32_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ares

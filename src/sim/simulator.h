@@ -5,31 +5,68 @@
 /// This is our substitute for PeerSim (and, with different scale/latency
 /// parameters, for the DAS-3 emulation and the PlanetLab deployment); see
 /// DESIGN.md §5.
+///
+/// Two engines share this façade:
+///   - classic (default): one global queue, one thread, ties broken by
+///     insertion order — byte-identical to the pre-shard simulator;
+///   - sharded (enable_sharding()): per-shard queues drained inside
+///     lookahead-window barriers by worker threads, with outputs
+///     byte-identical at any shard count (see sim/sharded.h).
 
+#include <cassert>
 #include <functional>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/sharded.h"
 
 namespace ares {
 
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
 
-  SimTime now() const { return now_; }
-  Rng& rng() { return rng_; }
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return engine_ == nullptr ? now_ : engine_->now(); }
+
+  /// The seed this simulator was constructed with (sharded transport derives
+  /// per-message latency streams from it; see sim/network.h).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Runtime-level randomness. In sharded mode this stream is coordinator-
+  /// only — worker-phase draws would make outcomes depend on the drain
+  /// interleaving (asserted).
+  Rng& rng() {
+    assert(engine_ == nullptr || ShardEngine::current_shard() < 0);
+    return rng_;
+  }
+
+  /// Switches to the sharded engine. Must be called before any event is
+  /// scheduled or executed; `window` is the lookahead Δ (the latency
+  /// model's minimum one-way latency, > 0), `shards` in [1, 64].
+  void enable_sharding(std::uint32_t shards, SimTime window);
+
+  bool sharded() const { return engine_ != nullptr; }
+
+  /// The sharded engine; nullptr in classic mode.
+  ShardEngine* shard_engine() { return engine_.get(); }
 
   /// Schedules `action` at absolute virtual time `t`. A `t` already in the
   /// past is clamped to now() and counted in late_events() — a persistently
-  /// growing count usually flags a scheduling bug in the caller.
+  /// growing count usually flags a scheduling bug in the caller. In sharded
+  /// mode this is the coordinator-event path (experiment drivers).
   void schedule_at(SimTime t, EventQueue::Action action);
 
   /// Schedules `action` after `delay` (clamped to >= 0).
   void schedule_after(SimTime delay, EventQueue::Action action);
 
-  /// Executes the next pending event; returns false when the queue is empty.
+  /// Classic: executes the next pending event. Sharded: executes the next
+  /// window of events. Returns false when the queue is empty.
   bool step();
 
   /// Runs until the queue drains or the clock passes `t` (events at exactly
@@ -39,20 +76,28 @@ class Simulator {
   /// Runs until the queue drains. Returns the number of events executed.
   std::uint64_t run();
 
-  bool idle() const { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
-  std::uint64_t executed_events() const { return executed_; }
+  bool idle() const { return engine_ == nullptr ? queue_.empty() : engine_->idle(); }
+  std::size_t pending_events() const {
+    return engine_ == nullptr ? queue_.size() : engine_->pending();
+  }
+  std::uint64_t executed_events() const {
+    return engine_ == nullptr ? executed_ : engine_->executed();
+  }
 
-  /// Number of schedule_at() calls whose target time was already in the
-  /// past (silently clamped to now()).
-  std::uint64_t late_events() const { return late_; }
+  /// Number of schedule calls whose target time was already in the past
+  /// (silently clamped to the caller's clock).
+  std::uint64_t late_events() const {
+    return engine_ == nullptr ? late_ : engine_->late();
+  }
 
  private:
   SimTime now_ = 0;
   EventQueue queue_;
   Rng rng_;
+  std::uint64_t seed_;
   std::uint64_t executed_ = 0;
   std::uint64_t late_ = 0;
+  std::unique_ptr<ShardEngine> engine_;
 };
 
 }  // namespace ares

@@ -65,6 +65,24 @@ std::optional<CellSlot> Cells::classify(const CellCoord& self,
   return std::nullopt;  // unreachable: levels differ => some half differs
 }
 
+std::uint32_t shard_of_coord(const AttributeSpace& space, const CellCoord& coord,
+                             std::uint32_t shards) {
+  if (shards <= 1) return 0;
+  assert(coord.size() == static_cast<std::size_t>(space.dimensions()));
+  std::uint64_t key = 0;
+  int bits = 0;
+  // MSB-first interleave: bit (L-1) of every dimension, then bit (L-2), ...
+  // — the prefix of `key` is the coarse-cell path of the coord.
+  for (int b = space.max_level() - 1; b >= 0 && bits < 32; --b)
+    for (std::size_t j = 0; j < coord.size() && bits < 32; ++j) {
+      key = (key << 1) | ((coord[j] >> b) & 1U);
+      ++bits;
+    }
+  if (bits == 0) return 0;  // degenerate space: a single level-0 cell
+  // Fixed-point split of the key range into `shards` contiguous slices.
+  return static_cast<std::uint32_t>((key * shards) >> bits);
+}
+
 std::uint64_t Cells::cell_key(const CellCoord& c, int level) const {
   std::uint64_t h = hash_mix(kFnvOffset, static_cast<std::uint64_t>(level));
   for (CellIndex idx0 : c) h = hash_mix(h, at_level(idx0, level));

@@ -71,4 +71,19 @@ class Cells {
   const AttributeSpace* space_;
 };
 
+/// Locality-preserving shard key for sharded simulation (sim/sharded.h):
+/// interleaves the level-0 cell indices most-significant-bit first (a Morton
+/// prefix over the nested-cell hierarchy) and splits the resulting key range
+/// into `shards` contiguous slices. Nodes sharing a coarse cell — exactly the
+/// nodes the selective gossip layer and the query DFS make talk to each
+/// other — therefore land on the same or adjacent shards.
+///
+/// Purely a function of (space geometry, coord, shards): every coord maps to
+/// exactly one shard, remapping under churn is deterministic, and for
+/// uniformly distributed coords the slice populations differ by at most the
+/// ratio ceil(2^b/S)/floor(2^b/S) <= 2 in expectation (b = interleaved key
+/// bits, S = shards; see tests/space/shard_map_test.cpp).
+std::uint32_t shard_of_coord(const AttributeSpace& space, const CellCoord& coord,
+                             std::uint32_t shards);
+
 }  // namespace ares

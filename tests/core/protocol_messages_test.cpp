@@ -8,18 +8,20 @@
 
 #include "core/selection_node.h"
 #include "runtime/loopback.h"
+#include "space/descriptor_store.h"
 
 namespace ares {
 namespace {
 
 class ProtocolMessagesTest : public ::testing::Test {
  protected:
-  ProtocolMessagesTest() : space(AttributeSpace::uniform(2, 3, 0, 80)), net(7) {}
+  ProtocolMessagesTest()
+      : space(AttributeSpace::uniform(2, 3, 0, 80)), store(space), net(7) {}
 
   NodeId add_node(Point values, ProtocolConfig cfg = {}) {
     cfg.gossip_enabled = false;
     return net.add_node(std::make_unique<SelectionNode>(
-        space, std::move(values), cfg, std::vector<PeerDescriptor>{}, Rng(1)));
+        space, store, std::move(values), cfg, std::vector<PeerDescriptor>{}, Rng(1)));
   }
 
   SelectionNode& node(NodeId id) { return *net.find_as<SelectionNode>(id); }
@@ -39,6 +41,7 @@ class ProtocolMessagesTest : public ::testing::Test {
   }
 
   AttributeSpace space;
+  DescriptorStore store;
   LoopbackRuntime net;
 };
 

@@ -4,6 +4,7 @@
 
 #include "core/selection_node.h"
 #include "runtime/loopback.h"
+#include "space/descriptor_store.h"
 
 namespace ares {
 namespace {
@@ -13,8 +14,9 @@ class RoutingTableTest : public ::testing::Test {
   RoutingTableTest()
       : space(AttributeSpace::uniform(2, 3, 0, 80)),
         cells(space),
+        store(space),
         self(make_descriptor(space, 1, {5, 5})),
-        rt(cells, self.coord, self.id, RoutingConfig{}) {}
+        rt(cells, self.coord, self.id, RoutingConfig{}, store) {}
 
   PeerDescriptor make(NodeId id, AttrValue x, AttrValue y, std::uint32_t age = 0) {
     return make_descriptor(space, id, {x, y}, age);
@@ -22,6 +24,7 @@ class RoutingTableTest : public ::testing::Test {
 
   AttributeSpace space;
   Cells cells;
+  DescriptorStore store;
   PeerDescriptor self;
   RoutingTable rt;
 };
@@ -71,7 +74,7 @@ TEST_F(RoutingTableTest, OfferRefreshesAge) {
 TEST_F(RoutingTableTest, AlternateSkipsExcluded) {
   rt.offer(make(2, 75, 5, 0));
   rt.offer(make(3, 76, 5, 1));
-  const PeerDescriptor* alt = rt.alternate(3, 0, {2});
+  const CompactPeer* alt = rt.alternate(3, 0, {2});
   ASSERT_NE(alt, nullptr);
   EXPECT_EQ(alt->id, 3u);
   EXPECT_EQ(rt.alternate(3, 0, {2, 3}), nullptr);
@@ -107,7 +110,7 @@ TEST_F(RoutingTableTest, LinkCountsDedupe) {
 TEST_F(RoutingTableTest, ZeroCapacityCap) {
   RoutingConfig cfg;
   cfg.zero_capacity = 2;
-  RoutingTable capped(cells, self.coord, self.id, cfg);
+  RoutingTable capped(cells, self.coord, self.id, cfg, store);
   capped.offer(make(2, 6, 6, 3));
   capped.offer(make(3, 6, 7, 1));
   capped.offer(make(4, 7, 6, 2));
@@ -128,7 +131,7 @@ TEST_F(RoutingTableTest, BestForRegionPrefersInsideCandidate) {
   rt.offer(make(2, 45, 5, 0));   // younger, outside target
   rt.offer(make(3, 75, 75, 5));  // older, inside target
   Region target({{7, 7}, {7, 7}});
-  const PeerDescriptor* best = rt.best_for_region(3, 0, {}, target);
+  const CompactPeer* best = rt.best_for_region(3, 0, {}, target);
   ASSERT_NE(best, nullptr);
   EXPECT_EQ(best->id, 3u);
 }
@@ -137,7 +140,7 @@ TEST_F(RoutingTableTest, BestForRegionFallsBackToYoungest) {
   rt.offer(make(2, 45, 5, 1));
   rt.offer(make(3, 46, 5, 0));
   Region target({{7, 7}, {7, 7}});  // nobody inside
-  const PeerDescriptor* best = rt.best_for_region(3, 0, {}, target);
+  const CompactPeer* best = rt.best_for_region(3, 0, {}, target);
   ASSERT_NE(best, nullptr);
   EXPECT_EQ(best->id, 3u);  // youngest
 }
@@ -165,10 +168,10 @@ TEST_F(RoutingTableTest, GossipOverLoopbackPopulatesSlots) {
   ProtocolConfig cfg;  // gossip on, 10 s period
 
   NodeId a = loop.add_node(std::make_unique<SelectionNode>(
-      space, Point{5, 5}, cfg, std::vector<PeerDescriptor>{}, seeder.fork()));
+      space, store, Point{5, 5}, cfg, std::vector<PeerDescriptor>{}, seeder.fork()));
   // B lands in the opposite half along dimension 0 => slot N(3,0) of A.
   NodeId b = loop.add_node(std::make_unique<SelectionNode>(
-      space, Point{75, 5}, cfg,
+      space, store, Point{75, 5}, cfg,
       std::vector<PeerDescriptor>{make_descriptor(space, a, {5, 5})},
       seeder.fork()));
 
@@ -195,9 +198,9 @@ TEST_F(RoutingTableTest, DeadPeerAgesOutOverLoopback) {
   cfg.vicinity.max_age = 5;
 
   NodeId a = loop.add_node(std::make_unique<SelectionNode>(
-      space, Point{5, 5}, cfg, std::vector<PeerDescriptor>{}, seeder.fork()));
+      space, store, Point{5, 5}, cfg, std::vector<PeerDescriptor>{}, seeder.fork()));
   NodeId b = loop.add_node(std::make_unique<SelectionNode>(
-      space, Point{75, 5}, cfg,
+      space, store, Point{75, 5}, cfg,
       std::vector<PeerDescriptor>{make_descriptor(space, a, {5, 5})},
       seeder.fork()));
   loop.run_until(60 * kSecond);

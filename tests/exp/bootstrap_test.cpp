@@ -44,7 +44,7 @@ TEST(OracleBootstrap, SlotEntriesLieInTheirSubcell) {
     for (int l = 1; l <= 3; ++l) {
       for (int k = 0; k < 3; ++k) {
         for (const auto& e : node.routing().slot(l, k)) {
-          EXPECT_TRUE(cells.neighbor_region(node.coord(), l, k).contains(e.coord))
+          EXPECT_TRUE(cells.neighbor_region(node.coord(), l, k).contains(grid.store().coord_of(e.id)))
               << "node " << id << " slot (" << l << "," << k << ")";
         }
       }

@@ -7,19 +7,29 @@
 #include <set>
 
 #include "runtime/loopback.h"
+#include "space/descriptor_store.h"
 
 namespace ares {
 namespace {
 
+/// One shared 1-d space/store per test: hosts register peers on receipt
+/// exactly as SelectionNode does against the Grid-wide store.
+struct StoreFixture {
+  AttributeSpace space = AttributeSpace::uniform(1, 1, 0, 100);
+  DescriptorStore store{space};
+};
+
 /// Minimal runtime node hosting only the CYCLON layer.
 class CyclonHost final : public Node {
  public:
-  CyclonHost(CyclonConfig cfg, Rng rng, std::vector<PeerDescriptor> bootstrap)
-      : cfg_(cfg), rng_(rng), bootstrap_(std::move(bootstrap)) {}
+  CyclonHost(DescriptorStore& store, CyclonConfig cfg, Rng rng,
+             std::vector<PeerDescriptor> bootstrap)
+      : store_(store), cfg_(cfg), rng_(rng), bootstrap_(std::move(bootstrap)) {}
 
   void start() override {
+    store_.put(id(), Point{0});
     cyclon_ = std::make_unique<Cyclon>(
-        PeerDescriptor{id(), {0}, {0}, 0}, cfg_, rng_,
+        id(), store_, cfg_, rng_,
         [this](NodeId to, MessagePtr m) { send(to, std::move(m)); });
     cyclon_->seed(bootstrap_);
     SimTime phase = static_cast<SimTime>(rng_.below(10 * kSecond));
@@ -38,6 +48,7 @@ class CyclonHost final : public Node {
     after(10 * kSecond, [this] { tick(); });
   }
 
+  DescriptorStore& store_;
   CyclonConfig cfg_;
   Rng rng_;
   std::vector<PeerDescriptor> bootstrap_;
@@ -46,7 +57,7 @@ class CyclonHost final : public Node {
 
 /// The shuffle protocol driven end-to-end on the loopback runtime: no
 /// Simulator/Network pair, zero-latency delivery, manually advanced clock.
-class CyclonLoopbackTest : public ::testing::Test {
+class CyclonLoopbackTest : public ::testing::Test, protected StoreFixture {
  protected:
   CyclonLoopbackTest() : net(42) {}
 
@@ -55,7 +66,7 @@ class CyclonLoopbackTest : public ::testing::Test {
     Rng seeder(7);
     std::vector<PeerDescriptor> prev;
     for (std::size_t i = 0; i < n; ++i) {
-      NodeId id = net.add_node(std::make_unique<CyclonHost>(cfg, seeder.fork(), prev));
+      NodeId id = net.add_node(std::make_unique<CyclonHost>(store, cfg, seeder.fork(), prev));
       prev = {PeerDescriptor{id, {0}, {0}, 0}};
       ids.push_back(id);
     }
@@ -153,7 +164,9 @@ TEST_F(CyclonLoopbackTest, SurvivesMassPartialFailure) {
 TEST(CyclonUnit, SeedSkipsSelf) {
   Rng rng(1);
   std::vector<MessagePtr> outbox;
-  Cyclon c(PeerDescriptor{3, {0}, {0}, 0}, CyclonConfig{}, rng,
+  StoreFixture f;
+  f.store.put(3, Point{0});
+  Cyclon c(3, f.store, CyclonConfig{}, rng,
            [&](NodeId, MessagePtr m) { outbox.push_back(std::move(m)); });
   c.seed({PeerDescriptor{3, {0}, {0}, 0}, PeerDescriptor{4, {0}, {0}, 0}});
   EXPECT_FALSE(c.view().contains(3));
@@ -163,7 +176,9 @@ TEST(CyclonUnit, SeedSkipsSelf) {
 TEST(CyclonUnit, TickRemovesTargetAndSendsRequest) {
   Rng rng(1);
   std::vector<std::pair<NodeId, MessagePtr>> outbox;
-  Cyclon c(PeerDescriptor{1, {0}, {0}, 0}, CyclonConfig{}, rng,
+  StoreFixture f;
+  f.store.put(1, Point{0});
+  Cyclon c(1, f.store, CyclonConfig{}, rng,
            [&](NodeId to, MessagePtr m) { outbox.emplace_back(to, std::move(m)); });
   c.seed({PeerDescriptor{2, {0}, {0}, 5}, PeerDescriptor{3, {0}, {0}, 1}});
   c.tick();
@@ -183,7 +198,9 @@ TEST(CyclonUnit, TickRemovesTargetAndSendsRequest) {
 TEST(CyclonUnit, EmptyViewTickIsNoop) {
   Rng rng(1);
   int sends = 0;
-  Cyclon c(PeerDescriptor{1, {0}, {0}, 0}, CyclonConfig{}, rng,
+  StoreFixture f;
+  f.store.put(1, Point{0});
+  Cyclon c(1, f.store, CyclonConfig{}, rng,
            [&](NodeId, MessagePtr) { ++sends; });
   c.tick();
   EXPECT_EQ(sends, 0);
@@ -192,7 +209,9 @@ TEST(CyclonUnit, EmptyViewTickIsNoop) {
 TEST(CyclonUnit, HandleRequestSendsReplyAndMerges) {
   Rng rng(1);
   std::vector<std::pair<NodeId, MessagePtr>> outbox;
-  Cyclon c(PeerDescriptor{1, {0}, {0}, 0}, CyclonConfig{}, rng,
+  StoreFixture f;
+  f.store.put(1, Point{0});
+  Cyclon c(1, f.store, CyclonConfig{}, rng,
            [&](NodeId to, MessagePtr m) { outbox.emplace_back(to, std::move(m)); });
   c.seed({PeerDescriptor{5, {0}, {0}, 0}});
   CyclonShuffleMsg req;
@@ -210,7 +229,9 @@ TEST(CyclonUnit, HandleRequestSendsReplyAndMerges) {
 
 TEST(CyclonUnit, IgnoresForeignMessages) {
   Rng rng(1);
-  Cyclon c(PeerDescriptor{1, {0}, {0}, 0}, CyclonConfig{}, rng,
+  StoreFixture f;
+  f.store.put(1, Point{0});
+  Cyclon c(1, f.store, CyclonConfig{}, rng,
            [&](NodeId, MessagePtr) {});
   struct Other final : Message {
     const char* type_name() const override { return "other"; }

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "runtime/loopback.h"
+#include "space/descriptor_store.h"
 
 namespace ares {
 namespace {
@@ -12,14 +13,23 @@ namespace {
 class VicinityUnit : public ::testing::Test {
  protected:
   VicinityUnit()
-      : space(AttributeSpace::uniform(2, 3, 0, 80)), cells(space), rng(1) {}
+      : space(AttributeSpace::uniform(2, 3, 0, 80)), cells(space), store(space),
+        rng(1) {}
 
   PeerDescriptor make(NodeId id, AttrValue x, AttrValue y, std::uint32_t age = 0) {
     return make_descriptor(space, id, {x, y}, age);
   }
 
-  Vicinity make_vicinity(PeerDescriptor self, VicinityConfig cfg = {}) {
-    return Vicinity(std::move(self), cells, cfg, rng,
+  /// Registers a descriptor in the store and returns its compact handle
+  /// (view entries are handles; coordinates resolve through the store).
+  CompactPeer put(const PeerDescriptor& d) {
+    store.put(d.id, d.values);
+    return CompactPeer{d.id, d.age};
+  }
+
+  Vicinity make_vicinity(const PeerDescriptor& self, VicinityConfig cfg = {}) {
+    store.put(self.id, self.values);
+    return Vicinity(self.id, self.coord, cells, store, cfg, rng,
                     [this](NodeId to, MessagePtr m) {
                       outbox.emplace_back(to, std::move(m));
                     });
@@ -27,6 +37,7 @@ class VicinityUnit : public ::testing::Test {
 
   AttributeSpace space;
   Cells cells;
+  DescriptorStore store;
   Rng rng;
   std::vector<std::pair<NodeId, MessagePtr>> outbox;
 };
@@ -74,8 +85,8 @@ TEST_F(VicinityUnit, SubsetForRanksByUsefulnessToTarget) {
   View cyclon_view(8);
   // Target lives at the opposite corner; candidate 30 co-habits the target's
   // level-0 cell, candidate 31 is far from it.
-  cyclon_view.insert_or_refresh(make(30, 78, 78));
-  cyclon_view.insert_or_refresh(make(31, 2, 2));
+  cyclon_view.insert_or_refresh(put(make(30, 78, 78)));
+  cyclon_view.insert_or_refresh(put(make(31, 2, 2)));
   auto subset = v.subset_for(make(99, 76, 77), cyclon_view, 2);
   ASSERT_FALSE(subset.empty());
   EXPECT_EQ(subset[0].id, 30u);
@@ -92,8 +103,8 @@ TEST_F(VicinityUnit, SubsetForRanksUnclassifiableCandidatesLast) {
   rogue.values = Point{500, 500};
   rogue.coord = CellCoord{255, 255};  // cells_per_dim is 8: out of range
   View cyclon_view(8);
-  cyclon_view.insert_or_refresh(make(30, 6, 6));
-  cyclon_view.insert_or_refresh(rogue);
+  cyclon_view.insert_or_refresh(put(make(30, 6, 6)));
+  cyclon_view.insert_or_refresh(put(rogue));
   auto subset = v.subset_for(make(99, 5, 6), cyclon_view, 3);
   ASSERT_EQ(subset.size(), 3u);  // self + classifiable + unclassifiable
   EXPECT_EQ(subset.back().id, 77u);
@@ -113,7 +124,7 @@ TEST_F(VicinityUnit, SubsetForAdvertisesSelf) {
 TEST_F(VicinityUnit, SubsetForExcludesTarget) {
   auto v = make_vicinity(make(1, 5, 5));
   View cyclon_view(8);
-  cyclon_view.insert_or_refresh(make(99, 70, 70));
+  cyclon_view.insert_or_refresh(put(make(99, 70, 70)));
   auto subset = v.subset_for(make(99, 70, 70), cyclon_view, 5);
   for (const auto& d : subset) EXPECT_NE(d.id, 99u);
 }
@@ -155,7 +166,7 @@ TEST_F(VicinityUnit, TickWithEmptyViewsIsNoop) {
 TEST_F(VicinityUnit, TickUsesCyclonForExploration) {
   auto v = make_vicinity(make(1, 5, 5));
   View cyclon_view(8);
-  cyclon_view.insert_or_refresh(make(42, 60, 60));
+  cyclon_view.insert_or_refresh(put(make(42, 60, 60)));
   v.tick(cyclon_view);  // empty vicinity view: must fall back to cyclon
   ASSERT_EQ(outbox.size(), 1u);
   EXPECT_EQ(outbox[0].first, 42u);
@@ -165,18 +176,21 @@ TEST_F(VicinityUnit, TickUsesCyclonForExploration) {
 /// underlay: exchanges are driven purely by the vicinity view itself).
 class VicinityHost final : public Node {
  public:
-  VicinityHost(const AttributeSpace& space, const Cells& cells, Point values,
-               Rng rng, std::vector<PeerDescriptor> bootstrap)
+  VicinityHost(const AttributeSpace& space, const Cells& cells,
+               DescriptorStore& store, Point values, Rng rng,
+               std::vector<PeerDescriptor> bootstrap)
       : space_(space),
         cells_(cells),
+        store_(store),
         values_(std::move(values)),
         rng_(rng),
         bootstrap_(std::move(bootstrap)),
         cyclon_view_(8) {}
 
   void start() override {
+    store_.put(id(), values_);
     vicinity_ = std::make_unique<Vicinity>(
-        make_descriptor(space_, id(), values_), cells_, VicinityConfig{}, rng_,
+        id(), space_.coord_of(values_), cells_, store_, VicinityConfig{}, rng_,
         [this](NodeId to, MessagePtr m) { send(to, std::move(m)); });
     vicinity_->seed(bootstrap_, cyclon_view_);
     after(static_cast<SimTime>(rng_.below(10 * kSecond)), [this] { tick(); });
@@ -196,6 +210,7 @@ class VicinityHost final : public Node {
 
   const AttributeSpace& space_;
   const Cells& cells_;
+  DescriptorStore& store_;
   Point values_;
   Rng rng_;
   std::vector<PeerDescriptor> bootstrap_;
@@ -210,12 +225,12 @@ TEST_F(VicinityUnit, LoopbackExchangePropagatesDescriptorsTransitively) {
   Rng seeder(3);
   // C knows nobody; B bootstraps knowing C; A bootstraps knowing B.
   NodeId c = rt.add_node(std::make_unique<VicinityHost>(
-      space, cells, Point{40, 40}, seeder.fork(), std::vector<PeerDescriptor>{}));
+      space, cells, store, Point{40, 40}, seeder.fork(), std::vector<PeerDescriptor>{}));
   NodeId b = rt.add_node(std::make_unique<VicinityHost>(
-      space, cells, Point{75, 75}, seeder.fork(),
+      space, cells, store, Point{75, 75}, seeder.fork(),
       std::vector<PeerDescriptor>{make_descriptor(space, c, {40, 40})}));
   NodeId a = rt.add_node(std::make_unique<VicinityHost>(
-      space, cells, Point{5, 5}, seeder.fork(),
+      space, cells, store, Point{5, 5}, seeder.fork(),
       std::vector<PeerDescriptor>{make_descriptor(space, b, {75, 75})}));
 
   rt.run_until(300 * kSecond);  // ~30 gossip cycles

@@ -7,9 +7,7 @@
 namespace ares {
 namespace {
 
-PeerDescriptor desc(NodeId id, std::uint32_t age = 0) {
-  return PeerDescriptor{id, {1, 2}, {0, 0}, age};
-}
+CompactPeer desc(NodeId id, std::uint32_t age = 0) { return CompactPeer{id, age}; }
 
 TEST(View, InsertAndFind) {
   View v(4);
@@ -77,7 +75,7 @@ TEST(View, TakeOldest) {
   v.insert_or_refresh(desc(1, 3));
   v.insert_or_refresh(desc(2, 7));
   v.insert_or_refresh(desc(3, 5));
-  PeerDescriptor oldest = v.take_oldest();
+  CompactPeer oldest = v.take_oldest();
   EXPECT_EQ(oldest.id, 2u);
   EXPECT_EQ(v.size(), 2u);
 }

@@ -1,0 +1,20 @@
+// Fixture: direct use of sharded-execution primitives outside src/sim.
+// Both call sites must trip the shard-seam rule — protocol code never
+// schedules into shard queues directly; everything crosses the Network
+// send/timer seam.
+
+namespace ares {
+
+struct FakeQueue {
+  void push_keyed(long t, unsigned long long seq, int action);
+};
+
+struct FakeEngine {
+  unsigned long long alloc_key(unsigned src);
+};
+
+void bypass_the_seam(FakeQueue& q, FakeEngine& eng) {
+  q.push_keyed(10, eng.alloc_key(3), 0);
+}
+
+}  // namespace ares

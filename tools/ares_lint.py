@@ -29,6 +29,15 @@ invariants"):
                    value lists) so descriptor copies stay allocation-free.
                    Suppress with  // ares-lint: raw-descriptor-vec-ok(<reason>)
 
+  shard-seam       No direct use of the sharded-execution primitives
+                   (EventQueue::push_keyed, ShardEngine::alloc_key/
+                   set_node_shard/run_window/schedule_coord) outside
+                   src/sim. Cross-shard communication flows through ONE
+                   seam — Network::send()/node_timer() scheduling into the
+                   ShardEngine mailboxes — so determinism arguments stay
+                   local to src/sim. Suppress with
+                       // ares-lint: shard-seam-ok(<reason>)
+
   layering         Full declared include-DAG over src/ (generalizes the old
                    cmake/check_include_hygiene.cmake core/gossip rule).
                    Violations are reported per edge. Suppress a single
@@ -99,6 +108,16 @@ RAW_DESCRIPTOR_VEC = [
      "Point (inline storage) or AttrValues (unbounded value lists)"),
     (re.compile(r"\bstd\s*::\s*vector\s*<\s*CellIndex\s*>"),
      "std::vector<CellIndex>", "CellCoord (inline storage)"),
+]
+
+# shard-seam applies to src/ except src/sim (where the engine and the one
+# legitimate mailbox seam — Network — live).
+SHARD_SEAM = [
+    (re.compile(r"\bpush_keyed\s*\("), "EventQueue::push_keyed()"),
+    (re.compile(r"\balloc_key\s*\("), "ShardEngine::alloc_key()"),
+    (re.compile(r"\bset_node_shard\s*\("), "ShardEngine::set_node_shard()"),
+    (re.compile(r"\brun_window\s*\("), "ShardEngine::run_window()"),
+    (re.compile(r"\bschedule_coord\s*\("), "ShardEngine::schedule_coord()"),
 ]
 
 FORBIDDEN_API = [
@@ -225,7 +244,8 @@ class Linter:
         self.root = root
         self.findings = []
         self.suppression_counts = {"unordered-iter": 0, "forbidden-api": 0,
-                                   "raw-descriptor-vec": 0, "layering": 0}
+                                   "raw-descriptor-vec": 0, "layering": 0,
+                                   "shard-seam": 0}
 
     def add(self, rule, sf, offset_or_line, message, offset=True):
         line = sf.line_of(offset_or_line) if offset else offset_or_line
@@ -333,6 +353,25 @@ class Linter:
                              "descriptor coordinates store elements inline "
                              "(common/inline_vec.h) so copies never allocate")
 
+    # -- rule: shard-seam ----------------------------------------------------
+
+    def check_shard_seam(self):
+        src = self.root / "src"
+        if not src.is_dir():
+            return
+        scan_dirs = [d.name for d in sorted(src.iterdir())
+                     if d.is_dir() and d.name != "sim"]
+        for p in iter_files(src, scan_dirs):
+            sf = SourceFile(p, str(p.relative_to(self.root)))
+            for rx, what in SHARD_SEAM:
+                for m in rx.finditer(sf.code):
+                    self.add("shard-seam", sf, m.start(),
+                             f"{what} outside src/sim — cross-shard state "
+                             "moves only through the Network send/timer seam "
+                             "(sim/network.h); direct shard scheduling "
+                             "bypasses the determinism contract "
+                             "(DESIGN.md, 'Sharded execution')")
+
     # -- rule: layering ------------------------------------------------------
 
     def check_layering(self):
@@ -410,6 +449,7 @@ class Linter:
         self.check_unordered_iter()
         self.check_forbidden_api()
         self.check_raw_descriptor_vec()
+        self.check_shard_seam()
         self.check_layering()
         self.check_codec()
         return self.findings
@@ -455,6 +495,7 @@ def self_test(fixture_root: pathlib.Path) -> int:
         "unordered-iter": 2,       # range-for + .begin() traversal
         "forbidden-api": 2,        # random_device + getenv
         "raw-descriptor-vec": 2,   # vector<AttrValue> + vector<CellIndex>
+        "shard-seam": 2,           # push_keyed + alloc_key outside src/sim
         "layering": 2,             # gossip -> sim, gossip -> exp
         "codec": 2,                # kPong: missing registration + missing test
     }
