@@ -66,6 +66,9 @@ int main() {
         .num("overhead", stats.mean_overhead)
         .num("delivery", stats.mean_delivery)
         .num("queries", stats.queries)
+        .num("latency_p50_s", stats.p50_latency_s)
+        .num("latency_p95_s", stats.p95_latency_s)
+        .num("latency_p99_s", stats.p99_latency_s)
         .num("sim_events", stats.sim_events)
         .num("late_events", stats.late_events);
     report.add_events(stats.sim_events, stats.late_events);

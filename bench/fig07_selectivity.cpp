@@ -113,6 +113,12 @@ int main() {
           .num("f", f)
           .num("best_overhead", r.best_inf.mean_overhead)
           .num("worst_overhead", r.worst_inf.mean_overhead)
+          .num("best_latency_p50_s", r.best_inf.p50_latency_s)
+          .num("best_latency_p95_s", r.best_inf.p95_latency_s)
+          .num("best_latency_p99_s", r.best_inf.p99_latency_s)
+          .num("worst_latency_p50_s", r.worst_inf.p50_latency_s)
+          .num("worst_latency_p95_s", r.worst_inf.p95_latency_s)
+          .num("worst_latency_p99_s", r.worst_inf.p99_latency_s)
           .num("sim_events", r.totals.events)
           .num("late_events", r.totals.late);
       report.add_events(r.totals.events, r.totals.late);

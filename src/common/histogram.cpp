@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 
 namespace ares {
@@ -18,6 +19,17 @@ Histogram Histogram::fixed_width(double width, std::size_t count) {
   return Histogram(std::move(edges));
 }
 
+Histogram Histogram::exponential(double first, double factor, std::size_t count) {
+  assert(first > 0.0);
+  assert(factor > 1.0);
+  assert(count >= 2);
+  std::vector<double> edges(count);
+  edges[0] = 0.0;
+  double e = first;
+  for (std::size_t i = 1; i < count; ++i, e *= factor) edges[i] = e;
+  return Histogram(std::move(edges));
+}
+
 std::size_t Histogram::bucket_of(double value) const {
   // First edge > value, minus one; clamp below the first edge into bucket 0.
   auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
@@ -27,7 +39,35 @@ std::size_t Histogram::bucket_of(double value) const {
 
 void Histogram::add(double value) {
   ++counts_[bucket_of(value)];
+  if (total_ == 0 || value < min_) min_ = value;
+  if (total_ == 0 || value > max_) max_ = value;
   ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  assert(total_ > 0);
+  assert(q >= 0.0 && q <= 1.0);
+  // Nearest-rank target (1-based), clamped into [1, total].
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    if (seen + counts_[b] < target) {
+      seen += counts_[b];
+      continue;
+    }
+    // Interpolate the rank's position inside bucket b. The bucket span is
+    // clamped to the observed min/max so the open-ended last bucket (and a
+    // first bucket reaching below the smallest sample) stays finite.
+    double lo = std::max(edges_[b], min_);
+    double hi = b + 1 < edges_.size() ? std::min(edges_[b + 1], max_) : max_;
+    if (hi < lo) hi = lo;
+    const double within = (static_cast<double>(target - seen) - 0.5) /
+                          static_cast<double>(counts_[b]);
+    return lo + (hi - lo) * within;
+  }
+  return max_;  // unreachable with a consistent total_
 }
 
 double Histogram::fraction(std::size_t bucket) const {

@@ -23,11 +23,27 @@ class Histogram {
   /// Convenience: `count` equal-width buckets of width `width` starting at 0.
   static Histogram fixed_width(double width, std::size_t count);
 
+  /// Convenience: geometrically spaced edges {0, first, first*factor, ...}
+  /// (`count` buckets total, factor > 1). Suits latency distributions whose
+  /// tail spans orders of magnitude.
+  static Histogram exponential(double first, double factor, std::size_t count);
+
   void add(double value);
 
   std::size_t bucket_count() const { return counts_.size(); }
   std::uint64_t count(std::size_t bucket) const { return counts_[bucket]; }
   std::uint64_t total() const { return total_; }
+
+  /// Smallest / largest value added so far (0 when empty). Tightens
+  /// quantile() interpolation at the distribution edges.
+  double min_value() const { return total_ > 0 ? min_ : 0.0; }
+  double max_value() const { return total_ > 0 ? max_ : 0.0; }
+
+  /// Approximate quantile q in [0,1] by nearest-rank bucket walk with linear
+  /// interpolation inside the bucket (the open-ended last bucket and the
+  /// extreme buckets are clamped to the observed min/max). Exact when every
+  /// sample in the target bucket shares one value; requires >= 1 sample.
+  double quantile(double q) const;
 
   /// Fraction (0..1) of samples in the given bucket; 0 if empty histogram.
   double fraction(std::size_t bucket) const;
@@ -42,6 +58,8 @@ class Histogram {
   std::vector<double> edges_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace ares

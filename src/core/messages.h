@@ -65,6 +65,12 @@ struct ProgressMsg final : Message {
 struct ReplyMsg final : Message {
   QueryId id = 0;
   std::vector<MatchRecord> matching;
+  /// True when the replying subtree exhausted its delegated fragment: the
+  /// DFS wound all the way down (no sigma early-cutoff), no branch failed or
+  /// lacked a link, and every child reply was itself complete. Only complete
+  /// fragments may enter the result cache (see ProtocolConfig::
+  /// result_cache_capacity); partial answers are still merged normally.
+  bool complete = false;
 
   const char* type_name() const override { return "select.reply"; }
   wire::Kind kind() const override { return wire::Kind::kReply; }

@@ -4,6 +4,7 @@ namespace ares {
 
 void QueryStats::on_query_visited(QueryId q, NodeId node, bool matched,
                                   bool is_origin) {
+  std::lock_guard<std::mutex> lock(mu_);
   PerQuery& pq = queries_[q];
   if (is_origin) pq.origin = node;
 
@@ -24,8 +25,16 @@ void QueryStats::on_query_visited(QueryId q, NodeId node, bool matched,
   }
 }
 
+void QueryStats::on_query_forwarded(QueryId q, NodeId /*from*/, NodeId /*to*/,
+                                    int /*level*/, int /*dim*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++queries_[q].forwards;
+  ++total_forwards_;
+}
+
 void QueryStats::on_query_completed(QueryId q, NodeId origin,
                                     const std::vector<MatchRecord>& matches) {
+  std::lock_guard<std::mutex> lock(mu_);
   PerQuery& pq = queries_[q];
   pq.origin = origin;
   pq.completed = true;
@@ -44,8 +53,9 @@ double QueryStats::mean_overhead() const {
 }
 
 void QueryStats::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   queries_.clear();
-  total_overhead_ = total_hits_ = total_duplicates_ = 0;
+  total_overhead_ = total_hits_ = total_duplicates_ = total_forwards_ = 0;
   completed_ = 0;
 }
 

@@ -7,9 +7,19 @@
 ///     a query through nodes that did not match the query themselves");
 ///   - hits: distinct matching nodes reached (delivery numerator);
 ///   - duplicates: repeat visits of the same node by one query (the paper
-///     reports zero; our property tests assert it).
+///     reports zero; our property tests assert it);
+///   - forwards: query-message hops (per query and total), the denominator
+///     of hops-per-query in the throughput benchmarks.
+///
+/// Mutators are internally locked: under the sharded simulator with
+/// concurrent in-flight queries (exp/load.h), observer callbacks fire on
+/// different shard workers within one lookahead window. Updates are
+/// commutative integer bumps into per-QueryId rows, so the post-run state
+/// is deterministic regardless of interleaving. Accessors are meant for
+/// quiescent (post-run / between-step) reads.
 
 #include <map>
+#include <mutex>
 #include <unordered_set>
 
 #include "common/summary.h"
@@ -24,6 +34,7 @@ class QueryStats final : public QueryObserver {
     std::uint32_t overhead = 0;    // non-matching, non-origin deliveries
     std::uint32_t hits = 0;        // distinct matching nodes visited
     std::uint32_t duplicates = 0;  // repeat visits (any kind)
+    std::uint32_t forwards = 0;    // query-message hops sent for this query
     bool completed = false;
     std::size_t result_size = 0;
     std::unordered_set<NodeId> visited;          // iff track_visited
@@ -38,6 +49,8 @@ class QueryStats final : public QueryObserver {
 
   void on_query_visited(QueryId q, NodeId node, bool matched,
                         bool is_origin) override;
+  void on_query_forwarded(QueryId q, NodeId from, NodeId to, int level,
+                          int dim) override;
   void on_query_completed(QueryId q, NodeId origin,
                           const std::vector<MatchRecord>& matches) override;
 
@@ -49,6 +62,7 @@ class QueryStats final : public QueryObserver {
   std::uint64_t total_overhead() const { return total_overhead_; }
   std::uint64_t total_hits() const { return total_hits_; }
   std::uint64_t total_duplicates() const { return total_duplicates_; }
+  std::uint64_t total_forwards() const { return total_forwards_; }
   std::uint64_t completed_count() const { return completed_; }
 
   /// Mean routing overhead per observed query.
@@ -58,10 +72,12 @@ class QueryStats final : public QueryObserver {
 
  private:
   bool track_visited_;
+  mutable std::mutex mu_;
   std::map<QueryId, PerQuery> queries_;
   std::uint64_t total_overhead_ = 0;
   std::uint64_t total_hits_ = 0;
   std::uint64_t total_duplicates_ = 0;
+  std::uint64_t total_forwards_ = 0;
   std::uint64_t completed_ = 0;
 };
 

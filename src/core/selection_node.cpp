@@ -1,8 +1,31 @@
 #include "core/selection_node.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ares {
+
+namespace {
+
+/// Per-dimension union hull of two queries' routed ranges; an absent bound
+/// is unconstrained and absorbs the other side's bound. The hull may cover
+/// more than the set-union of the two regions — harmless, since each rider
+/// filters the shared traversal's records down to its own ranges.
+RangeQuery union_ranges(const RangeQuery& a, const RangeQuery& b) {
+  std::vector<AttrRange> out;
+  out.reserve(static_cast<std::size_t>(a.dimensions()));
+  for (int d = 0; d < a.dimensions(); ++d) {
+    const AttrRange& ra = a.range(d);
+    const AttrRange& rb = b.range(d);
+    AttrRange u;
+    if (ra.lo && rb.lo) u.lo = std::min(*ra.lo, *rb.lo);
+    if (ra.hi && rb.hi) u.hi = std::max(*ra.hi, *rb.hi);
+    out.push_back(u);
+  }
+  return RangeQuery(std::move(out));
+}
+
+}  // namespace
 
 SelectionNode::SelectionNode(const AttributeSpace& space, DescriptorStore& store,
                              Point values, ProtocolConfig cfg,
@@ -16,7 +39,8 @@ SelectionNode::SelectionNode(const AttributeSpace& space, DescriptorStore& store
       cfg_(cfg),
       bootstrap_(std::move(bootstrap)),
       rng_(rng),
-      observer_(observer) {
+      observer_(observer),
+      cache_(cfg.result_cache_capacity, cfg.result_cache_horizon) {
   assert(static_cast<int>(values_.size()) == space.dimensions());
 }
 
@@ -28,6 +52,13 @@ void SelectionNode::start() {
   m_gossip_cycles_ = metrics().counter("gossip.cycles");
   m_query_timeouts_ = metrics().counter("query.timeouts");
   m_query_retries_ = metrics().counter("query.retries");
+  m_cache_hits_ = metrics().counter("query.cache_hit");
+  m_cache_misses_ = metrics().counter("query.cache_miss");
+  m_cache_inserts_ = metrics().counter("query.cache_insert");
+  m_cache_evictions_ = metrics().counter("query.cache_evict");
+  m_cache_stale_ = metrics().counter("query.cache_stale");
+  m_coalesce_attach_ = metrics().counter("query.coalesce_attach");
+  m_coalesce_dispatch_ = metrics().counter("query.coalesce_dispatch");
 
   // Register our own profile before any layer hands out handles to it.
   store_.put(id(), values_);
@@ -60,7 +91,23 @@ void SelectionNode::gossip_tick() {
   rt_->age_all();
   rt_->drop_older_than(cfg_.rt_max_age);
   refresh_routing();
+  if (cache_.enabled()) {
+    cache_.age_tick();
+    meter_cache();
+  }
   after(cfg_.gossip_period, [this] { gossip_tick(); });
+}
+
+/// Flushes the deltas of the cache's internal stats into per-node Metrics
+/// counters, so experiments aggregate cache behavior like any other metric.
+void SelectionNode::meter_cache() {
+  const ResultCache::Stats& s = cache_.stats();
+  metrics().inc(id(), m_cache_hits_, s.hits - cache_metered_.hits);
+  metrics().inc(id(), m_cache_misses_, s.misses - cache_metered_.misses);
+  metrics().inc(id(), m_cache_inserts_, s.insertions - cache_metered_.insertions);
+  metrics().inc(id(), m_cache_evictions_, s.evictions - cache_metered_.evictions);
+  metrics().inc(id(), m_cache_stale_, s.stale_drops - cache_metered_.stale_drops);
+  cache_metered_ = s;
 }
 
 void SelectionNode::refresh_routing() {
@@ -147,6 +194,12 @@ void SelectionNode::on_message(NodeId from, const Message& m) {
 }
 
 void SelectionNode::handle_progress(NodeId from, const ProgressMsg& p) {
+  auto sit = shared_.find(p.id);
+  if (sit != shared_.end()) {
+    if (sit->second.dispatched && sit->second.to == from)
+      sit->second.last_heard = now();
+    return;
+  }
   auto it = active_.find(p.id);
   if (it == active_.end()) return;
   auto w = it->second.waiting.find(from);
@@ -203,13 +256,40 @@ void SelectionNode::continue_query(QueryState& st) {
   QueryMsg& q = st.msg;
   const int d = space_.dimensions();
 
+  const bool pure = !q.query.has_dynamic_filters();
   while (q.level > 0) {
     // Ascending dimension scan: required for the exactly-once invariant
     // (see the correctness sketch in the header).
     for (int k = 0; k < d; ++k) {
       const std::uint32_t bit = std::uint32_t{1} << k;
       if ((q.dims_mask & bit) == 0) continue;
-      if (!st.region.intersects(cells_.neighbor_region(coord_, q.level, k))) continue;
+      const Region subcell = cells_.neighbor_region(coord_, q.level, k);
+      if (!st.region.intersects(subcell)) continue;
+      if (cache_.enabled() && pure) {
+        if (const ResultCache::Entry* e =
+                cache_.lookup(make_fragment_key(space_, subcell, q.query))) {
+          // A fresh complete fragment with exactly this (subcell, clamped
+          // ranges) identity: the whole branch resolves locally.
+          metrics().observe("query.cache_hit_age", static_cast<double>(e->age));
+          for (const MatchRecord& m : e->records) st.matching.emplace(m.id, m);
+          meter_cache();
+          q.dims_mask &= ~bit;
+          if (st.matching.size() >= q.sigma) {
+            // Sigma satisfied without messaging — same early cutoff a child
+            // reply would have triggered. Callers guarantee nothing is
+            // outstanding when continue_query runs.
+            if (st.waiting.empty() && !st.shared_wait) finish(st);
+            return;
+          }
+          continue;  // branch done; keep scanning this level
+        }
+        meter_cache();
+      }
+      if (cfg_.coalesce_queries && pure && q.sigma == kNoSigma &&
+          try_shared(st, q.level, k, subcell)) {
+        q.dims_mask &= ~bit;
+        return;  // depth-first: the shared traversal is our one branch
+      }
       const CompactPeer* n =
           cfg_.query_aware_forwarding
               ? rt_->best_for_region(q.level, k, st.failed, st.region)
@@ -240,7 +320,20 @@ void SelectionNode::continue_query(QueryState& st) {
     q.level = -1;
   }
 
-  if (st.waiting.empty()) finish(st);
+  if (st.waiting.empty() && !st.shared_wait) finish(st);
+}
+
+/// Resumes a query's state machine once nothing is outstanding: re-forward
+/// while the sigma target is unmet and levels remain, reply otherwise.
+/// (Fig. 5 receive_reply lines 4-13, shared by replies, timeouts, and
+/// shared-traversal fan-out.)
+void SelectionNode::resume(QueryState& st) {
+  if (!st.waiting.empty() || st.shared_wait) return;
+  if (st.matching.size() < st.msg.sigma && st.msg.level >= 0) {
+    continue_query(st);
+  } else {
+    finish(st);
+  }
 }
 
 void SelectionNode::dispatch(QueryState& st, NodeId to, Outstanding slot) {
@@ -260,25 +353,32 @@ void SelectionNode::dispatch(QueryState& st, NodeId to, Outstanding slot) {
   if (observer_ != nullptr)
     observer_->on_query_forwarded(st.msg.id, id(), to, slot.level, slot.dim);
   slot.last_heard = now();
+  slot.seq = ++next_dispatch_seq_;
   st.waiting.emplace(to, slot);
   if (cfg_.query_timeout > 0) {
-    QueryId qid = st.msg.id;
-    after(cfg_.query_timeout, [this, qid, to] { on_timeout(qid, to); });
+    const QueryId qid = st.msg.id;
+    const std::uint64_t seq = slot.seq;
+    after(cfg_.query_timeout, [this, qid, to, seq] { on_timeout(qid, to, seq); });
   }
   send(to, std::move(m));
 }
 
-void SelectionNode::on_timeout(QueryId qid, NodeId to) {
+void SelectionNode::on_timeout(QueryId qid, NodeId to, std::uint64_t seq) {
   auto it = active_.find(qid);
   if (it == active_.end()) return;
   QueryState& st = it->second;
   auto w = st.waiting.find(to);
   if (w == st.waiting.end()) return;  // already answered
+  // A timer only speaks for the dispatch that armed it: the same peer may
+  // be dispatched to again for this query (a later level, or an alternate
+  // retry under concurrent load), and a leftover timer from the earlier
+  // dispatch must not fail the newer one.
+  if (w->second.seq != seq) return;
   // Keepalives reset the deadline: only true silence for a full T(q)
   // declares the branch dead. Re-arm otherwise.
   const SimTime deadline = w->second.last_heard + cfg_.query_timeout;
   if (now() < deadline) {
-    after(deadline - now(), [this, qid, to] { on_timeout(qid, to); });
+    after(deadline - now(), [this, qid, to, seq] { on_timeout(qid, to, seq); });
     return;
   }
   Outstanding slot = w->second;
@@ -298,26 +398,35 @@ void SelectionNode::on_timeout(QueryId qid, NodeId to) {
       return;
     }
   }
-  if (!st.waiting.empty()) return;
-  if (st.matching.size() < st.msg.sigma && st.msg.level >= 0) {
-    continue_query(st);
-  } else {
-    finish(st);
-  }
+  resume(st);
 }
 
 void SelectionNode::handle_reply(NodeId from, const ReplyMsg& r) {
+  if (shared_.contains(r.id)) {
+    // Answer to a shared traversal this node dispatched: fan out to riders.
+    finish_shared(r.id, r.matching, r.complete);
+    return;
+  }
   auto it = active_.find(r.id);
   if (it == active_.end()) return;  // late reply after timeout/finish
   QueryState& st = it->second;
-  for (const auto& m : r.matching) st.matching.emplace(m.id, m);
-  st.waiting.erase(from);
-  if (!st.waiting.empty()) return;
-  if (st.matching.size() < st.msg.sigma && st.msg.level >= 0) {
-    continue_query(st);
-  } else {
-    finish(st);
+  auto w = st.waiting.find(from);
+  if (w != st.waiting.end()) {
+    st.subtree_complete = st.subtree_complete && r.complete;
+    if (cache_.enabled() && r.complete && w->second.dim >= 0 &&
+        !st.msg.query.has_dynamic_filters()) {
+      // The child exhausted the fragment we delegated: remember it, so the
+      // next query forwarding into this subcell with equivalent clamped
+      // ranges resolves without messaging.
+      const Region subcell =
+          cells_.neighbor_region(coord_, w->second.level, w->second.dim);
+      cache_.insert(make_fragment_key(space_, subcell, st.msg.query), r.matching);
+      meter_cache();
+    }
+    st.waiting.erase(w);
   }
+  for (const auto& m : r.matching) st.matching.emplace(m.id, m);
+  resume(st);
 }
 
 void SelectionNode::finish(QueryState& st) {
@@ -334,10 +443,159 @@ void SelectionNode::finish(QueryState& st) {
     auto r = std::make_unique<ReplyMsg>();
     r->id = qid;
     r->matching = std::move(matches);
+    // Complete = the DFS wound all the way down (no sigma cutoff left
+    // levels unexplored), no branch failed, and every child subtree was
+    // itself complete. Subcells with no known link share the protocol's
+    // convergence assumption (see PROTOCOL.md: the receiver computes the
+    // identical emptiness verdict), so they do not spoil completeness;
+    // wrong emptiness verdicts are a churn phenomenon, bounded by the
+    // cache's age horizon like any other staleness.
+    r->complete = st.msg.level == -1 && st.failed.empty() && st.subtree_complete;
     send(st.parent, std::move(r));
   }
   completed_.insert(qid);
   active_.erase(qid);  // invalidates st; must be last
+}
+
+// ---- shared traversals (query coalescing) -------------------------------
+
+bool SelectionNode::try_shared(QueryState& st, int level, int k,
+                               const Region& subcell) {
+  const FragmentKey key = make_fragment_key(space_, subcell, st.msg.query);
+  for (auto& [sqid, sb] : shared_) {
+    if (sb.level != level || sb.dim != k) continue;
+    if (!sb.dispatched) {
+      // Still collecting: widen the union probe to absorb this rider.
+      sb.probe = union_ranges(sb.probe, st.msg.query);
+      sb.union_key = make_fragment_key(space_, subcell, sb.probe);
+      sb.riders.push_back(SharedRider{st.msg.id, key});
+      st.shared_wait = true;
+      metrics().inc(id(), m_coalesce_attach_);
+      return true;
+    }
+    if (fragment_covers(sb.union_key, key)) {
+      // Already in flight, but the dispatched union covers this rider's
+      // fragment entirely: share the answer.
+      sb.riders.push_back(SharedRider{st.msg.id, key});
+      st.shared_wait = true;
+      metrics().inc(id(), m_coalesce_attach_);
+      return true;
+    }
+  }
+  // No joinable traversal: open one with this query as the first rider.
+  const QueryId sqid = (static_cast<QueryId>(id()) << 32) | next_query_seq_++;
+  SharedBranch sb;
+  sb.level = level;
+  sb.dim = k;
+  sb.probe = st.msg.query;
+  sb.union_key = key;
+  sb.riders.push_back(SharedRider{st.msg.id, key});
+  st.shared_wait = true;
+  shared_.emplace(sqid, std::move(sb));
+  if (cfg_.coalesce_window > 0) {
+    after(cfg_.coalesce_window, [this, sqid] { dispatch_shared(sqid); });
+  } else {
+    dispatch_shared(sqid);
+  }
+  return true;
+}
+
+void SelectionNode::dispatch_shared(QueryId sqid) {
+  auto it = shared_.find(sqid);
+  if (it == shared_.end() || it->second.dispatched) return;
+  SharedBranch& sb = it->second;
+  const CompactPeer* n = rt_->alternate(sb.level, sb.dim, sb.failed);
+  if (n == nullptr) {
+    // No live link into the subcell (or retries exhausted every candidate):
+    // resolve the traversal empty and incomplete. Deferred one event so no
+    // rider resumes beneath its own continue_query stack frame.
+    after(0, [this, sqid] { finish_shared(sqid, {}, /*complete=*/false); });
+    return;
+  }
+  sb.dispatched = true;
+  sb.to = n->id;
+  sb.seq = ++next_dispatch_seq_;
+  sb.last_heard = now();
+  if (!sb.failed.empty()) metrics().inc(id(), m_query_retries_);
+  metrics().inc(id(), m_coalesce_dispatch_);
+  auto m = std::make_unique<QueryMsg>();
+  m->id = sqid;
+  m->reply_to = id();
+  m->origin = id();
+  m->query = sb.probe;
+  m->sigma = kNoSigma;
+  m->level = sb.level;
+  // Confinement mask: clear dimensions 0..dim. The receiver Y lies in
+  // N(level,dim)(this); its cell minus its own subcells along the cleared
+  // dimensions is exactly N(level,dim)(this) (the partition argument in the
+  // header), so the union traversal covers precisely probe ∩ subcell no
+  // matter which masks the riders arrived with.
+  m->dims_mask = all_dims_mask(space_.dimensions()) &
+                 ~((std::uint32_t{1} << (sb.dim + 1)) - 1);
+  if (observer_ != nullptr)
+    observer_->on_query_forwarded(sqid, id(), sb.to, sb.level, sb.dim);
+  if (cfg_.query_timeout > 0) {
+    const NodeId to = sb.to;
+    const std::uint64_t seq = sb.seq;
+    after(cfg_.query_timeout,
+          [this, sqid, to, seq] { on_shared_timeout(sqid, to, seq); });
+  }
+  send(sb.to, std::move(m));
+}
+
+void SelectionNode::finish_shared(QueryId sqid,
+                                  const std::vector<MatchRecord>& records,
+                                  bool complete) {
+  auto it = shared_.find(sqid);
+  if (it == shared_.end()) return;
+  // Detach before fanning out: resumed riders may open new shared branches
+  // (mutating shared_) or finish (mutating active_) while we iterate.
+  SharedBranch sb = std::move(it->second);
+  shared_.erase(sqid);
+  for (const SharedRider& rider : sb.riders) {
+    auto ait = active_.find(rider.qid);
+    if (ait == active_.end()) continue;
+    QueryState& st = ait->second;
+    st.shared_wait = false;
+    st.subtree_complete = st.subtree_complete && complete;
+    std::vector<MatchRecord> own;
+    for (const MatchRecord& m : records)
+      if (st.msg.query.matches(m.values)) own.push_back(m);
+    if (cache_.enabled() && complete) {
+      // Riders carry no dynamic filters (coalescing eligibility), so the
+      // filtered records are exactly the rider's fragment.
+      cache_.insert(rider.key, own);
+      meter_cache();
+    }
+    for (const MatchRecord& m : own) st.matching.emplace(m.id, m);
+    resume(st);
+  }
+}
+
+void SelectionNode::on_shared_timeout(QueryId sqid, NodeId to,
+                                      std::uint64_t seq) {
+  auto it = shared_.find(sqid);
+  if (it == shared_.end()) return;  // already answered
+  SharedBranch& sb = it->second;
+  if (!sb.dispatched || sb.to != to || sb.seq != seq) return;  // stale timer
+  const SimTime deadline = sb.last_heard + cfg_.query_timeout;
+  if (now() < deadline) {
+    after(deadline - now(),
+          [this, sqid, to, seq] { on_shared_timeout(sqid, to, seq); });
+    return;
+  }
+  sb.failed.push_back(to);
+  metrics().inc(id(), m_query_timeouts_);
+  rt_->remove(to);
+  if (cyclon_ != nullptr) cyclon_->remove(to);
+  if (vicinity_ != nullptr) vicinity_->remove(to);
+  sb.dispatched = false;
+  sb.to = kInvalidNode;
+  if (cfg_.retry_alternates) {
+    dispatch_shared(sqid);  // resolves empty+incomplete if no candidate left
+  } else {
+    finish_shared(sqid, {}, /*complete=*/false);
+  }
 }
 
 }  // namespace ares

@@ -24,6 +24,7 @@
 
 #include "common/sorted.h"
 #include "core/messages.h"
+#include "core/result_cache.h"
 #include "core/routing_table.h"
 #include "gossip/cyclon.h"
 #include "gossip/vicinity.h"
@@ -58,6 +59,29 @@ struct ProtocolConfig {
   /// region, saving one non-matching hop. Measured in
   /// bench/ablation_query_shape.
   bool query_aware_forwarding = false;
+  /// Extension (0 = off = paper-faithful): per-node LRU cache of resolved
+  /// branch fragments (core/result_cache.h). A branch about to forward into
+  /// a subcell first checks whether an identical fragment was resolved
+  /// recently and, on a hit, absorbs the records without any messaging.
+  /// Only replies flagged complete are cached; queries with dynamic filters
+  /// bypass the cache entirely.
+  std::size_t result_cache_capacity = 0;
+  /// Cache entries older than this many gossip cycles are dropped, bounding
+  /// churn staleness by horizon x gossip_period. With gossip disabled
+  /// entries never age (a static deployment cannot go stale).
+  std::uint32_t result_cache_horizon = 8;
+  /// Extension (off by default): overlapping concurrent branches into the
+  /// same subcell share one traversal. A branch whose (level, dim) matches
+  /// an in-flight shared traversal attaches as a rider when the dispatched
+  /// union ranges cover its own; otherwise it opens a new shared traversal
+  /// that later branches can widen until dispatch. Results fan out to every
+  /// rider, filtered to its own ranges. Only sigma-less (kNoSigma) queries
+  /// without dynamic filters participate.
+  bool coalesce_queries = false;
+  /// With coalescing on: how long a freshly opened shared traversal lingers
+  /// undispatched so concurrent overlapping branches can widen it. 0 sends
+  /// immediately (late riders can still attach when covered).
+  SimTime coalesce_window = 0;
 };
 
 /// Experiment hook observing the query protocol globally.
@@ -123,6 +147,8 @@ class SelectionNode final : public Node {
   const Vicinity& vicinity() const { return *vicinity_; }
   PeerDescriptor descriptor() const;
   std::size_t active_queries() const { return active_.size(); }
+  const ResultCache& result_cache() const { return cache_; }
+  std::size_t shared_branches() const { return shared_.size(); }
 
   // -- runtime Node -------------------------------------------------------
 
@@ -134,6 +160,11 @@ class SelectionNode final : public Node {
     int level = 0;
     int dim = -1;  // -1: level-0 probe (no alternate retry possible)
     SimTime last_heard = 0;  // refreshed by keepalives/replies
+    /// Monotonic dispatch sequence number. Timeout timers capture it so a
+    /// timer armed for an earlier dispatch to the same peer (possible when
+    /// concurrent queries retry through shared alternates) can recognize
+    /// itself as stale instead of failing the newer dispatch.
+    std::uint64_t seq = 0;
   };
 
   struct QueryState {
@@ -141,6 +172,14 @@ class SelectionNode final : public Node {
     Region region;
     NodeId parent = kInvalidNode;
     bool is_origin = false;
+    /// True while every delegated branch so far resolved exhaustively (no
+    /// failed or linkless subcell, every child reply complete). Decides
+    /// ReplyMsg::complete, i.e. whether ancestors may cache our fragment.
+    bool subtree_complete = true;
+    /// True while this query's current branch rides a shared traversal
+    /// (see SharedBranch); the state machine must not resume until the
+    /// shared result fans out.
+    bool shared_wait = false;
     CompletionFn done;
     // Flat sorted maps: finish() publishes `matching` in iteration order
     // (replies and the final candidate set go over the wire), so iteration
@@ -148,6 +187,27 @@ class SelectionNode final : public Node {
     FlatMap<NodeId, MatchRecord> matching;
     FlatMap<NodeId, Outstanding> waiting;
     std::vector<NodeId> failed;
+  };
+
+  /// One coalesced traversal into subcell N(level,dim): several concurrent
+  /// local branches (riders) whose value ranges overlap share a single
+  /// synthetic union query; the reply fans out to every rider filtered to
+  /// its own ranges. Keyed in shared_ by the synthetic QueryId.
+  struct SharedRider {
+    QueryId qid = 0;
+    FragmentKey key;  // the rider's own fragment (cache insert + coverage)
+  };
+  struct SharedBranch {
+    int level = 0;
+    int dim = 0;
+    RangeQuery probe;       // running union of rider ranges (sent verbatim)
+    FragmentKey union_key;  // clamped union (late-rider coverage checks)
+    std::vector<SharedRider> riders;
+    std::vector<NodeId> failed;
+    NodeId to = kInvalidNode;
+    std::uint64_t seq = 0;
+    SimTime last_heard = 0;
+    bool dispatched = false;
   };
 
   bool matches_self(const RangeQuery& q) const;
@@ -158,8 +218,15 @@ class SelectionNode final : public Node {
   void keepalive_tick(QueryId qid);
   void continue_query(QueryState& st);
   void dispatch(QueryState& st, NodeId to, Outstanding slot);
-  void on_timeout(QueryId qid, NodeId to);
+  void on_timeout(QueryId qid, NodeId to, std::uint64_t seq);
   void finish(QueryState& st);
+  bool try_shared(QueryState& st, int level, int k, const Region& subcell);
+  void dispatch_shared(QueryId sqid);
+  void finish_shared(QueryId sqid, const std::vector<MatchRecord>& records,
+                     bool complete);
+  void on_shared_timeout(QueryId sqid, NodeId to, std::uint64_t seq);
+  void resume(QueryState& st);
+  void meter_cache();
   void gossip_tick();
   void refresh_routing();
 
@@ -182,12 +249,26 @@ class SelectionNode final : public Node {
   std::unordered_map<QueryId, QueryState> active_;
   std::unordered_set<QueryId> completed_;
   std::uint32_t next_query_seq_ = 0;
+  std::uint64_t next_dispatch_seq_ = 0;
+
+  ResultCache cache_;
+  ResultCache::Stats cache_metered_;  // already flushed into Metrics
+  // Shared traversals keyed by synthetic QueryId. Flat map: attach scans
+  // for a (level, dim) match in deterministic (ascending id) order.
+  FlatMap<QueryId, SharedBranch> shared_;
 
   // Interned in start() (the Metrics registry belongs to the runtime we
   // attach to): hot-path increments skip the string-keyed lookup.
   Metrics::Counter m_gossip_cycles_ = 0;
   Metrics::Counter m_query_timeouts_ = 0;
   Metrics::Counter m_query_retries_ = 0;
+  Metrics::Counter m_cache_hits_ = 0;
+  Metrics::Counter m_cache_misses_ = 0;
+  Metrics::Counter m_cache_inserts_ = 0;
+  Metrics::Counter m_cache_evictions_ = 0;
+  Metrics::Counter m_cache_stale_ = 0;
+  Metrics::Counter m_coalesce_attach_ = 0;
+  Metrics::Counter m_coalesce_dispatch_ = 0;
 };
 
 }  // namespace ares

@@ -4,6 +4,10 @@
 
 namespace ares::exp {
 
+Histogram latency_histogram() {
+  return Histogram::exponential(1e-4, 1.35, 48);
+}
+
 QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
                           std::uint32_t sigma, std::size_t origins_per_query,
                           SimTime horizon) {
@@ -12,6 +16,7 @@ QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
   const std::uint64_t events_before = grid.sim().executed_events();
   const std::uint64_t late_before = grid.sim().late_events();
   Summary overhead, delivery, matches, latency;
+  Histogram latency_hist = latency_histogram();
 
   for (const auto& q : queries) {
     for (std::size_t i = 0; i < origins_per_query; ++i) {
@@ -36,6 +41,7 @@ QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
         ++out.completed;
         matches.add(static_cast<double>(outcome.matches.size()));
         latency.add(to_seconds(outcome.latency));
+        latency_hist.add(to_seconds(outcome.latency));
       }
     }
   }
@@ -43,6 +49,11 @@ QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
   out.mean_delivery = delivery.mean();
   out.mean_matches = matches.mean();
   out.mean_latency_s = latency.mean();
+  if (latency_hist.total() > 0) {
+    out.p50_latency_s = latency_hist.quantile(0.50);
+    out.p95_latency_s = latency_hist.quantile(0.95);
+    out.p99_latency_s = latency_hist.quantile(0.99);
+  }
   out.sim_events = grid.sim().executed_events() - events_before;
   out.late_events = grid.sim().late_events() - late_before;
   return out;

@@ -21,6 +21,12 @@ struct QueryRunStats {
   double mean_delivery = 0.0;   ///< matching nodes reached / ground truth
   double mean_matches = 0.0;    ///< result-set size per completed query
   double mean_latency_s = 0.0;  ///< completion latency (completed only)
+  /// Completion-latency percentiles (seconds; 0 when nothing completed),
+  /// from a common/histogram with geometric bucket edges — the same
+  /// machinery the sustained-load driver (exp/load.h) reports through.
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
   std::uint64_t duplicates = 0; ///< repeat visits (must stay 0 without churn)
   std::uint64_t sim_events = 0; ///< simulator events executed during this run
   /// schedule_at() calls whose target time was already past, during this
@@ -28,6 +34,11 @@ struct QueryRunStats {
   /// the no-churn tier-1 tests assert it stays 0.
   std::uint64_t late_events = 0;
 };
+
+/// Latency histogram used for percentile reporting (run_queries and the
+/// sustained-load driver in exp/load.h): geometric bucket edges from 100 us
+/// with ~1.35x growth, spanning sub-millisecond hops to minutes-long tails.
+Histogram latency_histogram();
 
 /// Runs every query in `queries` from `origins_per_query` random origins
 /// each, to completion (or `horizon`). Clears grid.stats() first.

@@ -20,6 +20,7 @@ const Metrics::Slot* Metrics::find(std::string_view name) const {
 }
 
 void Metrics::observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(observe_mu_);
   auto it = distributions_.find(name);
   if (it == distributions_.end())
     it = distributions_.emplace(std::string(name), Summary{}).first;

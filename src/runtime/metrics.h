@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +49,12 @@ class Metrics {
   }
 
   /// Adds a sample to the named distribution (merged across all nodes).
+  /// Internally locked: unlike counters (single-writer per-node rows),
+  /// distributions are shared, and concurrent queries under the sharded
+  /// simulator complete on different workers within one window. Do not
+  /// print order-sensitive aggregates of concurrently-observed
+  /// distributions in deterministic output (sample order is interleaving-
+  /// dependent; counts and quantiles are safe).
   void observe(std::string_view name, double value);
 
   /// Sum of the named counter over all nodes (0 when never bumped).
@@ -87,6 +94,7 @@ class Metrics {
 
   std::vector<Slot> slots_;
   std::size_t reserved_nodes_ = 0;
+  mutable std::mutex observe_mu_;  // guards distributions_ mutation
   // Keys are owned copies (not views into slots_: Slot moves on vector
   // growth would dangle SSO string views). std::less<> gives heterogeneous
   // string_view lookup; interning is cold, so a tree map is fine.

@@ -250,13 +250,14 @@ MessagePtr decode_query(Reader& r, Kind) {
 void encode_reply(const Message& m, Writer& w) {
   const auto& rp = static_cast<const ReplyMsg&>(m);
   w.u64(rp.id);
+  w.u8(rp.complete ? 1 : 0);
   w.varint(rp.matching.size());
   for (const auto& rec : rp.matching) put_record(w, rec);
 }
 
 std::size_t size_reply(const Message& m) {
   const auto& rp = static_cast<const ReplyMsg&>(m);
-  std::size_t n = 8 + varint_len(rp.matching.size());
+  std::size_t n = 8 + 1 + varint_len(rp.matching.size());
   for (const auto& rec : rp.matching) n += record_size(rec);
   return n;
 }
@@ -264,6 +265,9 @@ std::size_t size_reply(const Message& m) {
 MessagePtr decode_reply(Reader& r, Kind) {
   auto m = std::make_unique<ReplyMsg>();
   m->id = r.u64();
+  const std::uint8_t complete = r.u8();
+  if (complete > 1) return nullptr;
+  m->complete = complete == 1;
   std::uint64_t n = r.count(5);
   if (!r.ok()) return nullptr;
   m->matching.resize(static_cast<std::size_t>(n));

@@ -52,5 +52,54 @@ TEST(Histogram, IntegerLabels) {
   EXPECT_EQ(h.label(2), ">=20");
 }
 
+TEST(Histogram, ExponentialFactoryEdges) {
+  auto h = Histogram::exponential(1.0, 2.0, 5);  // edges 0,1,2,4,8
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_EQ(h.bucket_of(0.5), 0u);
+  EXPECT_EQ(h.bucket_of(1.0), 1u);
+  EXPECT_EQ(h.bucket_of(3.9), 2u);
+  EXPECT_EQ(h.bucket_of(4.0), 3u);
+  EXPECT_EQ(h.bucket_of(8.0), 4u);
+  EXPECT_EQ(h.bucket_of(1e12), 4u);
+}
+
+TEST(Histogram, MinMaxTrackObservedRange) {
+  auto h = Histogram::exponential(1.0, 2.0, 5);
+  EXPECT_DOUBLE_EQ(h.min_value(), 0.0);  // empty
+  h.add(3.0);
+  h.add(0.25);
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.min_value(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max_value(), 7.5);
+}
+
+TEST(Histogram, QuantileExactWhenBucketIsDegenerate) {
+  // All samples in the target bucket share one value: quantile is exact.
+  auto h = Histogram::fixed_width(10.0, 5);
+  for (int i = 0; i < 100; ++i) h.add(25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 25.0);
+}
+
+TEST(Histogram, QuantileOrderedAndWithinObservedRange) {
+  auto h = Histogram::exponential(1e-3, 1.5, 32);
+  double v = 0.001;
+  for (int i = 0; i < 500; ++i) {
+    h.add(v);
+    v *= 1.013;  // spans several buckets
+  }
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min_value());
+  EXPECT_LE(p99, h.max_value());
+  // Even the extreme quantiles stay inside the observed range: the
+  // open-ended last bucket is clamped to max, the first to min.
+  EXPECT_GE(h.quantile(0.0), h.min_value());
+  EXPECT_LE(h.quantile(1.0), h.max_value());
+}
+
 }  // namespace
 }  // namespace ares

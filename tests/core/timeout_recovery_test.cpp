@@ -3,6 +3,7 @@
 #include <set>
 
 #include "exp/grid.h"
+#include "exp/load.h"
 #include "workload/distributions.h"
 
 namespace ares {
@@ -116,6 +117,39 @@ TEST(DropMode, CleanNetworkStillCompletes) {
   Grid grid(cfg, uniform_points(cfg.space, 0, 80));
   auto out = grid.run_query(grid.random_node(), RangeQuery::any(2).with(0, 0, 49));
   EXPECT_TRUE(out.completed);
+}
+
+TEST(TimeoutRecovery, ConcurrentQueriesKeepTimersSeparate) {
+  // Regression guard for the sequence-stamped retransmission timers: with
+  // many queries in flight at once, node X can have query A and query B both
+  // waiting on the same neighbor, and A's retry can re-dispatch while B's
+  // original timer is still pending. A timer may only fire for the exact
+  // dispatch that armed it (same query, peer, AND sequence number) — a
+  // cross-cancelled or double-fired timer strands a branch, and the query
+  // below it never completes.
+  auto cfg = recovery_config(/*timeouts=*/true);
+  Grid grid(cfg, uniform_points(cfg.space, 0, 80));
+  silent_kill(grid, 25, grid.random_node());
+  // Origins picked after the kills: random_node only returns live nodes.
+  std::vector<NodeId> origins;
+  for (int i = 0; i < 4; ++i) origins.push_back(grid.random_node());
+  OpenLoopConfig lc;
+  lc.rate_qps = 300;  // heavy overlap: dozens in flight at once
+  lc.total_queries = 60;
+  lc.pool = {RangeQuery::any(2), RangeQuery::any(2).with(0, 20, 70)};
+  lc.origins = origins;
+  lc.seed = 31;
+  lc.keep_results = true;
+  auto out = run_open_loop(grid, lc);
+  EXPECT_GE(out.peak_in_flight, 8u) << "load too light to overlap timers";
+  EXPECT_EQ(out.completed, out.issued);
+  for (std::size_t i = 0; i < out.issued; ++i) {
+    ASSERT_NE(out.done[i], 0) << "arrival " << i << " never completed";
+    for (const auto& m : out.results[i]) {
+      EXPECT_TRUE(grid.net().alive(m.id));
+      EXPECT_TRUE(lc.pool[out.pool_index[i]].matches(m.values));
+    }
+  }
 }
 
 TEST(TimeoutRecovery, SigmaQueriesUnaffectedByFarFailures) {

@@ -191,12 +191,37 @@ TEST(WireCodec, QuerySigmaInfinityRoundTrip) {
 TEST(WireCodec, ReplyRoundTrip) {
   ReplyMsg m;
   m.id = 99;
+  m.complete = true;
   m.matching = {{5, {1, 2}}, {6, {3, 4}}};
   auto out = round_trip(m);
   ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->complete);
   ASSERT_EQ(out->matching.size(), 2u);
   EXPECT_EQ(out->matching[1].id, 6u);
   EXPECT_EQ(out->matching[1].values, (Point{3, 4}));
+}
+
+TEST(WireCodec, ReplyIncompleteRoundTrip) {
+  ReplyMsg m;
+  m.id = 100;
+  m.complete = false;
+  m.matching = {{5, {1, 2}}};
+  auto out = round_trip(m);
+  ASSERT_NE(out, nullptr);
+  EXPECT_FALSE(out->complete);
+}
+
+TEST(WireCodec, ReplyCompleteFlagMustBeCanonical) {
+  // The flag is a strict 0/1 byte on the wire; any other value is a
+  // malformed frame, not a silently-truthy bool.
+  ReplyMsg m;
+  m.id = 7;
+  m.complete = true;
+  auto bytes = encode(m);
+  ASSERT_GT(bytes.size(), 10u);
+  EXPECT_EQ(bytes[9], 1u);  // tag(1) + id(8), then the flag
+  bytes[9] = 2;
+  EXPECT_EQ(decode(bytes), nullptr);
 }
 
 TEST(WireCodec, EmptyReplyRoundTrip) {
@@ -408,6 +433,7 @@ MessagePtr make_random(Kind k, Rng& rng) {
     case Kind::kReply: {
       auto m = std::make_unique<ReplyMsg>();
       m->id = rng.next();
+      m->complete = rng.below(2) == 1;
       m->matching.resize(rng.below(8));
       for (auto& rec : m->matching) rec = rand_record(rng);
       return m;
@@ -513,6 +539,7 @@ void expect_same(const Message& a, const Message& b) {
       const auto& x = static_cast<const ReplyMsg&>(a);
       const auto& y = static_cast<const ReplyMsg&>(b);
       EXPECT_EQ(x.id, y.id);
+      EXPECT_EQ(x.complete, y.complete);
       ASSERT_EQ(x.matching.size(), y.matching.size());
       for (std::size_t i = 0; i < x.matching.size(); ++i) {
         EXPECT_EQ(x.matching[i].id, y.matching[i].id);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/messages.h"
 #include "gossip/cyclon.h"
 #include "gossip/vicinity.h"
 #include "runtime/wire.h"
@@ -144,6 +145,91 @@ TEST(GoldenFrames, PinnedFramesDecodeToOriginalFields) {
       check_decoded_entries(s->entries, !c.is_reply);
     }
   }
+}
+
+// ---- select-path frames (query / reply / progress) -------------------------
+//
+// Pinned when ReplyMsg grew its `complete` flag (the u8 after the id). These
+// freeze the serving-path wire format: the reply flag, sigma-infinity and
+// level -1 encodings, and dynamic filters all have exactly one byte layout.
+
+QueryMsg golden_query(std::uint32_t sigma, int level, std::uint32_t mask) {
+  QueryMsg q;
+  q.id = 0x0102030405060708ULL;
+  q.reply_to = 9;
+  q.origin = 3;
+  q.sigma = sigma;
+  q.level = level;
+  q.dims_mask = mask;
+  q.query = RangeQuery::any(3).with(0, 40, std::nullopt).with(2, 7, 9);
+  q.query.with_dynamic(1, 100, 200);
+  return q;
+}
+
+const char* const kQueryHex =
+    "05080706050403020109000000030000003200000003050000000301280000000107010901"
+    "01016401c801";
+const char* const kQueryNoSigmaHex =
+    "0508070605040302010900000003000000ffffffff000000000003012800000001070109010"
+    "1016401c801";
+const char* const kReplyCompleteHex =
+    "060807060504030201010205000000030a00000000000000d00700000000000000b864d9450"
+    "00000efbeadde03010000000000000002000000000000000300000000000000";
+const char* const kReplyIncompleteEmptyHex = "0608070605040302010000";
+const char* const kProgressHex = "070807060504030201";
+
+TEST(GoldenFrames, QueryBytesUnchanged) {
+  EXPECT_EQ(to_hex(wire::encode(golden_query(50, 2, 0b101))), kQueryHex);
+  EXPECT_EQ(to_hex(wire::encode(golden_query(kNoSigma, -1, 0))),
+            kQueryNoSigmaHex);
+}
+
+TEST(GoldenFrames, ReplyBytesUnchanged) {
+  ReplyMsg r;
+  r.id = 0x0102030405060708ULL;
+  r.complete = true;
+  r.matching = {{5, {10, 2000, 300000000000ULL}}, {0xDEADBEEF, {1, 2, 3}}};
+  EXPECT_EQ(to_hex(wire::encode(r)), kReplyCompleteHex);
+  ReplyMsg empty;
+  empty.id = 0x0102030405060708ULL;
+  empty.complete = false;
+  EXPECT_EQ(to_hex(wire::encode(empty)), kReplyIncompleteEmptyHex);
+}
+
+TEST(GoldenFrames, ProgressBytesUnchanged) {
+  ProgressMsg p;
+  p.id = 0x0102030405060708ULL;
+  EXPECT_EQ(to_hex(wire::encode(p)), kProgressHex);
+}
+
+TEST(GoldenFrames, PinnedSelectFramesDecodeToOriginalFields) {
+  MessagePtr qm = wire::decode(from_hex(kQueryHex));
+  ASSERT_NE(qm, nullptr);
+  const auto* q = dynamic_cast<const QueryMsg*>(qm.get());
+  ASSERT_NE(q, nullptr);
+  const QueryMsg want = golden_query(50, 2, 0b101);
+  EXPECT_EQ(q->id, want.id);
+  EXPECT_EQ(q->sigma, 50u);
+  EXPECT_EQ(q->level, 2);
+  EXPECT_EQ(q->dims_mask, 0b101u);
+  EXPECT_EQ(q->query, want.query);
+
+  MessagePtr rm = wire::decode(from_hex(kReplyCompleteHex));
+  ASSERT_NE(rm, nullptr);
+  const auto* r = dynamic_cast<const ReplyMsg*>(rm.get());
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->complete);
+  ASSERT_EQ(r->matching.size(), 2u);
+  EXPECT_EQ(r->matching[0].id, 5u);
+  EXPECT_EQ(r->matching[0].values, (Point{10, 2000, 300000000000ULL}));
+  EXPECT_EQ(r->matching[1].id, 0xDEADBEEFu);
+
+  MessagePtr im = wire::decode(from_hex(kReplyIncompleteEmptyHex));
+  ASSERT_NE(im, nullptr);
+  const auto* i = dynamic_cast<const ReplyMsg*>(im.get());
+  ASSERT_NE(i, nullptr);
+  EXPECT_FALSE(i->complete);
+  EXPECT_TRUE(i->matching.empty());
 }
 
 TEST(GoldenFrames, OverCapacityPointCountFailsDecodeCleanly) {
