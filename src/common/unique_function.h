@@ -24,8 +24,12 @@ namespace ares {
 class UniqueAction {
  public:
   /// In-place capture budget. 48 bytes fits every hot-path closure in the
-  /// simulator (message delivery: 32 B; incarnation-checked timer wrapping a
-  /// std::function: 48 B on libstdc++) without bloating the event heap.
+  /// simulator (message delivery: 32 B; the largest protocol timer lambda,
+  /// a query-timeout capture of {this, qid, to, seq}: 28 B) without bloating
+  /// the event heap. Note a UniqueAction nested inside another closure can
+  /// never fit: the inner object alone is kInline + 8 bytes. Runtime
+  /// backends therefore park node_timer() actions directly (owner-guarded
+  /// events, timer wheels) instead of wrapping them in alive-check closures.
   static constexpr std::size_t kInline = 48;
 
   UniqueAction() = default;

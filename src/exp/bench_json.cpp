@@ -136,9 +136,14 @@ bool BenchReport::write() {
     out += "  " + rendered + (last ? "\n" : ",\n");
   };
   field(json_quote("name") + ": " + json_quote(name_));
-  field(json_quote("schema_version") + ": 2");
+  field(json_quote("schema_version") + ": 3");
   field(json_quote("threads") + ": " + std::to_string(threads_));
   field(json_quote("shards") + ": " + std::to_string(shards_));
+  field(json_quote("backend") + ": " + json_quote(backend_));
+  field(json_quote("processes") + ": " + std::to_string(processes_));
+  field(json_quote("fault_loss") + ": " + render_double(fault_loss_));
+  field(json_quote("fault_delay_min_ms") + ": " + render_double(fault_delay_min_ms_));
+  field(json_quote("fault_delay_max_ms") + ": " + render_double(fault_delay_max_ms_));
   field(json_quote("wall_clock_s") + ": " + render_double(wall));
   field(json_quote("sim_events") + ": " + std::to_string(events_));
   field(json_quote("late_events") + ": " + std::to_string(late_));

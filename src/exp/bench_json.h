@@ -9,9 +9,15 @@
 ///
 ///   {
 ///     "name": "fig06_network_size",
-///     "schema_version": 2,
+///     "schema_version": 3,
 ///     "threads": 8,                  // worker threads used for the sweep
 ///     "shards": 0,                   // ARES_SHARDS (0 = classic event loop)
+///     "backend": "sim",              // "sim" (in-process event loop) or
+///                                    // "udp" (real processes over sockets)
+///     "processes": 1,                // OS processes driving the run
+///     "fault_loss": 0.0,             // injected datagram loss probability
+///     "fault_delay_min_ms": 0.0,     // injected extra latency window
+///     "fault_delay_max_ms": 0.0,
 ///     "wall_clock_s": 12.34,         // whole-binary wall clock
 ///     "sim_events": 123456,          // executed simulator events, all trials
 ///     "late_events": 0,              // Simulator::late_events(), all trials
@@ -29,6 +35,10 @@
 /// schema v1 -> v2: added "shards", "alloc_in_use_bytes", "alloc_arena_bytes"
 /// so the perf trajectory distinguishes sharded configurations and separates
 /// live-heap from RSS high-water.
+/// schema v2 -> v3: added "backend", "processes", and the "fault_*" fields so
+/// every report states which runtime executed it (in-process simulation vs
+/// real processes over UDP) and under what injected network conditions;
+/// sim-only binaries carry the defaults ("sim", 1, zeros).
 ///
 /// The output directory is ARES_BENCH_DIR when set, else the working
 /// directory. The report is written by write() — call it once, after all
@@ -89,6 +99,20 @@ class BenchReport {
   /// Records the per-simulation shard count (0 = classic event loop).
   void set_shards(std::uint32_t shards) { shards_ = shards; }
 
+  /// Records which runtime backend executed the run ("sim" by default,
+  /// "udp" for the multi-process deployment driver).
+  void set_backend(std::string_view backend) { backend_ = backend; }
+
+  /// Records how many OS processes drove the run (1 = in-process).
+  void set_processes(std::uint64_t processes) { processes_ = processes; }
+
+  /// Records the injected network faults (deploy runs; zeros otherwise).
+  void set_fault_injection(double loss, double delay_min_ms, double delay_max_ms) {
+    fault_loss_ = loss;
+    fault_delay_min_ms_ = delay_min_ms;
+    fault_delay_max_ms_ = delay_max_ms;
+  }
+
   std::uint64_t sim_events() const { return events_; }
   std::uint64_t late_events() const { return late_; }
 
@@ -105,6 +129,11 @@ class BenchReport {
   std::chrono::steady_clock::time_point start_;
   std::size_t threads_ = 1;
   std::uint32_t shards_ = 0;
+  std::string backend_ = "sim";
+  std::uint64_t processes_ = 1;
+  double fault_loss_ = 0.0;
+  double fault_delay_min_ms_ = 0.0;
+  double fault_delay_max_ms_ = 0.0;
   std::uint64_t events_ = 0;
   std::uint64_t late_ = 0;
   std::uint64_t ops_ = 0;

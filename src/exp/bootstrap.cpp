@@ -21,25 +21,14 @@ std::uint32_t mask_low(int bits) {
 
 }  // namespace
 
-void oracle_bootstrap(Network& net, const AttributeSpace& space,
-                      const OracleOptions& opt) {
+void oracle_fill(const AttributeSpace& space,
+                 const std::vector<PeerDescriptor>& descs,
+                 const std::function<RoutingTable*(std::size_t)>& target,
+                 const OracleOptions& opt, Rng& rng) {
   Cells cells(space);
   const int d = space.dimensions();
   const int L = space.max_level();
-
-  // Snapshot all live protocol nodes.
-  std::vector<SelectionNode*> nodes;
-  std::vector<PeerDescriptor> descs;
-  for (NodeId id : net.alive_ids()) {
-    auto* sn = net.find_as<SelectionNode>(id);
-    if (sn == nullptr) continue;
-    nodes.push_back(sn);
-    descs.push_back(sn->descriptor());
-  }
-  const std::size_t n = nodes.size();
-  for (auto* sn : nodes) sn->routing().clear();
-
-  Rng& rng = net.sim().rng();
+  const std::size_t n = descs.size();
 
   // NOTE(determinism): the group maps below are iterated in hash order,
   // which is deterministic for a fixed standard library but not portable
@@ -56,9 +45,12 @@ void oracle_bootstrap(Network& net, const AttributeSpace& space,
       zero_groups[cells.cell_key(descs[i].coord, 0)].push_back(i);
     for (const auto& [key, members] : zero_groups) {
       if (members.size() < 2) continue;
-      for (std::size_t i : members)
+      for (std::size_t i : members) {
+        RoutingTable* rt = target(i);
+        if (rt == nullptr) continue;
         for (std::size_t j : members)
-          if (i != j) nodes[i]->routing().offer(descs[j]);
+          if (i != j) rt->offer(descs[j]);
+      }
     }
   }
 
@@ -88,6 +80,8 @@ void oracle_bootstrap(Network& net, const AttributeSpace& space,
           buckets[bucket_key(k + 1, sig[i] & mask_low(k + 1))].push_back(i);
 
       for (std::size_t i : members) {
+        RoutingTable* rt = target(i);
+        if (rt == nullptr) continue;
         for (int k = 0; k < d; ++k) {
           // The sibling prefix: agree with us below dimension k, differ at k.
           std::uint32_t p =
@@ -98,15 +92,32 @@ void oracle_bootstrap(Network& net, const AttributeSpace& space,
           const auto& pop = it->second;
           std::size_t take = std::min(opt.per_slot, pop.size());
           if (take == pop.size()) {
-            for (std::size_t j : pop) nodes[i]->routing().offer(descs[j]);
+            for (std::size_t j : pop) rt->offer(descs[j]);
           } else {
             for (std::size_t idx : rng.sample_indices(pop.size(), take))
-              nodes[i]->routing().offer(descs[pop[idx]]);
+              rt->offer(descs[pop[idx]]);
           }
         }
       }
     }
   }
+}
+
+void oracle_bootstrap(Network& net, const AttributeSpace& space,
+                      const OracleOptions& opt) {
+  // Snapshot all live protocol nodes.
+  std::vector<SelectionNode*> nodes;
+  std::vector<PeerDescriptor> descs;
+  for (NodeId id : net.alive_ids()) {
+    auto* sn = net.find_as<SelectionNode>(id);
+    if (sn == nullptr) continue;
+    nodes.push_back(sn);
+    descs.push_back(sn->descriptor());
+  }
+  for (auto* sn : nodes) sn->routing().clear();
+  oracle_fill(space, descs,
+              [&nodes](std::size_t i) { return &nodes[i]->routing(); }, opt,
+              net.sim().rng());
 }
 
 }  // namespace ares

@@ -11,9 +11,20 @@
 /// Complexity: O(N * d * max_level) using per-cell sibling-prefix buckets
 /// (see bootstrap.cpp), so 100,000-node grids bootstrap in well under a
 /// second.
+///
+/// Two entry points: oracle_bootstrap() rebuilds every table in a Network
+/// (the simulator path), and oracle_fill() is the backend-neutral core — it
+/// works off a descriptor snapshot and a table-lookup callback, so a
+/// multi-process deployment child (exp/deploy.h) can compute the global
+/// overlay from the shared point set and install entries for just the nodes
+/// it hosts.
 
 #include <cstddef>
+#include <functional>
+#include <vector>
 
+#include "common/rng.h"
+#include "gossip/peer.h"
 #include "sim/network.h"
 #include "space/attribute_space.h"
 
@@ -22,6 +33,8 @@
 // runtime contract deliberately does not give protocol code.
 
 namespace ares {
+
+class RoutingTable;
 
 struct OracleOptions {
   /// Candidates installed per N(l,k) slot (primary + backups), sampled
@@ -35,5 +48,16 @@ struct OracleOptions {
 /// Existing routing entries are cleared first.
 void oracle_bootstrap(Network& net, const AttributeSpace& space,
                       const OracleOptions& opt = {});
+
+/// The bootstrap core: `descs` is the descriptor of every live node in the
+/// whole deployment; `target(i)` returns the routing table to fill for
+/// descs[i]'s node, or nullptr when the caller does not host that node (its
+/// slots are skipped, including their sampling draws). Tables are not
+/// cleared here. Entries offered to a hosted table may reference non-hosted
+/// peers — that is the point: the overlay spans processes.
+void oracle_fill(const AttributeSpace& space,
+                 const std::vector<PeerDescriptor>& descs,
+                 const std::function<RoutingTable*(std::size_t)>& target,
+                 const OracleOptions& opt, Rng& rng);
 
 }  // namespace ares

@@ -1,0 +1,52 @@
+#include "net/datagram.h"
+
+namespace ares::net {
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void encode_header(const DatagramHeader& h, std::uint8_t* out) {
+  put_u16(out, kMagic);
+  out[2] = kVersion;
+  out[3] = h.flags;
+  put_u32(out + 4, h.src);
+  put_u32(out + 8, h.dst);
+  put_u16(out + 12, h.payload_len);
+}
+
+bool decode_header(const std::uint8_t* data, std::size_t len, DatagramHeader& out) {
+  if (len < kHeaderSize || len > kMaxDatagram) return false;
+  if (get_u16(data) != kMagic) return false;
+  if (data[2] != kVersion) return false;
+  out.flags = data[3];
+  out.src = get_u32(data + 4);
+  out.dst = get_u32(data + 8);
+  out.payload_len = get_u16(data + 12);
+  return out.payload_len == len - kHeaderSize;
+}
+
+}  // namespace ares::net

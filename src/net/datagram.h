@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file datagram.h
+/// The on-the-wire datagram format of the UDP runtime backend (see
+/// docs/PROTOCOL.md §"Datagram transport"). One protocol message travels as
+/// exactly one UDP datagram:
+///
+///   offset  size  field
+///        0     2  magic        0xA7E5, little-endian
+///        2     1  version      kVersion (1)
+///        3     1  flags        0, reserved
+///        4     4  src NodeId   little-endian
+///        8     4  dst NodeId   little-endian
+///       12     2  payload_len  little-endian, == datagram length - 14
+///       14     .  payload      one wire::encode() frame (kind tag + body)
+///
+/// The payload is byte-identical to what the simulator moves in wire-true
+/// mode (ARES_WIRE=1): the codec registry in runtime/wire.h is the only
+/// serialization path. The header exists because one socket per process
+/// hosts many nodes — src/dst route within and across processes — and
+/// because version/magic let a receiver reject foreign or stale traffic
+/// before touching the codec layer.
+///
+/// decode_header() never trusts input: short datagrams, wrong magic, an
+/// unknown version, or a length field that disagrees with the received size
+/// all fail cleanly (the caller drops and meters the datagram).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ares::net {
+
+inline constexpr std::uint16_t kMagic = 0xA7E5;
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 14;
+
+/// Largest UDP payload over IPv4 (65535 - 20 IP - 8 UDP). A protocol frame
+/// plus header above this cannot be sent as one datagram.
+inline constexpr std::size_t kMaxDatagram = 65507;
+
+struct DatagramHeader {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint8_t flags = 0;
+  std::uint16_t payload_len = 0;
+};
+
+/// Writes the 14-byte header into `out` (caller guarantees capacity).
+void encode_header(const DatagramHeader& h, std::uint8_t* out);
+
+/// Parses and validates a received datagram's header. Returns false when
+/// the datagram is shorter than a header, the magic or version is wrong, or
+/// payload_len != len - kHeaderSize. On success `out` is filled and the
+/// payload is data + kHeaderSize, payload_len bytes.
+bool decode_header(const std::uint8_t* data, std::size_t len, DatagramHeader& out);
+
+}  // namespace ares::net

@@ -1,0 +1,152 @@
+#include "net/process.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+
+namespace ares::net {
+
+bool make_pipe(Pipe& p) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  p.read_fd = fds[0];
+  p.write_fd = fds[1];
+  return true;
+}
+
+int udp_bind_loopback() {
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  return ntohs(addr.sin_port);
+}
+
+bool set_recv_buffer(int fd, int bytes) {
+  return setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes) == 0;
+}
+
+int fork_child() { return static_cast<int>(fork()); }
+
+void close_fd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+void exit_child(int code) { _exit(code); }
+
+void ignore_sigpipe() { signal(SIGPIPE, SIG_IGN); }
+
+int wait_child(int pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+void kill_child(int pid) { kill(pid, SIGKILL); }
+
+bool write_line(int fd, const std::string& line) {
+  std::string buf = line;
+  buf.push_back('\n');
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_line(int fd, std::string& out, int timeout_ms) {
+  out.clear();
+  const std::int64_t deadline = monotonic_micros() + std::int64_t{timeout_ms} * 1000;
+  for (;;) {
+    const std::int64_t left_us = deadline - monotonic_micros();
+    if (left_us <= 0) return false;
+    if (!poll_readable(fd, static_cast<int>(left_us / 1000 + 1))) return false;
+    char c;
+    ssize_t n = read(fd, &c, 1);
+    if (n == 0) return false;  // EOF before newline
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    if (c == '\n') return true;
+    out.push_back(c);
+  }
+}
+
+bool poll_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    int r = poll(&pfd, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    return r > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+  }
+}
+
+bool udp_send(int fd, std::uint32_t ip_host_order, std::uint16_t port,
+              const void* data, std::size_t len) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ip_host_order);
+  addr.sin_port = htons(port);
+  for (;;) {
+    ssize_t n = sendto(fd, data, len, 0, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+    if (n < 0 && errno == EINTR) continue;
+    return n == static_cast<ssize_t>(len);
+  }
+}
+
+std::ptrdiff_t udp_recv(int fd, void* buf, std::size_t cap) {
+  for (;;) {
+    ssize_t n = recv(fd, buf, cap, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n < 0 ? -1 : static_cast<std::ptrdiff_t>(n);
+  }
+}
+
+std::int64_t monotonic_micros() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return std::int64_t{ts.tv_sec} * 1000000 + ts.tv_nsec / 1000;
+}
+
+void sleep_micros(std::int64_t us) {
+  if (us <= 0) return;
+  timespec ts{};
+  ts.tv_sec = us / 1000000;
+  ts.tv_nsec = (us % 1000000) * 1000;
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace ares::net

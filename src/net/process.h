@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file process.h
+/// Thin POSIX wrappers for the multi-process deployment driver: loopback
+/// UDP sockets, pipes, fork/wait, line-oriented control I/O, and a
+/// monotonic wall clock. All raw syscall headers stay in process.cpp — the
+/// ares-lint "net-seam" rule confines socket/process syscalls to src/net/,
+/// and this header keeps even the type leakage to plain int fds.
+///
+/// Error handling is by return value (bool / -1), never exceptions: the
+/// deployment driver degrades to a clean test failure, and forked children
+/// must be able to bail with exit_child() without running atexit handlers
+/// (which under ASan would also produce bogus leak reports for the
+/// still-live parent heap).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace ares::net {
+
+/// A unidirectional pipe; fds are -1 until make_pipe() succeeds.
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+/// Creates a pipe. Returns false (fds untouched) on failure.
+bool make_pipe(Pipe& p);
+
+/// Creates a non-blocking UDP socket bound to 127.0.0.1 on an ephemeral
+/// port. Returns the fd, or -1 on failure.
+int udp_bind_loopback();
+
+/// The local port a socket is bound to; 0 on failure.
+std::uint16_t local_port(int fd);
+
+/// Requests a receive buffer of at least `bytes` (best effort).
+bool set_recv_buffer(int fd, int bytes);
+
+/// fork(): pid of the child in the parent, 0 in the child, -1 on failure.
+int fork_child();
+
+/// Closes `fd` if it is >= 0.
+void close_fd(int fd);
+
+/// Terminates the calling (child) process immediately via _exit — no
+/// atexit handlers, no static destructors.
+[[noreturn]] void exit_child(int code);
+
+/// Ignores SIGPIPE so a dead reader surfaces as a write error, not a kill.
+void ignore_sigpipe();
+
+/// waitpid(): the child's exit code, or -1 when it did not exit cleanly
+/// (signal, wait failure).
+int wait_child(int pid);
+
+/// Sends SIGKILL to `pid` (driver timeout path).
+void kill_child(int pid);
+
+/// Writes `line` plus a trailing newline; retries short writes. False on
+/// error.
+bool write_line(int fd, const std::string& line);
+
+/// Reads one newline-terminated line (newline stripped) within
+/// `timeout_ms` total; reads byte-at-a-time, which is plenty for control
+/// traffic. False on timeout, EOF before a newline, or error.
+bool read_line(int fd, std::string& out, int timeout_ms);
+
+/// True when `fd` becomes readable within `timeout_ms`.
+bool poll_readable(int fd, int timeout_ms);
+
+/// Sends one datagram to 127.0.0.1:port (ip in host byte order for other
+/// loopback addresses). False on error; a full socket buffer counts as an
+/// error — UDP loss semantics, the caller just drops.
+bool udp_send(int fd, std::uint32_t ip_host_order, std::uint16_t port,
+              const void* data, std::size_t len);
+
+/// Receives one datagram; returns its length, or -1 when none is pending
+/// (EAGAIN) or on error. Datagrams longer than `cap` are truncated by the
+/// kernel — pass a kMaxDatagram-sized buffer.
+std::ptrdiff_t udp_recv(int fd, void* buf, std::size_t cap);
+
+/// CLOCK_MONOTONIC in microseconds (the UDP runtime's clock source).
+std::int64_t monotonic_micros();
+
+/// Sleeps the calling thread for `us` microseconds.
+void sleep_micros(std::int64_t us);
+
+}  // namespace ares::net

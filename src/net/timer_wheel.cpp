@@ -1,0 +1,52 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+
+namespace ares::net {
+
+void TimerWheel::add(SimTime at, NodeId owner, UniqueAction fn) {
+  if (at < 0) at = 0;
+  slots_[slot_of(at)].push_back(Entry{at, seq_++, owner, std::move(fn)});
+  next_ = std::min(next_, at);
+  ++pending_;
+}
+
+std::size_t TimerWheel::fire_due(SimTime now,
+                                 const std::function<bool(NodeId)>& alive) {
+  if (now < next_) return 0;
+  // Gather first: entries a callback adds while we fire must not join the
+  // in-flight batch (they would reorder it), and slot vectors must not be
+  // mutated mid-partition. The scratch keeps its capacity across calls.
+  due_.clear();
+  for (std::vector<Entry>& slot : slots_) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      if (slot[i].at <= now) {
+        due_.push_back(std::move(slot[i]));
+      } else {
+        if (keep != i) slot[keep] = std::move(slot[i]);
+        ++keep;
+      }
+    }
+    slot.resize(keep);
+  }
+  pending_ -= due_.size();
+  std::sort(due_.begin(), due_.end(), [](const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  });
+  // Recompute the earliest remaining deadline before invoking: callbacks
+  // that re-arm go through add(), which keeps next_ a running minimum.
+  next_ = kNever;
+  for (const std::vector<Entry>& slot : slots_)
+    for (const Entry& e : slot) next_ = std::min(next_, e.at);
+  std::size_t fired = 0;
+  for (Entry& e : due_) {
+    if (alive != nullptr && !alive(e.owner)) continue;
+    e.fn();
+    ++fired;
+  }
+  due_.clear();
+  return fired;
+}
+
+}  // namespace ares::net

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file timer_wheel.h
+/// A hashed timer wheel for the UDP runtime backend: the wall-clock
+/// counterpart of the simulator's event heap for Runtime::node_timer().
+///
+/// Entries are bucketed by deadline into 256 slots of 1 ms each; add() is
+/// O(1) and the wheel tracks the earliest pending deadline so the event
+/// loop can size its poll() timeout exactly. fire_due() first gathers every
+/// matured entry across slots, then sorts the batch by (deadline, insertion
+/// sequence) and invokes in that order — so timers fire in the same
+/// deterministic (time, schedule-order) order as the simulator and the
+/// loopback runtime, and a callback that re-arms itself (gossip ticks do)
+/// never perturbs the batch being fired.
+///
+/// Owner guarding mirrors the simulator's owner-guarded events: each entry
+/// carries the scheduling node's id, and fire_due() consults an alive
+/// predicate at fire time, skipping entries whose owner has left — the
+/// incarnation-safety half of the node_timer() contract. The caller's
+/// move-only UniqueAction is parked in the entry as-is; no wrapper closure,
+/// no per-timer allocation beyond slot-vector growth.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+#include "common/unique_function.h"
+
+namespace ares::net {
+
+class TimerWheel {
+ public:
+  /// next_deadline() when the wheel is empty.
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+  /// Schedules `fn` at absolute time `at` (microseconds, same clock the
+  /// caller passes to fire_due()), owned by node `owner`.
+  void add(SimTime at, NodeId owner, UniqueAction fn);
+
+  /// Fires every entry with deadline <= now, in (deadline, insertion
+  /// sequence) order, skipping entries whose owner fails `alive` (a null
+  /// predicate means every owner is alive). Entries added by the callbacks
+  /// themselves land in the wheel for a later fire_due(), even when already
+  /// due. Returns the number of entries invoked.
+  std::size_t fire_due(SimTime now, const std::function<bool(NodeId)>& alive);
+
+  /// Earliest pending deadline; kNever when empty.
+  SimTime next_deadline() const { return next_; }
+
+  std::size_t pending() const { return pending_; }
+  bool empty() const { return pending_ == 0; }
+
+ private:
+  static constexpr std::size_t kSlots = 256;
+  static constexpr SimTime kTickMicros = 1000;  // 1 ms per slot
+
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // FIFO among equal deadlines
+    NodeId owner;
+    UniqueAction fn;
+  };
+
+  static std::size_t slot_of(SimTime at) {
+    return static_cast<std::size_t>((at / kTickMicros) % kSlots);
+  }
+
+  std::array<std::vector<Entry>, kSlots> slots_;
+  std::vector<Entry> due_;  // scratch for fire_due (reused capacity)
+  SimTime next_ = kNever;
+  std::uint64_t seq_ = 0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace ares::net

@@ -1,0 +1,179 @@
+#include "net/udp_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hashing.h"
+#include "net/datagram.h"
+#include "net/process.h"
+#include "runtime/wire.h"
+
+namespace ares::net {
+
+UdpRuntime::UdpRuntime(int socket_fd, AddressBook book, Config cfg)
+    : fd_(socket_fd),
+      book_(std::move(book)),
+      cfg_(cfg),
+      t0_(monotonic_micros()),
+      rng_(cfg.seed),
+      fault_rng_(hash_mix(cfg.seed, 0x4641554CULL /* "FAUL" */)),
+      m_wire_decode_fail_(metrics().counter("wire.decode_fail")),
+      m_wire_encode_fail_(metrics().counter("wire.encode_fail")) {
+  assert(fd_ >= 0);
+  alive_probe_ = [this](NodeId id) { return alive(id); };
+  rx_buf_.resize(kMaxDatagram);
+}
+
+UdpRuntime::~UdpRuntime() { close_fd(fd_); }
+
+SimTime UdpRuntime::now() const { return monotonic_micros() - t0_; }
+
+void UdpRuntime::add_node(NodeId id, std::unique_ptr<Node> node) {
+  assert(node != nullptr && !node->attached());
+  assert(!nodes_.contains(id) && "NodeIds are never reused");
+  metrics().reserve_nodes(static_cast<std::size_t>(id) + 1);
+  bind(*node, *this, id);
+  Node* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  raw->start();
+}
+
+void UdpRuntime::remove_node(NodeId id, bool graceful) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  if (graceful) it->second->stop();
+  unbind(*it->second);
+  nodes_.erase(it);
+}
+
+Node* UdpRuntime::find(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void UdpRuntime::send(NodeId from, NodeId to, MessagePtr m) {
+  assert(m != nullptr);
+  // Frame-byte accounting first, mirroring the simulator: on_send() counts
+  // wire_size() whether or not the datagram survives the trip.
+  std::vector<std::uint8_t> frame = wire::encode(*m);
+  if (frame.empty()) {
+    metrics().inc(from, m_wire_encode_fail_);
+    return;
+  }
+  stats_.on_send(from, *m);
+  if (frame.size() + kHeaderSize > kMaxDatagram) {
+    // A frame too large for one datagram is a protocol-configuration error
+    // (view/branching caps bound every in-tree message far below this);
+    // drop it like the network would.
+    stats_.on_drop(*m);
+    return;
+  }
+  if (book_.find(to) == nullptr) {
+    // No address for `to`: same as the simulator sending to a departed
+    // node — a metered drop, not an error.
+    stats_.on_drop(*m);
+    return;
+  }
+  if (cfg_.faults.loss > 0.0 && fault_rng_.chance(cfg_.faults.loss)) {
+    ++injected_drops_;
+    stats_.on_drop(*m);
+    return;
+  }
+  std::vector<std::uint8_t> bytes(kHeaderSize + frame.size());
+  DatagramHeader h;
+  h.src = from;
+  h.dst = to;
+  h.payload_len = static_cast<std::uint16_t>(frame.size());
+  encode_header(h, bytes.data());
+  std::copy(frame.begin(), frame.end(), bytes.begin() + kHeaderSize);
+  if (cfg_.faults.delay_max > 0) {
+    const SimTime extra = static_cast<SimTime>(fault_rng_.range(
+        static_cast<std::uint64_t>(std::max<SimTime>(cfg_.faults.delay_min, 0)),
+        static_cast<std::uint64_t>(cfg_.faults.delay_max)));
+    delayed_.push(Delayed{now() + extra, delayed_seq_++, to, std::move(bytes)});
+    return;
+  }
+  transmit(to, bytes);
+}
+
+void UdpRuntime::transmit(NodeId to, const std::vector<std::uint8_t>& bytes) {
+  const PeerAddress* addr = book_.find(to);
+  if (addr == nullptr) return;  // unknown peer: dropped, like a dead node
+  if (udp_send(fd_, addr->ip, addr->port, bytes.data(), bytes.size())) {
+    ++tx_datagrams_;
+    header_bytes_ += kHeaderSize;
+  }
+}
+
+void UdpRuntime::node_timer(NodeId id, SimTime delay, UniqueAction fn) {
+  wheel_.add(now() + std::max<SimTime>(delay, 0), id, std::move(fn));
+}
+
+bool UdpRuntime::handle_datagram(const std::uint8_t* data, std::size_t len) {
+  DatagramHeader h;
+  if (!decode_header(data, len, h)) {
+    ++rx_rejected_;
+    return false;
+  }
+  Node* dst = find(h.dst);
+  if (dst == nullptr) {
+    // Misrouted or addressed to a node that already left this process.
+    ++rx_rejected_;
+    return false;
+  }
+  MessagePtr m = wire::decode(data + kHeaderSize, h.payload_len);
+  if (m == nullptr) {
+    metrics().inc(h.dst, m_wire_decode_fail_);
+    return false;
+  }
+  stats_.on_deliver(h.dst, *m);
+  dst->on_message(h.src, *m);
+  return true;
+}
+
+bool UdpRuntime::inject_datagram(const std::uint8_t* data, std::size_t len) {
+  ++rx_datagrams_;
+  return handle_datagram(data, len);
+}
+
+void UdpRuntime::drain_socket() {
+  for (;;) {
+    std::ptrdiff_t n = udp_recv(fd_, rx_buf_.data(), rx_buf_.size());
+    if (n < 0) return;  // EAGAIN: drained
+    ++rx_datagrams_;
+    handle_datagram(rx_buf_.data(), static_cast<std::size_t>(n));
+  }
+}
+
+void UdpRuntime::flush_delayed() {
+  const SimTime t = now();
+  while (!delayed_.empty() && delayed_.top().due <= t) {
+    // top() is const; the buffer must be moved out before pop (the element
+    // is removed immediately after).
+    Delayed d = std::move(const_cast<Delayed&>(delayed_.top()));
+    delayed_.pop();
+    transmit(d.to, d.bytes);
+  }
+}
+
+std::size_t UdpRuntime::poll_once(SimTime max_wait) {
+  const SimTime t = now();
+  SimTime wake = t + std::max<SimTime>(max_wait, 0);
+  wake = std::min(wake, wheel_.next_deadline());
+  if (!delayed_.empty()) wake = std::min(wake, delayed_.top().due);
+  const SimTime wait = std::max<SimTime>(wake - t, 0);
+  // Round the poll timeout up so a 1 us residue doesn't busy-spin.
+  const int timeout_ms = static_cast<int>(std::min<SimTime>((wait + 999) / 1000, 1000));
+  const std::uint64_t delivered_before = stats_.delivered();
+  if (poll_readable(fd_, timeout_ms)) drain_socket();
+  wheel_.fire_due(now(), alive_probe_);
+  flush_delayed();
+  return static_cast<std::size_t>(stats_.delivered() - delivered_before);
+}
+
+void UdpRuntime::run_for(SimTime dt) {
+  const SimTime end = now() + dt;
+  while (now() < end) poll_once(end - now());
+}
+
+}  // namespace ares::net

@@ -50,7 +50,7 @@ void LoopbackRuntime::send(NodeId from, NodeId to, MessagePtr m) {
   inbox_.push_back(Envelope{from, to, std::move(m)});
 }
 
-void LoopbackRuntime::node_timer(NodeId id, SimTime delay, std::function<void()> fn) {
+void LoopbackRuntime::node_timer(NodeId id, SimTime delay, UniqueAction fn) {
   timers_.push(Timer{now_ + std::max<SimTime>(delay, 0), timer_seq_++, id,
                      std::move(fn)});
 }

@@ -37,7 +37,7 @@ class LoopbackRuntime final : public Runtime {
   SimTime now() const override { return now_; }
   Rng& rng() override { return rng_; }
   void send(NodeId from, NodeId to, MessagePtr m) override;
-  void node_timer(NodeId id, SimTime delay, std::function<void()> fn) override;
+  void node_timer(NodeId id, SimTime delay, UniqueAction fn) override;
 
   // -- membership (NodeIds are never reused) -------------------------------
   /// Adds a node: assigns the next NodeId, attaches it, and calls start().
@@ -85,7 +85,7 @@ class LoopbackRuntime final : public Runtime {
     SimTime at;
     std::uint64_t seq;  // FIFO among equal times
     NodeId owner;
-    std::function<void()> fn;
+    UniqueAction fn;
     bool operator>(const Timer& o) const {
       return at != o.at ? at > o.at : seq > o.seq;
     }

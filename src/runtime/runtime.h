@@ -27,10 +27,9 @@
 /// src/gossip may include only runtime/, space/, common/, and themselves —
 /// never sim/ or exp/.
 
-#include <functional>
-
 #include "common/rng.h"
 #include "common/types.h"
+#include "common/unique_function.h"
 #include "runtime/message.h"
 #include "runtime/metrics.h"
 
@@ -53,8 +52,11 @@ class Runtime {
   virtual void send(NodeId from, NodeId to, MessagePtr m) = 0;
 
   /// Runs `fn` after `delay` unless node `id` has left the runtime by then
-  /// (incarnation-safe cancellation: NodeIds are never reused).
-  virtual void node_timer(NodeId id, SimTime delay, std::function<void()> fn) = 0;
+  /// (incarnation-safe cancellation: NodeIds are never reused). Takes a
+  /// move-only UniqueAction so backends can park the callback without a
+  /// wrapper closure — protocol timers stay allocation-free on the sim hot
+  /// path (see common/unique_function.h).
+  virtual void node_timer(NodeId id, SimTime delay, UniqueAction fn) = 0;
 
   /// The per-node instrumentation registry (see runtime/metrics.h).
   Metrics& metrics() { return metrics_; }
@@ -98,7 +100,7 @@ class Node {
   void send(NodeId to, MessagePtr m) const { runtime_->send(id_, to, std::move(m)); }
 
   /// Runs `fn` after `delay` unless this node has left the runtime by then.
-  void after(SimTime delay, std::function<void()> fn) const {
+  void after(SimTime delay, UniqueAction fn) const {
     runtime_->node_timer(id_, delay, std::move(fn));
   }
 

@@ -1,4 +1,4 @@
-#include "sim/stats.h"
+#include "runtime/traffic.h"
 
 #include <string_view>
 

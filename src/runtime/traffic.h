@@ -1,10 +1,13 @@
 #pragma once
 
-/// \file stats.h
+/// \file traffic.h
 /// Network-level traffic accounting: global per-type counters plus per-node
 /// sent/received counts for a caller-selected subset of message types (the
 /// "load" in the paper's Fig. 9 is query-protocol traffic only, excluding
-/// background gossip).
+/// background gossip). Backend-neutral — both the simulated transport
+/// (sim/network.h) and the socket transport (net/udp_runtime.h) feed an
+/// instance, so bytes-per-cycle comparisons across backends read the same
+/// counters.
 
 #include <cstdint>
 #include <functional>

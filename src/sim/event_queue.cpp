@@ -6,7 +6,7 @@
 
 namespace ares {
 
-void EventQueue::push(SimTime t, Action action) {
+void EventQueue::push(SimTime t, Action action, NodeId owner) {
   std::uint32_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -16,11 +16,12 @@ void EventQueue::push(SimTime t, Action action) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.push_back(std::move(action));
   }
-  heap_.push_back(Key{t, next_seq_++, slot});
+  heap_.push_back(Key{t, next_seq_++, slot, owner});
   std::push_heap(heap_.begin(), heap_.end());
 }
 
-void EventQueue::push_keyed(SimTime t, std::uint64_t seq, Action action) {
+void EventQueue::push_keyed(SimTime t, std::uint64_t seq, Action action,
+                            NodeId owner) {
   std::uint32_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -30,7 +31,7 @@ void EventQueue::push_keyed(SimTime t, std::uint64_t seq, Action action) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.push_back(std::move(action));
   }
-  heap_.push_back(Key{t, seq, slot});
+  heap_.push_back(Key{t, seq, slot, owner});
   std::push_heap(heap_.begin(), heap_.end());
 }
 

@@ -8,11 +8,20 @@
 ///   - Actions are UniqueAction (move-only, small-buffer) rather than
 ///     std::function: message-delivery and timer closures stay
 ///     allocation-free.
-///   - The heap orders 24-byte POD keys (time, seq, slot) while the actions
-///     themselves sit in a stable slot arena. Sift-up/down during
+///   - The heap orders 24-byte POD keys (time, seq, slot, owner) while the
+///     actions themselves sit in a stable slot arena. Sift-up/down during
 ///     push_heap/pop_heap then moves trivial keys instead of 70-byte events
 ///     (each of whose moves would be an indirect relocate call), so an
 ///     action is moved exactly twice: into its slot on push, out on pop.
+///
+/// Owner-guarded events: a push may carry the NodeId whose liveness gates
+/// execution (incarnation-safe timers). The owner rides in the key's former
+/// padding bytes — the key stays 24 bytes — and the executor (Simulator /
+/// ShardEngine) probes liveness at pop time. This is what lets
+/// Runtime::node_timer() move a caller's UniqueAction straight into the heap
+/// with no wrapper closure: nesting one UniqueAction inside another can
+/// never fit the inline buffer (the inner object is already kInline+8
+/// bytes), so a wrapper would heap-allocate on every timer.
 
 #include <cstdint>
 #include <vector>
@@ -27,21 +36,29 @@ class EventQueue {
   using Action = UniqueAction;
 
   /// Enqueues an action at absolute time `t` (must not precede earlier pops'
-  /// times; enforced by the Simulator, not here).
-  void push(SimTime t, Action action);
+  /// times; enforced by the Simulator, not here). `owner` != kInvalidNode
+  /// marks an owner-guarded event: the executor skips the invoke when the
+  /// owner has left the runtime by pop time (the action is still popped and
+  /// counted, so drain order is identical either way).
+  void push(SimTime t, Action action, NodeId owner = kInvalidNode);
 
   /// Enqueues with a caller-supplied tie-break key instead of the internal
   /// insertion counter. The sharded engine (sim/sharded.h) derives keys from
   /// (source node, per-source counter), which makes the drain order of
   /// merged cross-shard mailboxes independent of the shard count. Do not mix
   /// with push() on the same queue — the two key spaces are unrelated.
-  void push_keyed(SimTime t, std::uint64_t seq, Action action);
+  void push_keyed(SimTime t, std::uint64_t seq, Action action,
+                  NodeId owner = kInvalidNode);
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event. Precondition: !empty().
   SimTime next_time() const { return heap_.front().time; }
+
+  /// Owner guard of the earliest pending event (kInvalidNode = unguarded).
+  /// Precondition: !empty().
+  NodeId next_owner() const { return heap_.front().owner; }
 
   /// Removes and returns the earliest event's action. Precondition: !empty().
   Action pop();
@@ -54,6 +71,7 @@ class EventQueue {
     SimTime time;
     std::uint64_t seq;
     std::uint32_t slot;  // index into slots_
+    NodeId owner;        // liveness guard; kInvalidNode = unguarded
 
     /// std::push_heap keeps the *greatest* element first, so "greater" here
     /// means "scheduled later": the earliest (time, seq) wins the front slot.

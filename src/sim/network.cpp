@@ -15,6 +15,9 @@ Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency)
       m_wire_decode_fail_(metrics().counter("wire.decode_fail")),
       m_wire_encode_fail_(metrics().counter("wire.encode_fail")) {
   assert(latency_ != nullptr);
+  // Owner-guarded timers (node_timer) consult this at execution time; the
+  // membership map is coordinator-mutated only, so the read is worker-safe.
+  sim_.set_liveness([this](NodeId id) { return alive(id); });
   if (ShardEngine* eng = sim_.shard_engine()) {
     assert(latency_->concurrent_safe() &&
            "latency model unsafe under concurrent shard workers");
@@ -146,19 +149,12 @@ void Network::send(NodeId from, NodeId to, MessagePtr m) {
   });
 }
 
-void Network::node_timer(NodeId id, SimTime delay, std::function<void()> fn) {
-  if (ShardEngine* eng = sim_.shard_engine()) {
-    // Timers are same-shard events (owner == source), so they may fire
-    // inside the window that set them — no lookahead constraint.
-    const std::uint64_t key = eng->alloc_key(id);
-    eng->schedule(id, key, eng->now() + std::max<SimTime>(delay, 0),
-                  [this, id, fn = std::move(fn)] {
-                    if (alive(id)) fn();
-                  });
-    return;
-  }
-  sim_.schedule_after(delay, [this, id, fn = std::move(fn)] {
-    if (alive(id)) fn();
-  });
+void Network::node_timer(NodeId id, SimTime delay, UniqueAction fn) {
+  // Owner-guarded scheduling: the caller's move-only action lands in the
+  // event heap as-is and the liveness probe (installed in the ctor) decides
+  // at pop time. Wrapping it in an alive-check closure here would force a
+  // heap allocation per timer — a UniqueAction nested in another closure can
+  // never fit the inline buffer.
+  sim_.schedule_owned_after(delay, id, std::move(fn));
 }
 }  // namespace ares

@@ -25,7 +25,7 @@
 #include "runtime/runtime.h"
 #include "sim/latency.h"
 #include "sim/simulator.h"
-#include "sim/stats.h"
+#include "runtime/traffic.h"
 
 namespace ares {
 
@@ -57,8 +57,9 @@ class Network final : public Runtime {
   /// delivery time, the message is counted as dropped.
   void send(NodeId from, NodeId to, MessagePtr m) override;
 
-  /// Incarnation-safe timer for node `id`.
-  void node_timer(NodeId id, SimTime delay, std::function<void()> fn) override;
+  /// Incarnation-safe timer for node `id` (owner-guarded event: the action
+  /// is dropped at execution time when `id` has left; no wrapper closure).
+  void node_timer(NodeId id, SimTime delay, UniqueAction fn) override;
 
   // -- membership ----------------------------------------------------------
   /// Adds a node: assigns the next NodeId, attaches it, and calls start().

@@ -59,7 +59,7 @@ std::uint64_t ShardEngine::alloc_key(NodeId src) {
 }
 
 void ShardEngine::schedule(NodeId owner, std::uint64_t key, SimTime t,
-                           EventQueue::Action a) {
+                           EventQueue::Action a, NodeId guard) {
   const int cur = current_shard();
   const std::uint32_t dst = shard_of(owner);
   if (cur < 0) {
@@ -67,7 +67,7 @@ void ShardEngine::schedule(NodeId owner, std::uint64_t key, SimTime t,
       ++coord_late_;
       t = coord_now_;
     }
-    shard_[dst].queue.push_keyed(t, key, std::move(a));
+    shard_[dst].queue.push_keyed(t, key, std::move(a), guard);
     return;
   }
   ShardState& me = shard_[static_cast<std::uint32_t>(cur)];
@@ -76,13 +76,13 @@ void ShardEngine::schedule(NodeId owner, std::uint64_t key, SimTime t,
     t = me.now;
   }
   if (dst == static_cast<std::uint32_t>(cur)) {
-    me.queue.push_keyed(t, key, std::move(a));
+    me.queue.push_keyed(t, key, std::move(a), guard);
   } else {
     // The conservative-PDES invariant: every cross-shard hop travels at
     // least Δ, so it lands past the barrier. A latency model whose floor is
     // below the configured window breaks determinism — catch it here.
     assert(t >= window_end_ && "cross-shard event inside the lookahead window");
-    me.outbox.push_back(Outgoing{dst, t, key, std::move(a)});
+    me.outbox.push_back(Outgoing{dst, t, key, guard, std::move(a)});
   }
 }
 
@@ -135,9 +135,13 @@ void ShardEngine::drain_shard(std::uint32_t s, SimTime end_excl) {
   ShardState& st = shard_[s];
   while (!st.queue.empty() && st.queue.next_time() < end_excl) {
     st.now = st.queue.next_time();
+    const NodeId guard = st.queue.next_owner();
     auto action = st.queue.pop();
     ++st.executed;
-    action();
+    // Guarded events are popped and counted either way — drain order and
+    // executed() stay a pure function of the event set — but a dead owner's
+    // action is never invoked.
+    if (may_run(guard)) action();
   }
 }
 
@@ -222,7 +226,7 @@ std::uint64_t ShardEngine::run_window(SimTime limit) {
   // keeps even transient container state reproducible.
   for (std::uint32_t s = 0; s < shards_; ++s) {
     for (Outgoing& o : shard_[s].outbox)
-      shard_[o.dst].queue.push_keyed(o.t, o.key, std::move(o.action));
+      shard_[o.dst].queue.push_keyed(o.t, o.key, std::move(o.action), o.guard);
     shard_[s].outbox.clear();
   }
 

@@ -44,6 +44,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <mutex>
 #include <thread>
@@ -90,7 +91,16 @@ class ShardEngine {
   /// Schedules a keyed event owned by node `owner` at absolute time `t`.
   /// Late times are clamped to the caller's clock and counted. From a
   /// worker, cross-shard events must satisfy t >= the current window end.
-  void schedule(NodeId owner, std::uint64_t key, SimTime t, EventQueue::Action a);
+  /// `guard` != kInvalidNode makes the event owner-guarded: the drain pops
+  /// it but skips the invoke when `guard` fails the liveness probe
+  /// (incarnation-safe timers; see set_liveness()).
+  void schedule(NodeId owner, std::uint64_t key, SimTime t, EventQueue::Action a,
+                NodeId guard = kInvalidNode);
+
+  /// Installs the liveness probe for owner-guarded events. The probe runs on
+  /// shard workers during window drains, so it must be a read-only check
+  /// (membership changes are coordinator-only).
+  void set_liveness(std::function<bool(NodeId)> probe) { alive_ = std::move(probe); }
 
   /// Schedules a coordinator event (experiment drivers; schedule_at/_after
   /// forward here). Coordinator-only.
@@ -123,8 +133,14 @@ class ShardEngine {
     std::uint32_t dst;
     SimTime t;
     std::uint64_t key;
+    NodeId guard;
     EventQueue::Action action;
   };
+
+  /// True when the event may run: unguarded, no probe, or guard alive.
+  bool may_run(NodeId guard) const {
+    return guard == kInvalidNode || alive_ == nullptr || alive_(guard);
+  }
 
   /// Cache-line separation: adjacent shards' clocks and counters are
   /// written concurrently during the worker phase.
@@ -149,6 +165,7 @@ class ShardEngine {
   std::uint64_t coord_ctr_ = 0;           // coordinator event keys
   std::vector<std::uint32_t> node_shard_;  // NodeId -> shard
   std::vector<std::uint32_t> src_ctr_;     // NodeId -> per-source counter
+  std::function<bool(NodeId)> alive_;      // owner-guard probe (may be null)
 
   // Worker pool (spawned only when shards > 1). Handshake: the coordinator
   // publishes {window_end_, work_mask_} under mu_, bumps generation_, and

@@ -14,6 +14,7 @@ void Simulator::enable_sharding(std::uint32_t shards, SimTime window) {
   assert(now_ == 0 && executed_ == 0 && queue_.empty() &&
          "enable sharding before any simulation activity");
   engine_ = std::make_unique<ShardEngine>(shards, window);
+  if (alive_) engine_->set_liveness(alive_);
 }
 
 void Simulator::schedule_at(SimTime t, EventQueue::Action action) {
@@ -29,14 +30,36 @@ void Simulator::schedule_after(SimTime delay, EventQueue::Action action) {
   schedule_at(now() + std::max<SimTime>(delay, 0), std::move(action));
 }
 
+void Simulator::set_liveness(std::function<bool(NodeId)> probe) {
+  alive_ = std::move(probe);
+  if (engine_ != nullptr) engine_->set_liveness(alive_);
+}
+
+void Simulator::schedule_owned_after(SimTime delay, NodeId owner,
+                                     EventQueue::Action action) {
+  if (engine_ != nullptr) {
+    // Owner-guarded events are same-shard (the owner schedules for itself),
+    // so they may fire inside the window that set them — no lookahead
+    // constraint. Context-aware now(): the draining shard's clock on a
+    // worker, the coordinator clock otherwise.
+    engine_->schedule(owner, engine_->alloc_key(owner),
+                      engine_->now() + std::max<SimTime>(delay, 0),
+                      std::move(action), owner);
+    return;
+  }
+  const SimTime t = now_ + std::max<SimTime>(delay, 0);
+  queue_.push(t, std::move(action), owner);
+}
+
 bool Simulator::step() {
   if (engine_ != nullptr)
     return engine_->run_window(std::numeric_limits<SimTime>::max()) > 0;
   if (queue_.empty()) return false;
   now_ = queue_.next_time();
+  const NodeId owner = queue_.next_owner();
   auto action = queue_.pop();
   ++executed_;
-  action();
+  if (may_run(owner)) action();
   return true;
 }
 

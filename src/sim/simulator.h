@@ -65,6 +65,20 @@ class Simulator {
   /// Schedules `action` after `delay` (clamped to >= 0).
   void schedule_after(SimTime delay, EventQueue::Action action);
 
+  /// Installs the liveness probe consulted for owner-guarded events at
+  /// execution time (Runtime backends install their alive() check). Must be
+  /// safe to call concurrently from shard workers during a window drain —
+  /// membership is coordinator-only, so a read-only probe qualifies.
+  void set_liveness(std::function<bool(NodeId)> probe);
+
+  /// Schedules an owner-guarded event after `delay`: the action is dropped
+  /// (popped but not invoked) when `owner` fails the liveness probe at
+  /// execution time. This is the backend half of Runtime::node_timer(): the
+  /// caller's move-only action lands in the event heap with no wrapper
+  /// closure, so timers stay allocation-free. Works in classic and sharded
+  /// mode (the event is keyed to and drained by the owner's shard).
+  void schedule_owned_after(SimTime delay, NodeId owner, EventQueue::Action action);
+
   /// Classic: executes the next pending event. Sharded: executes the next
   /// window of events. Returns false when the queue is empty.
   bool step();
@@ -91,12 +105,18 @@ class Simulator {
   }
 
  private:
+  /// True when the event may run: unguarded, no probe, or owner alive.
+  bool may_run(NodeId owner) const {
+    return owner == kInvalidNode || alive_ == nullptr || alive_(owner);
+  }
+
   SimTime now_ = 0;
   EventQueue queue_;
   Rng rng_;
   std::uint64_t seed_;
   std::uint64_t executed_ = 0;
   std::uint64_t late_ = 0;
+  std::function<bool(NodeId)> alive_;
   std::unique_ptr<ShardEngine> engine_;
 };
 

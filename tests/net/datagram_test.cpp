@@ -1,0 +1,104 @@
+#include "net/datagram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace ares::net {
+namespace {
+
+std::vector<std::uint8_t> make_datagram(const DatagramHeader& h,
+                                        std::size_t payload) {
+  std::vector<std::uint8_t> d(kHeaderSize + payload);
+  encode_header(h, d.data());
+  for (std::size_t i = 0; i < payload; ++i)
+    d[kHeaderSize + i] = static_cast<std::uint8_t>(i * 7 + 1);
+  return d;
+}
+
+TEST(Datagram, HeaderRoundTrips) {
+  DatagramHeader h;
+  h.src = 42;
+  h.dst = 7;
+  h.payload_len = 5;
+  auto d = make_datagram(h, 5);
+  DatagramHeader out;
+  ASSERT_TRUE(decode_header(d.data(), d.size(), out));
+  EXPECT_EQ(out.src, 42u);
+  EXPECT_EQ(out.dst, 7u);
+  EXPECT_EQ(out.payload_len, 5u);
+  EXPECT_EQ(out.flags, 0u);
+}
+
+TEST(Datagram, ExtremeIdsRoundTrip) {
+  DatagramHeader h;
+  h.src = 0;
+  h.dst = kInvalidNode;
+  h.payload_len = 0;
+  auto d = make_datagram(h, 0);
+  DatagramHeader out;
+  ASSERT_TRUE(decode_header(d.data(), d.size(), out));
+  EXPECT_EQ(out.src, 0u);
+  EXPECT_EQ(out.dst, kInvalidNode);
+}
+
+TEST(Datagram, WireLayoutIsLittleEndian) {
+  DatagramHeader h;
+  h.src = 0x01020304;
+  h.dst = 0x0A0B0C0D;
+  h.payload_len = 0x1234;
+  std::uint8_t buf[kHeaderSize];
+  encode_header(h, buf);
+  EXPECT_EQ(buf[0], 0xE5);  // magic 0xA7E5 LE
+  EXPECT_EQ(buf[1], 0xA7);
+  EXPECT_EQ(buf[2], kVersion);
+  EXPECT_EQ(buf[3], 0x00);  // flags
+  EXPECT_EQ(buf[4], 0x04);  // src LE
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(buf[8], 0x0D);  // dst LE
+  EXPECT_EQ(buf[11], 0x0A);
+  EXPECT_EQ(buf[12], 0x34);  // payload_len LE
+  EXPECT_EQ(buf[13], 0x12);
+}
+
+TEST(Datagram, RejectsTruncation) {
+  auto d = make_datagram({1, 2, 0, 8}, 8);
+  DatagramHeader out;
+  ASSERT_TRUE(decode_header(d.data(), d.size(), out));
+  // Every shorter length must fail: either too short for a header or a
+  // payload_len disagreement.
+  for (std::size_t len = 0; len < d.size(); ++len)
+    EXPECT_FALSE(decode_header(d.data(), len, out)) << "len=" << len;
+}
+
+TEST(Datagram, RejectsBadMagic) {
+  auto d = make_datagram({1, 2, 0, 4}, 4);
+  d[0] ^= 0xFF;
+  DatagramHeader out;
+  EXPECT_FALSE(decode_header(d.data(), d.size(), out));
+}
+
+TEST(Datagram, RejectsUnknownVersion) {
+  auto d = make_datagram({1, 2, 0, 4}, 4);
+  d[2] = kVersion + 1;
+  DatagramHeader out;
+  EXPECT_FALSE(decode_header(d.data(), d.size(), out));
+}
+
+TEST(Datagram, RejectsLengthFieldMismatch) {
+  auto d = make_datagram({1, 2, 0, 4}, 4);
+  d[12] = 3;  // claims 3 payload bytes, datagram carries 4
+  DatagramHeader out;
+  EXPECT_FALSE(decode_header(d.data(), d.size(), out));
+}
+
+TEST(Datagram, RejectsOversizeLength) {
+  DatagramHeader out;
+  std::vector<std::uint8_t> d(kMaxDatagram + 1, 0);
+  encode_header({1, 2, 0, 0}, d.data());
+  EXPECT_FALSE(decode_header(d.data(), d.size(), out));
+}
+
+}  // namespace
+}  // namespace ares::net

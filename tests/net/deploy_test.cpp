@@ -1,0 +1,95 @@
+#include "exp/deploy.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/query_workload.h"
+
+namespace ares {
+namespace {
+
+/// Compressed timings: the protocol is period-independent, so CI seconds
+/// buy the same coverage as paper minutes.
+DeployConfig small_config() {
+  DeployConfig cfg;
+  cfg.processes = 2;
+  cfg.nodes_per_proc = 4;
+  cfg.queries = 4;
+  cfg.seed = 7;
+  cfg.gossip_period = 50 * kMillisecond;
+  cfg.warmup_cycles = 4;
+  cfg.query_spacing = 50 * kMillisecond;
+  cfg.drain = 500 * kMillisecond;
+  cfg.query_timeout = 2 * kSecond;
+  return cfg;
+}
+
+TEST(Deploy, PlanIsAPureFunctionOfTheConfig) {
+  const DeployConfig cfg = small_config();
+  const auto p1 = deployment_points(cfg);
+  const auto p2 = deployment_points(cfg);
+  ASSERT_EQ(p1.size(), 8u);
+  EXPECT_EQ(p1, p2);
+  const auto q1 = deployment_queries(cfg);
+  const auto q2 = deployment_queries(cfg);
+  ASSERT_EQ(q1.size(), 4u);
+  for (std::size_t i = 0; i < q1.size(); ++i) {
+    EXPECT_EQ(q1[i].origin, q2[i].origin);
+    EXPECT_EQ(measured_selectivity(q1[i].query, p1),
+              measured_selectivity(q2[i].query, p1));
+  }
+  const auto truth = deployment_ground_truth(cfg);
+  ASSERT_EQ(truth.size(), 4u);
+  for (std::size_t q = 0; q < truth.size(); ++q)
+    for (NodeId id : truth[q]) EXPECT_TRUE(q1[q].query.matches(p1[id]));
+}
+
+TEST(Deploy, LiveProcessesMatchSimulatorAndGroundTruth) {
+  const DeployConfig cfg = small_config();
+  const auto truth = deployment_ground_truth(cfg);
+
+  BackendRun udp = run_deployment(cfg);
+  ASSERT_TRUE(udp.ok) << udp.error;
+  EXPECT_EQ(udp.backend, "udp");
+  EXPECT_EQ(mismatches(udp, truth), 0u) << "udp recall diverged";
+
+  BackendRun sim = run_sim_mirror(cfg);
+  ASSERT_TRUE(sim.ok) << sim.error;
+  EXPECT_EQ(mismatches(sim, truth), 0u) << "sim recall diverged";
+
+  // Same scenario, same outcome, message for message where it matters.
+  ASSERT_EQ(udp.queries.size(), sim.queries.size());
+  for (std::size_t q = 0; q < truth.size(); ++q) {
+    EXPECT_EQ(udp.queries[q].origin, sim.queries[q].origin);
+    EXPECT_EQ(udp.queries[q].matches, sim.queries[q].matches) << "query " << q;
+  }
+
+  // The processes really gossiped over the wire, with clean decodes.
+  EXPECT_GT(udp.gossip_cycles, 0u);
+  EXPECT_EQ(udp.decode_fail, 0u);
+  EXPECT_EQ(udp.injected_drops, 0u);
+  EXPECT_GT(udp.header_bytes, 0u);
+  bool saw_gossip_traffic = false;
+  for (const auto& [type, tc] : udp.traffic) {
+    if (type.rfind("cyclon.", 0) == 0 && tc.bytes > 0) saw_gossip_traffic = true;
+  }
+  EXPECT_TRUE(saw_gossip_traffic);
+  EXPECT_GT(udp.bytes_per_node_cycle(), 0.0);
+  EXPECT_GT(sim.bytes_per_node_cycle(), 0.0);
+}
+
+TEST(Deploy, FaultInjectionIsExercisedOverTheWire) {
+  DeployConfig cfg = small_config();
+  cfg.queries = 2;
+  cfg.faults.loss = 0.3;
+  cfg.faults.delay_min = 1 * kMillisecond;
+  cfg.faults.delay_max = 5 * kMillisecond;
+  BackendRun udp = run_deployment(cfg);
+  ASSERT_TRUE(udp.ok) << udp.error;
+  // With 30% loss the gossip streams alone guarantee injected drops; recall
+  // is deliberately not gated here (losing query traffic is the point).
+  EXPECT_GT(udp.injected_drops, 0u);
+  EXPECT_GT(udp.gossip_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace ares

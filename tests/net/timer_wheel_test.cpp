@@ -1,0 +1,106 @@
+#include "net/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ares::net {
+namespace {
+
+const std::function<bool(NodeId)> kAllAlive;  // null predicate = all alive
+
+TEST(TimerWheel, FiresInDeadlineThenInsertionOrder) {
+  TimerWheel w;
+  std::vector<int> order;
+  w.add(3000, 1, [&] { order.push_back(3); });
+  w.add(1000, 1, [&] { order.push_back(1); });
+  w.add(2000, 1, [&] { order.push_back(2); });
+  w.add(1000, 1, [&] { order.push_back(11); });  // same deadline: FIFO
+  EXPECT_EQ(w.next_deadline(), 1000);
+  EXPECT_EQ(w.fire_due(5000, kAllAlive), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2, 3}));
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.next_deadline(), TimerWheel::kNever);
+}
+
+TEST(TimerWheel, OnlyMaturedEntriesFire) {
+  TimerWheel w;
+  int early = 0, late = 0;
+  w.add(1000, 1, [&] { ++early; });
+  w.add(9000, 1, [&] { ++late; });
+  EXPECT_EQ(w.fire_due(1000, kAllAlive), 1u);
+  EXPECT_EQ(early, 1);
+  EXPECT_EQ(late, 0);
+  EXPECT_EQ(w.pending(), 1u);
+  EXPECT_EQ(w.next_deadline(), 9000);
+  EXPECT_EQ(w.fire_due(9000, kAllAlive), 1u);
+  EXPECT_EQ(late, 1);
+}
+
+TEST(TimerWheel, FarDeadlinesShareSlotsWithoutFiringEarly) {
+  // 1000 and 1000 + 256ms hash to the same slot; only the matured one may
+  // fire.
+  TimerWheel w;
+  int near_fired = 0, far_fired = 0;
+  const SimTime wrap = 256 * 1000;
+  w.add(1000, 1, [&] { ++near_fired; });
+  w.add(1000 + wrap, 1, [&] { ++far_fired; });
+  EXPECT_EQ(w.fire_due(2000, kAllAlive), 1u);
+  EXPECT_EQ(near_fired, 1);
+  EXPECT_EQ(far_fired, 0);
+  EXPECT_EQ(w.next_deadline(), 1000 + wrap);
+  EXPECT_EQ(w.fire_due(1000 + wrap, kAllAlive), 1u);
+  EXPECT_EQ(far_fired, 1);
+}
+
+TEST(TimerWheel, DeadOwnersAreSkippedButDrained) {
+  TimerWheel w;
+  int alive_fired = 0, dead_fired = 0;
+  w.add(1000, 7, [&] { ++dead_fired; });
+  w.add(1000, 8, [&] { ++alive_fired; });
+  auto alive = [](NodeId id) { return id != 7; };
+  EXPECT_EQ(w.fire_due(2000, alive), 1u);
+  EXPECT_EQ(dead_fired, 0);
+  EXPECT_EQ(alive_fired, 1);
+  EXPECT_TRUE(w.empty());  // the skipped entry is gone, not stuck
+}
+
+TEST(TimerWheel, ReentrantAddDefersToNextFire) {
+  // A callback that re-arms itself (gossip ticks) must not extend the
+  // in-flight batch, even when the new deadline is already due.
+  TimerWheel w;
+  int fired = 0;
+  w.add(1000, 1, [&] {
+    ++fired;
+    w.add(500, 1, [&] { ++fired; });
+  });
+  EXPECT_EQ(w.fire_due(5000, kAllAlive), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(w.pending(), 1u);
+  EXPECT_EQ(w.fire_due(5000, kAllAlive), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerWheel, NegativeDeadlineClampsToZero) {
+  TimerWheel w;
+  int fired = 0;
+  w.add(-50, 1, [&] { ++fired; });
+  EXPECT_EQ(w.next_deadline(), 0);
+  EXPECT_EQ(w.fire_due(0, kAllAlive), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, NextDeadlineTracksRunningMinimum) {
+  TimerWheel w;
+  w.add(8000, 1, [] {});
+  EXPECT_EQ(w.next_deadline(), 8000);
+  w.add(3000, 1, [] {});
+  EXPECT_EQ(w.next_deadline(), 3000);
+  w.add(5000, 1, [] {});
+  EXPECT_EQ(w.next_deadline(), 3000);
+  EXPECT_EQ(w.fire_due(3000, kAllAlive), 1u);
+  EXPECT_EQ(w.next_deadline(), 5000);
+}
+
+}  // namespace
+}  // namespace ares::net

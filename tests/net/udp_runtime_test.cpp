@@ -1,0 +1,287 @@
+#include "net/udp_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/datagram.h"
+#include "net/process.h"
+#include "runtime/wire.h"
+
+namespace ares::net {
+namespace {
+
+constexpr auto kTextKind = wire::Kind::kTestBase;
+
+struct TextMsg final : Message {
+  explicit TextMsg(std::string t) : text(std::move(t)) {}
+  std::string text;
+  const char* type_name() const override { return "test.text"; }
+  wire::Kind kind() const override { return kTextKind; }
+};
+
+const bool kTextCodec = [] {
+  wire::register_codec(
+      kTextKind,
+      {[](const Message& m, wire::Writer& w) {
+         w.str(static_cast<const TextMsg&>(m).text);
+       },
+       [](wire::Reader& r, wire::Kind) -> MessagePtr {
+         auto text = r.str();
+         if (!r.ok()) return nullptr;
+         return std::make_unique<TextMsg>(std::move(text));
+       }});
+  return true;
+}();
+
+class EchoNode final : public Node {
+ public:
+  explicit EchoNode(bool echo = false) : echo_(echo) {}
+
+  void on_message(NodeId from, const Message& m) override {
+    const auto& t = dynamic_cast<const TextMsg&>(m);
+    received.emplace_back(from, t.text);
+    if (echo_ && t.text != "echo") send(from, std::make_unique<TextMsg>("echo"));
+  }
+
+  void arm(SimTime delay) {
+    after(delay, [this] { ++timers_fired; });
+  }
+  void ping(NodeId to, std::string text) {
+    send(to, std::make_unique<TextMsg>(std::move(text)));
+  }
+
+  std::vector<std::pair<NodeId, std::string>> received;
+  int timers_fired = 0;
+
+ private:
+  bool echo_;
+};
+
+/// Two runtimes on one thread, interleaved deterministically: each hosts
+/// one half of a four-node deployment over real loopback sockets.
+struct Rig {
+  explicit Rig(UdpRuntime::Config ca = {}, UdpRuntime::Config cb = {}) {
+    int fda = udp_bind_loopback();
+    int fdb = udp_bind_loopback();
+    EXPECT_GE(fda, 0);
+    EXPECT_GE(fdb, 0);
+    AddressBook book;
+    book.set(0, {0x7F000001, local_port(fda)});
+    book.set(1, {0x7F000001, local_port(fda)});
+    book.set(2, {0x7F000001, local_port(fdb)});
+    book.set(3, {0x7F000001, local_port(fdb)});
+    a = std::make_unique<UdpRuntime>(fda, book, ca);
+    b = std::make_unique<UdpRuntime>(fdb, book, cb);
+  }
+
+  EchoNode* add(UdpRuntime& rt, NodeId id, bool echo = false) {
+    auto node = std::make_unique<EchoNode>(echo);
+    EchoNode* raw = node.get();
+    rt.add_node(id, std::move(node));
+    return raw;
+  }
+
+  /// Alternates poll_once() on both runtimes until `done` or ~2 s elapse.
+  bool pump(const std::function<bool()>& done) {
+    for (int i = 0; i < 2000 && !done(); ++i) {
+      a->poll_once(kMillisecond);
+      b->poll_once(kMillisecond);
+    }
+    return done();
+  }
+
+  std::unique_ptr<UdpRuntime> a;
+  std::unique_ptr<UdpRuntime> b;
+};
+
+TEST(UdpRuntime, CrossProcessRequestReply) {
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  EchoNode* n2 = rig.add(*rig.b, 2, /*echo=*/true);
+  n0->ping(2, "hello");
+  ASSERT_TRUE(rig.pump([&] { return !n0->received.empty(); }));
+  ASSERT_EQ(n2->received.size(), 1u);
+  EXPECT_EQ(n2->received[0], (std::pair<NodeId, std::string>{0, "hello"}));
+  EXPECT_EQ(n0->received[0], (std::pair<NodeId, std::string>{2, "echo"}));
+  // Frame accounting matches the simulator's; the routing header is metered
+  // separately, one kHeaderSize per transmitted datagram.
+  EXPECT_EQ(rig.a->stats().sent(), 1u);
+  EXPECT_EQ(rig.a->stats().delivered(), 1u);  // the echo, delivered at a
+  EXPECT_EQ(rig.a->header_bytes(), kHeaderSize * rig.a->tx_datagrams());
+  EXPECT_EQ(rig.a->tx_datagrams(), 1u);
+}
+
+TEST(UdpRuntime, SameProcessDeliveryLoopsThroughSocket) {
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  EchoNode* n1 = rig.add(*rig.a, 1);
+  n0->ping(1, "local");
+  ASSERT_TRUE(rig.pump([&] { return !n1->received.empty(); }));
+  EXPECT_EQ(n1->received[0].second, "local");
+  EXPECT_EQ(rig.a->tx_datagrams(), 1u);
+  EXPECT_EQ(rig.a->rx_datagrams(), 1u);
+}
+
+TEST(UdpRuntime, SendToUnknownAddressIsADrop) {
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  n0->ping(99, "void");
+  rig.a->poll_once(0);
+  EXPECT_EQ(rig.a->stats().dropped(), 1u);
+  EXPECT_EQ(rig.a->tx_datagrams(), 0u);
+}
+
+TEST(UdpRuntime, TimersFireInOrderAndLapseForRemovedNodes) {
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  EchoNode* n1 = rig.add(*rig.a, 1);
+  n0->arm(5 * kMillisecond);
+  n0->arm(10 * kMillisecond);
+  n1->arm(5 * kMillisecond);
+  rig.a->remove_node(1, /*graceful=*/false);
+  rig.a->run_for(40 * kMillisecond);
+  EXPECT_EQ(n0->timers_fired, 2);
+  // n1 is destroyed; its timer lapsed without touching freed memory (ASan
+  // would catch the opposite).
+}
+
+TEST(UdpRuntime, FullLossDeliversNothingAndMetersDrops) {
+  UdpRuntime::Config lossy;
+  lossy.faults.loss = 1.0;
+  Rig rig(lossy, {});
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  EchoNode* n2 = rig.add(*rig.b, 2);
+  for (int i = 0; i < 10; ++i) n0->ping(2, "gone");
+  rig.a->run_for(30 * kMillisecond);
+  rig.b->run_for(30 * kMillisecond);
+  EXPECT_EQ(rig.a->injected_drops(), 10u);
+  EXPECT_EQ(rig.a->tx_datagrams(), 0u);
+  EXPECT_EQ(rig.a->stats().dropped(), 10u);
+  EXPECT_TRUE(n2->received.empty());
+}
+
+TEST(UdpRuntime, LossDrawsAreSeededAndDeterministic) {
+  auto drops_with_seed = [](std::uint64_t seed) {
+    UdpRuntime::Config c;
+    c.seed = seed;
+    c.faults.loss = 0.5;
+    Rig rig(c, {});
+    EchoNode* n0 = rig.add(*rig.a, 0);
+    for (int i = 0; i < 64; ++i) n0->ping(2, "maybe");
+    return rig.a->injected_drops();
+  };
+  const auto d1 = drops_with_seed(7);
+  EXPECT_EQ(d1, drops_with_seed(7));
+  EXPECT_GT(d1, 0u);
+  EXPECT_LT(d1, 64u);
+}
+
+TEST(UdpRuntime, DelayInjectionHoldsThenReleasesDatagrams) {
+  UdpRuntime::Config slow;
+  slow.faults.delay_min = 30 * kMillisecond;
+  slow.faults.delay_max = 30 * kMillisecond;
+  Rig rig(slow, {});
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  EchoNode* n2 = rig.add(*rig.b, 2);
+  n0->ping(2, "later");
+  rig.a->poll_once(0);
+  rig.b->poll_once(kMillisecond);
+  EXPECT_TRUE(n2->received.empty());  // still held at the sender
+  EXPECT_EQ(rig.a->tx_datagrams(), 0u);
+  ASSERT_TRUE(rig.pump([&] { return !n2->received.empty(); }));
+  EXPECT_EQ(rig.a->tx_datagrams(), 1u);
+}
+
+// --- datagram-boundary hardening (codec frames through the socket path) ----
+
+std::vector<std::uint8_t> frame_datagram(NodeId src, NodeId dst,
+                                         const Message& m) {
+  auto payload = wire::encode(m);
+  EXPECT_FALSE(payload.empty());
+  std::vector<std::uint8_t> d(kHeaderSize + payload.size());
+  DatagramHeader h;
+  h.src = src;
+  h.dst = dst;
+  h.payload_len = static_cast<std::uint16_t>(payload.size());
+  encode_header(h, d.data());
+  std::copy(payload.begin(), payload.end(), d.begin() + kHeaderSize);
+  return d;
+}
+
+TEST(UdpRuntime, TruncatedDatagramsAreRejectedCleanly) {
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  auto d = frame_datagram(2, 0, TextMsg("whole"));
+  for (std::size_t len = 0; len < d.size(); ++len)
+    EXPECT_FALSE(rig.a->inject_datagram(d.data(), len)) << "len=" << len;
+  EXPECT_TRUE(n0->received.empty());
+  EXPECT_GT(rig.a->rx_rejected(), 0u);
+  // Header-level rejects never reach the codec.
+  EXPECT_EQ(rig.a->metrics().total("wire.decode_fail"), 0u);
+  // The intact datagram still delivers afterwards.
+  EXPECT_TRUE(rig.a->inject_datagram(d.data(), d.size()));
+  EXPECT_EQ(n0->received.size(), 1u);
+}
+
+TEST(UdpRuntime, CorruptPayloadMetersDecodeFail) {
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  auto d = frame_datagram(2, 0, TextMsg("abc"));
+  d[kHeaderSize] = 0xEE;  // unknown codec kind tag
+  EXPECT_FALSE(rig.a->inject_datagram(d.data(), d.size()));
+  EXPECT_TRUE(n0->received.empty());
+  EXPECT_EQ(rig.a->metrics().total("wire.decode_fail"), 1u);
+  EXPECT_EQ(rig.a->metrics().node_value(0, "wire.decode_fail"), 1u);
+}
+
+TEST(UdpRuntime, MisroutedAndForeignDatagramsAreRejected) {
+  Rig rig;
+  rig.add(*rig.a, 0);
+  auto misrouted = frame_datagram(2, 3, TextMsg("not for a"));  // 3 lives on b
+  EXPECT_FALSE(rig.a->inject_datagram(misrouted.data(), misrouted.size()));
+  auto foreign = frame_datagram(2, 0, TextMsg("x"));
+  foreign[1] ^= 0xFF;  // bad magic
+  EXPECT_FALSE(rig.a->inject_datagram(foreign.data(), foreign.size()));
+  auto stale = frame_datagram(2, 0, TextMsg("x"));
+  stale[2] = kVersion + 1;  // future version
+  EXPECT_FALSE(rig.a->inject_datagram(stale.data(), stale.size()));
+  EXPECT_EQ(rig.a->rx_rejected(), 3u);
+}
+
+TEST(UdpRuntime, DuplicatedDatagramsDeliverTwice) {
+  // UDP may duplicate; the runtime adds no dedup (DESIGN.md §10) and the
+  // protocol tolerates it, so both copies surface.
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  auto d = frame_datagram(2, 0, TextMsg("dup"));
+  EXPECT_TRUE(rig.a->inject_datagram(d.data(), d.size()));
+  EXPECT_TRUE(rig.a->inject_datagram(d.data(), d.size()));
+  ASSERT_EQ(n0->received.size(), 2u);
+}
+
+TEST(UdpRuntime, ReorderedDatagramsBothDeliver) {
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  auto first = frame_datagram(2, 0, TextMsg("first"));
+  auto second = frame_datagram(2, 0, TextMsg("second"));
+  EXPECT_TRUE(rig.a->inject_datagram(second.data(), second.size()));
+  EXPECT_TRUE(rig.a->inject_datagram(first.data(), first.size()));
+  ASSERT_EQ(n0->received.size(), 2u);
+  EXPECT_EQ(n0->received[0].second, "second");
+  EXPECT_EQ(n0->received[1].second, "first");
+}
+
+TEST(UdpRuntime, OversizeFramesAreDroppedAtSend) {
+  Rig rig;
+  EchoNode* n0 = rig.add(*rig.a, 0);
+  n0->ping(2, std::string(kMaxDatagram, 'x'));  // frame > max payload
+  EXPECT_EQ(rig.a->stats().dropped(), 1u);
+  EXPECT_EQ(rig.a->tx_datagrams(), 0u);
+}
+
+}  // namespace
+}  // namespace ares::net

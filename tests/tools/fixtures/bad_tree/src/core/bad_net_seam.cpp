@@ -1,0 +1,12 @@
+// net-seam fixture: raw syscall headers outside src/net. Both includes must
+// fire — core code talks to the kernel only through net/process.h wrappers.
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ares {
+
+int open_raw_socket() { return socket(2 /*AF_INET*/, 2 /*SOCK_DGRAM*/, 0); }
+
+void close_raw_socket(int fd) { close(fd); }
+
+}  // namespace ares

@@ -38,6 +38,14 @@ invariants"):
                    local to src/sim. Suppress with
                        // ares-lint: shard-seam-ok(<reason>)
 
+  net-seam         No raw socket/event-loop/process syscall headers
+                   (<sys/socket.h>, <sys/epoll.h>, <unistd.h>, ...) outside
+                   src/net. The UDP backend is the one place that talks to
+                   the kernel; every other layer goes through net/process.h
+                   wrappers, so protocol and experiment code stays
+                   kernel-free (and trivially portable/simulable). Suppress
+                   with  // ares-lint: net-seam-ok(<reason>)
+
   layering         Full declared include-DAG over src/ (generalizes the old
                    cmake/check_include_hygiene.cmake core/gossip rule).
                    Violations are reported per edge. Suppress a single
@@ -84,6 +92,7 @@ LAYERS = {
     "common": [],
     "space": ["common"],
     "runtime": ["common"],
+    "net": ["common", "runtime"],
     "sim": ["common", "runtime"],
     "gossip": ["common", "space", "runtime"],
     "core": ["common", "space", "runtime", "gossip"],
@@ -91,7 +100,7 @@ LAYERS = {
     "baselines": ["common", "space", "runtime", "sim", "core", "gossip"],
     "wire": ["common", "space", "runtime", "core", "gossip", "dht", "baselines"],
     "workload": ["common", "space"],
-    "exp": ["common", "space", "runtime", "sim", "core", "gossip", "dht",
+    "exp": ["common", "space", "runtime", "net", "sim", "core", "gossip", "dht",
             "baselines", "wire", "workload"],
 }
 
@@ -129,6 +138,14 @@ FORBIDDEN_API = [
     (re.compile(r"\bgetenv\b"), "getenv"),
 ]
 
+# net-seam: syscall headers whose use is confined to src/net. Deliberately
+# the socket/event-loop/process set only — <sys/resource.h> (rusage in
+# bench_json) and friends are not transport seams.
+NET_SEAM_HEADERS = frozenset((
+    "sys/socket.h", "sys/epoll.h", "sys/select.h", "sys/wait.h",
+    "netinet/in.h", "arpa/inet.h", "unistd.h", "poll.h", "fcntl.h",
+))
+
 UNORDERED_DECL = re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
 SUPPRESS = re.compile(r"//\s*ares-lint:\s*([a-z-]+)-ok\(([^)\n]*)\)")
 RANGE_FOR = re.compile(
@@ -136,6 +153,7 @@ RANGE_FOR = re.compile(
     r"\s*(\(\s*\))?\s*\)")
 BEGIN_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*c?begin\s*\(")
 INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+ANGLE_INCLUDE = re.compile(r'^\s*#\s*include\s+<([^>]+)>', re.M)
 
 
 class Finding:
@@ -245,7 +263,7 @@ class Linter:
         self.findings = []
         self.suppression_counts = {"unordered-iter": 0, "forbidden-api": 0,
                                    "raw-descriptor-vec": 0, "layering": 0,
-                                   "shard-seam": 0}
+                                   "shard-seam": 0, "net-seam": 0}
 
     def add(self, rule, sf, offset_or_line, message, offset=True):
         line = sf.line_of(offset_or_line) if offset else offset_or_line
@@ -372,6 +390,25 @@ class Linter:
                              "bypasses the determinism contract "
                              "(DESIGN.md, 'Sharded execution')")
 
+    # -- rule: net-seam ------------------------------------------------------
+
+    def check_net_seam(self):
+        src = self.root / "src"
+        if not src.is_dir():
+            return
+        scan_dirs = [d.name for d in sorted(src.iterdir())
+                     if d.is_dir() and d.name != "net"]
+        for p in iter_files(src, scan_dirs):
+            sf = SourceFile(p, str(p.relative_to(self.root)))
+            # Raw text (like layering): includes live outside stripped code.
+            for m in ANGLE_INCLUDE.finditer(sf.text):
+                if m.group(1) in NET_SEAM_HEADERS:
+                    self.add("net-seam", sf, m.start(),
+                             f"<{m.group(1)}> outside src/net — raw socket/"
+                             "process syscalls are confined to the UDP "
+                             "backend; go through the net/process.h wrappers "
+                             "so every other layer stays kernel-free")
+
     # -- rule: layering ------------------------------------------------------
 
     def check_layering(self):
@@ -450,6 +487,7 @@ class Linter:
         self.check_forbidden_api()
         self.check_raw_descriptor_vec()
         self.check_shard_seam()
+        self.check_net_seam()
         self.check_layering()
         self.check_codec()
         return self.findings
@@ -496,6 +534,7 @@ def self_test(fixture_root: pathlib.Path) -> int:
         "forbidden-api": 2,        # random_device + getenv
         "raw-descriptor-vec": 2,   # vector<AttrValue> + vector<CellIndex>
         "shard-seam": 2,           # push_keyed + alloc_key outside src/sim
+        "net-seam": 2,             # sys/socket.h + unistd.h outside src/net
         "layering": 2,             # gossip -> sim, gossip -> exp
         "codec": 2,                # kPong: missing registration + missing test
     }
