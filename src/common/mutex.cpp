@@ -1,0 +1,102 @@
+#include "common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ares {
+
+namespace {
+
+/// Per-thread stack of held mutexes, in acquisition order. Fixed capacity:
+/// the hierarchy is four ranks deep; a thread holding 16 locks at once is a
+/// bug in its own right.
+struct HeldStack {
+  static constexpr int kMax = 16;
+  const Mutex* held[kMax];
+  int n = 0;
+};
+
+thread_local HeldStack tls_held;
+
+[[noreturn]] void rank_violation(const Mutex* acquiring, const Mutex* held) {
+  std::fprintf(stderr,
+               "ares::Mutex lock-rank violation: acquiring \"%s\" (rank %d) "
+               "while holding \"%s\" (rank %d) — locks must be taken in "
+               "strictly increasing rank order (DESIGN.md §11)\n",
+               acquiring->name(), acquiring->rank(), held->name(),
+               held->rank());
+  std::abort();
+}
+
+/// Deadlock detection by construction: abort (before blocking) when the
+/// acquisition would violate the strict rank order, including re-acquiring
+/// a mutex this thread already holds.
+void rank_check_and_push(const Mutex* mu) {
+  HeldStack& s = tls_held;
+  for (int i = 0; i < s.n; ++i)
+    if (s.held[i]->rank() >= mu->rank()) rank_violation(mu, s.held[i]);
+  if (s.n >= HeldStack::kMax) {
+    std::fprintf(stderr,
+                 "ares::Mutex: thread holds more than %d locks acquiring "
+                 "\"%s\"\n",
+                 HeldStack::kMax, mu->name());
+    std::abort();
+  }
+  s.held[s.n++] = mu;
+}
+
+void rank_pop(const Mutex* mu) {
+  HeldStack& s = tls_held;
+  // Releases are LIFO in this codebase (scoped locks only), but tolerate
+  // out-of-order release: find the entry from the top.
+  for (int i = s.n - 1; i >= 0; --i) {
+    if (s.held[i] == mu) {
+      for (int j = i; j + 1 < s.n; ++j) s.held[j] = s.held[j + 1];
+      --s.n;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "ares::Mutex: releasing \"%s\" which this thread does not "
+               "hold\n",
+               mu->name());
+  std::abort();
+}
+
+bool holds(const Mutex* mu) {
+  const HeldStack& s = tls_held;
+  for (int i = 0; i < s.n; ++i)
+    if (s.held[i] == mu) return true;
+  return false;
+}
+
+}  // namespace
+
+void Mutex::lock() {
+  if constexpr (kMutexRankChecks) rank_check_and_push(this);
+  mu_.lock();
+}
+
+void Mutex::unlock() {
+  mu_.unlock();
+  if constexpr (kMutexRankChecks) rank_pop(this);
+}
+
+void CondVar::wait(Mutex& mu) {
+  if constexpr (kMutexRankChecks) {
+    if (!holds(&mu)) {
+      std::fprintf(stderr,
+                   "ares::CondVar::wait on \"%s\" without holding it\n",
+                   mu.name());
+      std::abort();
+    }
+  }
+  // The mutex stays on the rank stack across the wait: while blocked the
+  // thread acquires nothing, and on wakeup it holds `mu` again — exactly
+  // the state the stack describes whenever the thread can run code.
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+}  // namespace ares

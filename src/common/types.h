@@ -44,6 +44,23 @@ using Point = InlineVec<AttrValue, kMaxDimensions>;
 /// this alias wherever the element count is not bounded by kMaxDimensions.
 using AttrValues = std::vector<AttrValue>;
 
+/// Level-0 cell index along one dimension of the attribute-space cell grid
+/// (space/attribute_space.h owns the partition semantics).
+using CellIndex = std::uint32_t;
+
+/// Per-node vector of level-0 cell indices (one per dimension); the discrete
+/// coordinates of a node in the cell grid. Inline storage (d <=
+/// kMaxDimensions) — copying a CellCoord never allocates.
+using CellCoord = InlineVec<CellIndex, kMaxDimensions>;
+
+/// Columnar (SoA) backing planes: a flattened row-major array holding d
+/// elements per registered id. These are storage planes, NOT per-descriptor
+/// values — use Point / CellCoord for a single descriptor's coordinates.
+/// The only sanctioned spelling of vector-of-AttrValue/CellIndex storage
+/// outside common/ (lint rule raw-descriptor-vec).
+using AttrValueRows = std::vector<AttrValue>;
+using CellIndexRows = std::vector<CellIndex>;
+
 /// Simulated time in microseconds since simulation start.
 using SimTime = std::int64_t;
 

@@ -11,17 +11,21 @@
 ///   - forwards: query-message hops (per query and total), the denominator
 ///     of hops-per-query in the throughput benchmarks.
 ///
-/// Mutators are internally locked: under the sharded simulator with
-/// concurrent in-flight queries (exp/load.h), observer callbacks fire on
-/// different shard workers within one lookahead window. Updates are
-/// commutative integer bumps into per-QueryId rows, so the post-run state
-/// is deterministic regardless of interleaving. Accessors are meant for
-/// quiescent (post-run / between-step) reads.
+/// Mutators and accessors are internally locked: under the sharded
+/// simulator with concurrent in-flight queries (exp/load.h), observer
+/// callbacks fire on different shard workers within one lookahead window.
+/// Updates are commutative integer bumps into per-QueryId rows, so the
+/// post-run state is deterministic regardless of interleaving. Scalar
+/// accessors take the lock (cold path) and are safe mid-run; find() and
+/// per_query() hand out references into the map and remain quiescent-read
+/// contracts — call them post-run or between steps, never while shard
+/// workers may mutate (std::map nodes are stable across inserts, but the
+/// pointed-to rows are not locked once returned).
 
 #include <map>
-#include <mutex>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/summary.h"
 #include "core/selection_node.h"
 
@@ -54,31 +58,54 @@ class QueryStats final : public QueryObserver {
   void on_query_completed(QueryId q, NodeId origin,
                           const std::vector<MatchRecord>& matches) override;
 
-  const PerQuery* find(QueryId q) const;
-  /// Ordered by QueryId so consumers that iterate (reports, per-query CSV
-  /// dumps) see a deterministic sequence.
-  const std::map<QueryId, PerQuery>& per_query() const { return queries_; }
+  /// Locked lookup; the returned row is a quiescent-read contract (see
+  /// file comment). nullptr when the query was never observed.
+  const PerQuery* find(QueryId q) const ARES_EXCLUDES(mu_);
 
-  std::uint64_t total_overhead() const { return total_overhead_; }
-  std::uint64_t total_hits() const { return total_hits_; }
-  std::uint64_t total_duplicates() const { return total_duplicates_; }
-  std::uint64_t total_forwards() const { return total_forwards_; }
-  std::uint64_t completed_count() const { return completed_; }
+  /// Ordered by QueryId so consumers that iterate (reports, per-query CSV
+  /// dumps) see a deterministic sequence. Quiescent-read contract: the
+  /// analysis cannot see past the returned reference, so the lock would be
+  /// theater — callers iterate post-run only.
+  const std::map<QueryId, PerQuery>& per_query() const
+      ARES_NO_THREAD_SAFETY_ANALYSIS {
+    return queries_;
+  }
+
+  std::uint64_t total_overhead() const ARES_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return total_overhead_;
+  }
+  std::uint64_t total_hits() const ARES_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return total_hits_;
+  }
+  std::uint64_t total_duplicates() const ARES_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return total_duplicates_;
+  }
+  std::uint64_t total_forwards() const ARES_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return total_forwards_;
+  }
+  std::uint64_t completed_count() const ARES_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return completed_;
+  }
 
   /// Mean routing overhead per observed query.
-  double mean_overhead() const;
+  double mean_overhead() const ARES_EXCLUDES(mu_);
 
-  void clear();
+  void clear() ARES_EXCLUDES(mu_);
 
  private:
-  bool track_visited_;
-  mutable std::mutex mu_;
-  std::map<QueryId, PerQuery> queries_;
-  std::uint64_t total_overhead_ = 0;
-  std::uint64_t total_hits_ = 0;
-  std::uint64_t total_duplicates_ = 0;
-  std::uint64_t total_forwards_ = 0;
-  std::uint64_t completed_ = 0;
+  const bool track_visited_;  // set at construction, immutable after
+  mutable Mutex mu_{"core.query_stats", lockrank::kQueryStats};
+  std::map<QueryId, PerQuery> queries_ ARES_GUARDED_BY(mu_);
+  std::uint64_t total_overhead_ ARES_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_hits_ ARES_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_duplicates_ ARES_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_forwards_ ARES_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ ARES_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ares

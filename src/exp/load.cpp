@@ -51,6 +51,9 @@ OpenLoopResult run_open_loop(Grid& grid, const OpenLoopConfig& cfg) {
   // One shared accumulator across concurrent completions; everything else
   // is a per-arrival slot write. Atomic: completions land on different
   // shard workers within one lookahead window.
+  // ordering: release on the bump / acquire on the reads below — the count
+  // publishes each completion's per-arrival slot writes (done/done_time/
+  // result_*) to the coordinator's post-run fold.
   std::atomic<std::uint64_t> completed{0};
   Simulator* sim = &grid.sim();
   for (std::size_t i = 0; i < n; ++i) {

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/options.h"
 
 namespace ares::exp {
@@ -42,9 +42,14 @@ void run_indexed(std::size_t n, std::size_t threads,
     return;
   }
 
+  // ordering: relaxed — each fetch_add claims a distinct index; no data is
+  // published between claimants (jobs write disjoint result slots).
   std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
+  // First exception thrown by any job, rethrown after the pool joins.
+  struct ErrorSlot {
+    Mutex mu{"exp.parallel.err", lockrank::kParallelPool};
+    std::exception_ptr first ARES_GUARDED_BY(mu);
+  } err;
 
   auto worker = [&] {
     for (;;) {
@@ -53,8 +58,8 @@ void run_indexed(std::size_t n, std::size_t threads,
       try {
         job(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        MutexLock lock(&err.mu);
+        if (!err.first) err.first = std::current_exception();
       }
     }
   };
@@ -63,6 +68,11 @@ void run_indexed(std::size_t n, std::size_t threads,
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(&err.mu);
+    first_error = err.first;
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

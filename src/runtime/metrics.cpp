@@ -20,7 +20,7 @@ const Metrics::Slot* Metrics::find(std::string_view name) const {
 }
 
 void Metrics::observe(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(observe_mu_);
+  MutexLock lock(&observe_mu_);
   auto it = distributions_.find(name);
   if (it == distributions_.end())
     it = distributions_.emplace(std::string(name), Summary{}).first;
@@ -61,6 +61,7 @@ std::vector<std::pair<NodeId, std::uint64_t>> Metrics::by_node(
 }
 
 const Summary* Metrics::distribution(std::string_view name) const {
+  MutexLock lock(&observe_mu_);
   auto it = distributions_.find(name);
   return it == distributions_.end() ? nullptr : &it->second;
 }
@@ -78,6 +79,7 @@ std::vector<std::string> Metrics::counter_names() const {
 
 void Metrics::clear() {
   for (auto& s : slots_) s.by_node.assign(reserved_nodes_, 0);
+  MutexLock lock(&observe_mu_);
   distributions_.clear();
 }
 

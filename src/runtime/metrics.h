@@ -21,11 +21,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/summary.h"
 #include "common/types.h"
 
@@ -55,7 +55,7 @@ class Metrics {
   /// print order-sensitive aggregates of concurrently-observed
   /// distributions in deterministic output (sample order is interleaving-
   /// dependent; counts and quantiles are safe).
-  void observe(std::string_view name, double value);
+  void observe(std::string_view name, double value) ARES_EXCLUDES(observe_mu_);
 
   /// Sum of the named counter over all nodes (0 when never bumped).
   std::uint64_t total(std::string_view name) const;
@@ -67,8 +67,12 @@ class Metrics {
   /// bumped). Iteration order is by NodeId (ascending).
   std::vector<std::pair<NodeId, std::uint64_t>> by_node(std::string_view name) const;
 
-  /// The named distribution; nullptr when never observed.
-  const Summary* distribution(std::string_view name) const;
+  /// The named distribution; nullptr when never observed. The lookup is
+  /// locked and the returned node is stable across later observe() calls
+  /// (std::map), but reading the Summary's contents while observers may
+  /// still run is a quiescent-read contract.
+  const Summary* distribution(std::string_view name) const
+      ARES_EXCLUDES(observe_mu_);
 
   /// All counter names bumped so far (interned-but-untouched names are
   /// excluded), sorted.
@@ -81,8 +85,9 @@ class Metrics {
   void reserve_nodes(std::size_t n);
 
   /// Drops all counter values and distributions (between experiment
-  /// phases). Interned handles stay valid.
-  void clear();
+  /// phases). Interned handles stay valid. Coordinator-only, like every
+  /// other registry mutation outside observe().
+  void clear() ARES_EXCLUDES(observe_mu_);
 
  private:
   struct Slot {
@@ -94,12 +99,16 @@ class Metrics {
 
   std::vector<Slot> slots_;
   std::size_t reserved_nodes_ = 0;
-  mutable std::mutex observe_mu_;  // guards distributions_ mutation
+  mutable Mutex observe_mu_{"runtime.metrics.observe", lockrank::kMetrics};
   // Keys are owned copies (not views into slots_: Slot moves on vector
   // growth would dangle SSO string views). std::less<> gives heterogeneous
   // string_view lookup; interning is cold, so a tree map is fine.
+  // slots_/index_ mutate on the coordinator only (counter() interning,
+  // reserve_nodes() on join); distributions_ is the one registry map shard
+  // workers write, hence the capability.
   std::map<std::string, Counter, std::less<>> index_;
-  std::map<std::string, Summary, std::less<>> distributions_;
+  std::map<std::string, Summary, std::less<>> distributions_
+      ARES_GUARDED_BY(observe_mu_);
 };
 
 inline void Metrics::inc(NodeId node, Counter c, std::uint64_t delta) {

@@ -1,7 +1,6 @@
 #include "runtime/wire.h"
 
 #include <array>
-#include <mutex>
 
 #include "common/options.h"
 

@@ -30,7 +30,7 @@ ShardEngine::ShardEngine(std::uint32_t shards, SimTime window)
 ShardEngine::~ShardEngine() {
   if (!threads_.empty()) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       stop_ = true;
     }
     start_cv_.notify_all();
@@ -81,7 +81,8 @@ void ShardEngine::schedule(NodeId owner, std::uint64_t key, SimTime t,
     // The conservative-PDES invariant: every cross-shard hop travels at
     // least Δ, so it lands past the barrier. A latency model whose floor is
     // below the configured window breaks determinism — catch it here.
-    assert(t >= window_end_ && "cross-shard event inside the lookahead window");
+    assert(t >= window_end_.load(std::memory_order_relaxed) &&
+           "cross-shard event inside the lookahead window");
     me.outbox.push_back(Outgoing{dst, t, key, guard, std::move(a)});
   }
 }
@@ -152,16 +153,16 @@ void ShardEngine::worker_main(std::uint32_t s) {
     SimTime end_excl;
     bool mine;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      MutexLock lk(&mu_);
+      while (!stop_ && generation_ == seen) start_cv_.wait(mu_);
       if (stop_) return;
       seen = generation_;
       mine = (work_mask_ >> s) & 1U;
-      end_excl = window_end_;
+      end_excl = window_end_.load(std::memory_order_relaxed);
     }
     if (mine) drain_shard(s, end_excl);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       if (--active_ == 0) done_cv_.notify_one();
     }
   }
@@ -173,7 +174,7 @@ std::uint64_t ShardEngine::run_window(SimTime limit) {
   const SimTime wstart = tmin - (tmin % window_);
   SimTime wend = wstart + window_;  // exclusive
   if (limit < wend - 1) wend = limit + 1;
-  window_end_ = wend;
+  window_end_.store(wend, std::memory_order_relaxed);
 
   // Phase 1 — coordinator first: experiment-driver events observe node
   // state as of the start of the window, identically for every shard count.
@@ -208,15 +209,15 @@ std::uint64_t ShardEngine::run_window(SimTime limit) {
     tls_shard = -1;
   } else if (active_count > 1) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       work_mask_ = mask;
       active_ = static_cast<std::uint32_t>(threads_.size());
       ++generation_;
     }
     start_cv_.notify_all();
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      done_cv_.wait(lk, [&] { return active_ == 0; });
+      MutexLock lk(&mu_);
+      while (active_ != 0) done_cv_.wait(mu_);
     }
   }
   n += (executed() - coord_executed_) - before;

@@ -34,22 +34,24 @@
 /// identically for every S. The barrier-determinism ctest
 /// (tests/exp/shard_determinism_test.cpp) checks the end-to-end property.
 ///
-/// Threading contract: membership changes, set_node_shard(), alloc_key()
-/// for unseen ids, and schedule_coord() are coordinator-only. During the
-/// worker phase, shared mutable state is limited to the seams that are
-/// explicitly per-shard here and in sim/network.h (per-shard NetworkStats,
-/// outboxes); everything else a worker touches belongs to its own nodes.
-/// The ares-lint "shard-seam" rule keeps mailbox primitives out of protocol
-/// code.
+/// Threading contract (DESIGN.md §11): membership changes,
+/// set_node_shard(), alloc_key() for unseen ids, and schedule_coord() are
+/// coordinator-only. During the worker phase, shared mutable state is
+/// limited to the seams that are explicitly per-shard here and in
+/// sim/network.h (per-shard NetworkStats, outboxes); everything else a
+/// worker touches belongs to its own nodes. The pool handshake state is
+/// capability-annotated (ARES_GUARDED_BY(mu_)) and checked by clang
+/// -Wthread-safety; the ares-lint "shard-seam" rule keeps mailbox
+/// primitives out of protocol code.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 
@@ -171,14 +173,21 @@ class ShardEngine {
   // publishes {window_end_, work_mask_} under mu_, bumps generation_, and
   // waits for active_ to reach zero. Windows where a single shard has work
   // skip the pool and drain inline on the coordinator thread.
-  SimTime window_end_ = 0;  // exclusive end of the in-flight window
+  //
+  // Exclusive end of the in-flight window. Written by the coordinator only
+  // while no worker runs; workers read it during drains (the cross-shard
+  // lookahead assert in schedule()).
+  // ordering: relaxed — publication happens-before worker reads via the mu_
+  // generation handshake; the atomic only keeps the in-drain asserts
+  // race-free.
+  std::atomic<SimTime> window_end_{0};
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable start_cv_, done_cv_;
-  std::uint64_t generation_ = 0;
-  std::uint64_t work_mask_ = 0;
-  std::uint32_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_{"sim.shard.pool", lockrank::kShardPool};
+  CondVar start_cv_, done_cv_;
+  std::uint64_t generation_ ARES_GUARDED_BY(mu_) = 0;
+  std::uint64_t work_mask_ ARES_GUARDED_BY(mu_) = 0;
+  std::uint32_t active_ ARES_GUARDED_BY(mu_) = 0;
+  bool stop_ ARES_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ares

@@ -19,13 +19,9 @@
 
 namespace ares {
 
-/// Level-0 cell index along one dimension.
-using CellIndex = std::uint32_t;
-
-/// Per-node vector of level-0 cell indices (one per dimension); the discrete
-/// coordinates of a node in the cell grid. Inline storage (d <=
-/// kMaxDimensions) — copying a CellCoord never allocates.
-using CellCoord = InlineVec<CellIndex, kMaxDimensions>;
+// CellIndex / CellCoord — the level-0 cell index and per-node cell
+// coordinates this partition produces — live in common/types.h alongside
+// the other fundamental value types.
 
 /// Describes one attribute dimension.
 struct DimensionSpec {

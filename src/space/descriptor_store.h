@@ -99,8 +99,8 @@ class DescriptorStore {
   // SoA row arrays: these are the ONE place flat descriptor storage is the
   // point — inline-storage Points here would re-inflate every row to the
   // 216-byte layout this store exists to eliminate.
-  std::vector<AttrValue> values_;  // ares-lint: raw-descriptor-vec-ok(SoA backing rows, d elems per id)
-  std::vector<CellIndex> coords_;  // ares-lint: raw-descriptor-vec-ok(SoA backing rows, d elems per id)
+  AttrValueRows values_;  // flattened, d elems per id (common/types.h)
+  CellIndexRows coords_;  // flattened, d elems per id (common/types.h)
   std::vector<std::uint8_t> present_;
 };
 

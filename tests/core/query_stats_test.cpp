@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace ares {
 namespace {
 
@@ -82,6 +86,51 @@ TEST(QueryStats, ClearResetsEverything) {
   EXPECT_EQ(s.total_hits(), 0u);
   EXPECT_EQ(s.completed_count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean_overhead(), 0.0);
+}
+
+// Regression for the lock-coverage gap the thread-safety annotations
+// surfaced: find(), mean_overhead() and the scalar getters read shared
+// state and used to do so unlocked. Mutators on several threads race
+// against a reader thread; under TSan this test fails if any accessor
+// drops the lock again, and on any build the final totals must be exact.
+TEST(QueryStatsConcurrency, MutatorsAndAccessorsRace) {
+  QueryStats s(/*track_visited=*/false);
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 500;
+  std::atomic<bool> stop{false};  // ordering: relaxed test toggle
+  std::thread reader([&] {
+    std::uint64_t sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      sink += s.total_hits() + s.total_forwards() + s.completed_count();
+      sink += static_cast<std::uint64_t>(s.mean_overhead());
+      // find() is a locked lookup, but reading *through* the row is the
+      // quiescent contract — mid-run we may only test existence.
+      sink += s.find(1) != nullptr ? 1 : 0;
+    }
+    (void)sink;
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&s, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const QueryId q = static_cast<QueryId>(t) * kQueriesPerThread + i;
+        s.on_query_visited(q, 10, /*matched=*/false, /*is_origin=*/true);
+        s.on_query_visited(q, 11, false, false);   // overhead
+        s.on_query_visited(q, 12, true, false);    // hit
+        s.on_query_forwarded(q, 10, 11, 0, 0);
+        s.on_query_completed(q, 10, {});
+      }
+    });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  constexpr std::uint64_t kTotal = kThreads * kQueriesPerThread;
+  EXPECT_EQ(s.total_hits(), kTotal);
+  EXPECT_EQ(s.total_overhead(), kTotal);
+  EXPECT_EQ(s.total_forwards(), kTotal);
+  EXPECT_EQ(s.completed_count(), kTotal);
+  EXPECT_EQ(s.per_query().size(), kTotal);
+  EXPECT_DOUBLE_EQ(s.mean_overhead(), 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: ares::Mutex is not copyable — a copied mutex would
+// silently guard nothing (two locks, one logical resource).
+#include "common/mutex.h"
+
+int main() {
+  ares::Mutex a{"test.copy_a", ares::lockrank::kTest};
+  ares::Mutex b = a;  // error: copy constructor is deleted
+  (void)b;
+  return 0;
+}

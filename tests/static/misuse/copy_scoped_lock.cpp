@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: MutexLock is not copyable — a copied guard would
+// double-unlock on destruction.
+#include "common/mutex.h"
+
+int main() {
+  ares::Mutex mu{"test.copy_guard", ares::lockrank::kTest};
+  ares::MutexLock lk(&mu);
+  ares::MutexLock lk2 = lk;  // error: copy constructor is deleted
+  return 0;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: ares::Mutex::lock() is private — critical sections are
+// scoped (MutexLock), never opened by hand. (Friendship is limited to
+// MutexLock and CondVar.)
+#include "common/mutex.h"
+
+int main() {
+  ares::Mutex mu{"test.raw_lock", ares::lockrank::kTest};
+  mu.lock();  // error: 'lock' is a private member
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: ares::Mutex::unlock() is private — a critical section
+// cannot be ended by hand, only by MutexLock leaving scope.
+#include "common/mutex.h"
+
+int main() {
+  ares::Mutex mu{"test.raw_unlock", ares::lockrank::kTest};
+  mu.unlock();  // error: 'unlock' is a private member
+  return 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: every ares::Mutex carries a name and a lock rank
+// (DESIGN.md §11) — there is deliberately no default constructor, so a
+// mutex cannot be added to the tree without declaring where it sits in the
+// hierarchy.
+#include "common/mutex.h"
+
+int main() {
+  ares::Mutex mu;  // error: no default constructor
+  (void)mu;
+  return 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: acquiring a mutex
+// already held by the same scope (ares::Mutex is non-recursive; at runtime
+// this deadlocks, and in debug builds the rank checker aborts first).
+#include "common/mutex.h"
+
+int main() {
+  ares::Mutex mu{"test.double", ares::lockrank::kTest};
+  ares::MutexLock a(&mu);
+  ares::MutexLock b(&mu);  // error: acquiring mutex 'mu' that is already held
+  return 0;
+}

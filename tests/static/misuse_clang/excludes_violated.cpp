@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: calling a function
+// annotated ARES_EXCLUDES(mu) while holding mu (the callee takes the lock
+// itself — the caller holding it would self-deadlock).
+#include "common/mutex.h"
+
+namespace {
+
+class Stats {
+ public:
+  int total() const ARES_EXCLUDES(mu_) {
+    ares::MutexLock lock(&mu_);
+    return total_;
+  }
+
+  int broken_caller() const {
+    ares::MutexLock lock(&mu_);
+    return total();  // error: cannot call function 'total' while mutex 'mu_' is held
+  }
+
+ private:
+  mutable ares::Mutex mu_{"test.excludes", ares::lockrank::kTest};
+  int total_ ARES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Stats s;
+  return s.broken_caller();
+}

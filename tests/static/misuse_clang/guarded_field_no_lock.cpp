@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: writing a field marked
+// ARES_GUARDED_BY without holding its mutex.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    ++count_;  // error: writing variable 'count_' requires holding mutex 'mu_'
+  }
+
+ private:
+  ares::Mutex mu_{"test.guarded", ares::lockrank::kTest};
+  int count_ ARES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unlocked();
+  return 0;
+}

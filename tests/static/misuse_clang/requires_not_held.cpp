@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: calling a function
+// annotated ARES_REQUIRES(mu) without holding mu.
+#include "common/mutex.h"
+
+namespace {
+
+class Table {
+ public:
+  int size_locked() const ARES_REQUIRES(mu_) { return size_; }
+  int size_unsafe() const {
+    return size_locked();  // error: requires holding mutex 'mu_'
+  }
+
+ private:
+  mutable ares::Mutex mu_{"test.requires", ares::lockrank::kTest};
+  int size_ ARES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  return t.size_unsafe();
+}

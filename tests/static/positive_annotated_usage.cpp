@@ -1,0 +1,49 @@
+// Positive control for the negative-compile suite: correct use of the full
+// annotated concurrency API. Must compile clean with the exact flags the
+// misuse tests use (including -Wthread-safety -Werror under clang) — if
+// this file ever fails, the negative results above are meaningless.
+#include "common/mutex.h"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) ARES_EXCLUDES(mu_) {
+    ares::MutexLock lock(&mu_);
+    buf_[n_++ % kCap] = v;
+    cv_.notify_one();
+  }
+
+  int pop() ARES_EXCLUDES(mu_) {
+    ares::MutexLock lock(&mu_);
+    // Manual predicate loop: the analysis sees the guarded read of n_
+    // under the held capability (a lambda predicate would not).
+    while (n_ == taken_) cv_.wait(mu_);
+    return buf_[taken_++ % kCap];
+  }
+
+  int size() const ARES_EXCLUDES(mu_) {
+    ares::MutexLock lock(&mu_);
+    return size_locked();
+  }
+
+ private:
+  int size_locked() const ARES_REQUIRES(mu_) { return n_ - taken_; }
+
+  static constexpr int kCap = 8;
+  mutable ares::Mutex mu_{"test.positive.queue", ares::lockrank::kTest};
+  ares::CondVar cv_;
+  int buf_[kCap] ARES_GUARDED_BY(mu_) = {};
+  int n_ ARES_GUARDED_BY(mu_) = 0;
+  int taken_ ARES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push(1);
+  q.push(2);
+  int got = q.pop();
+  return got == 1 && q.size() == 1 ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Fixture: every pattern in here must be flagged.
+//
+//   raw-mutex        <mutex> include, std::mutex member, std::lock_guard,
+//                    naked m_.unlock() call
+//   mutex-guard      two ares::Mutex members with no ARES_GUARDED_BY (or
+//                    other annotation) user in the file
+//   atomic-ordering  two std::atomic declarations without an
+//                    `// ordering:` note
+#include <atomic>
+#include <mutex>
+
+namespace ares {
+
+class Mutex;  // stand-in: the rule keys on the spelling, not the real type
+
+class BadConcurrency {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(m_);
+    ++count_;
+  }
+
+  void leak_critical_section() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+  Mutex unguarded_a_;  // never referenced by any ARES_* annotation
+  Mutex unguarded_b_;
+  std::atomic<int> racy_flag_{0};
+  std::atomic<unsigned> racy_count_{0};
+  int count_ = 0;
+};
+
+}  // namespace ares

@@ -1,0 +1,30 @@
+// Fixture: the sanctioned concurrency idioms — none of these may be
+// flagged. ares::Mutex with an annotated guarded field, MutexLock scoping,
+// and a std::atomic carrying its ordering note.
+#include <atomic>
+
+#include "common/mutex.h"
+
+namespace ares {
+
+class GoodConcurrency {
+ public:
+  void bump() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+  int count() const ARES_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_{"fixture.good", lockrank::kTest};
+  int count_ ARES_GUARDED_BY(mu_) = 0;
+  // ordering: relaxed — monotonic progress flag, no data published through
+  // it; readers tolerate staleness.
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace ares

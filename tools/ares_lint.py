@@ -46,6 +46,29 @@ invariants"):
                    kernel-free (and trivially portable/simulable). Suppress
                    with  // ares-lint: net-seam-ok(<reason>)
 
+  raw-mutex        No std::mutex/std::lock_guard/std::unique_lock/
+                   std::condition_variable (or their headers, or naked
+                   .lock()/.unlock()/.try_lock() calls) in src/ outside
+                   src/common. All locking goes through ares::Mutex/
+                   MutexLock/CondVar (common/mutex.h): annotated for clang
+                   -Wthread-safety and rank-checked against the DESIGN.md
+                   §11 lock hierarchy in debug builds. Suppress with
+                       // ares-lint: raw-mutex-ok(<reason>)
+
+  mutex-guard      Every ares::Mutex member declared in src/ outside
+                   src/common must have at least one ARES_GUARDED_BY/
+                   ARES_PT_GUARDED_BY/ARES_REQUIRES/ARES_ACQUIRE/
+                   ARES_RELEASE/ARES_EXCLUDES user naming it in the same
+                   file — a mutex that guards nothing is either dead or
+                   its fields are unannotated. Suppress with
+                       // ares-lint: mutex-guard-ok(<reason>)
+
+  atomic-ordering  Every std::atomic declaration in src/ outside src/common
+                   must carry an  // ordering: <why>  note on the same line
+                   or in the comment block directly above, stating the
+                   memory-order discipline and what publishes what.
+                   Suppress with  // ares-lint: atomic-ordering-ok(<reason>)
+
   layering         Full declared include-DAG over src/ (generalizes the old
                    cmake/check_include_hygiene.cmake core/gossip rule).
                    Violations are reported per edge. Suppress a single
@@ -128,6 +151,30 @@ SHARD_SEAM = [
     (re.compile(r"\brun_window\s*\("), "ShardEngine::run_window()"),
     (re.compile(r"\bschedule_coord\s*\("), "ShardEngine::schedule_coord()"),
 ]
+
+# raw-mutex applies to src/ except src/common (where the annotated
+# ares::Mutex wrappers over the std primitives live).
+RAW_MUTEX = [
+    (re.compile(r"\bstd\s*::\s*(?:recursive_|timed_|recursive_timed_|"
+                r"shared_)?mutex\b"),
+     "a std mutex type"),
+    (re.compile(r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|"
+                r"shared_lock)\b"),
+     "a std lock guard"),
+    (re.compile(r"\bstd\s*::\s*condition_variable(?:_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"(?:\.|->)\s*(?:try_lock|lock|unlock)\s*\(\s*\)"),
+     "a naked lock()/unlock()/try_lock() call"),
+]
+RAW_MUTEX_HEADERS = frozenset(("mutex", "condition_variable", "shared_mutex"))
+
+# mutex-guard: an ares::Mutex member declaration, and the annotation macros
+# that count as "using" it.
+MUTEX_MEMBER = re.compile(r"\b(?:ares\s*::\s*)?Mutex\s+([A-Za-z_]\w*)\s*[;{(=]")
+ANNOTATION_USE = (r"ARES_(?:PT_GUARDED_BY|GUARDED_BY|REQUIRES|ACQUIRE|"
+                  r"RELEASE|EXCLUDES)")
+
+ATOMIC_DECL = re.compile(r"\bstd\s*::\s*atomic\s*<")
 
 FORBIDDEN_API = [
     (re.compile(r"\brand\s*\("), "rand()"),
@@ -263,7 +310,9 @@ class Linter:
         self.findings = []
         self.suppression_counts = {"unordered-iter": 0, "forbidden-api": 0,
                                    "raw-descriptor-vec": 0, "layering": 0,
-                                   "shard-seam": 0, "net-seam": 0}
+                                   "shard-seam": 0, "net-seam": 0,
+                                   "raw-mutex": 0, "mutex-guard": 0,
+                                   "atomic-ordering": 0}
 
     def add(self, rule, sf, offset_or_line, message, offset=True):
         line = sf.line_of(offset_or_line) if offset else offset_or_line
@@ -370,6 +419,88 @@ class Linter:
                              f"{what} outside common/ — spell it {use}; "
                              "descriptor coordinates store elements inline "
                              "(common/inline_vec.h) so copies never allocate")
+
+    # -- rule: raw-mutex -----------------------------------------------------
+
+    def check_raw_mutex(self):
+        src = self.root / "src"
+        if not src.is_dir():
+            return
+        scan_dirs = [d.name for d in sorted(src.iterdir())
+                     if d.is_dir() and d.name != "common"]
+        for p in iter_files(src, scan_dirs):
+            sf = SourceFile(p, str(p.relative_to(self.root)))
+            # Raw text: includes live outside the stripped code.
+            for m in ANGLE_INCLUDE.finditer(sf.text):
+                if m.group(1) in RAW_MUTEX_HEADERS:
+                    self.add("raw-mutex", sf, m.start(),
+                             f"<{m.group(1)}> outside src/common — locking "
+                             "goes through ares::Mutex/MutexLock/CondVar "
+                             "(common/mutex.h), annotated for -Wthread-safety "
+                             "and rank-checked in debug builds")
+            for rx, what in RAW_MUTEX:
+                for m in rx.finditer(sf.code):
+                    self.add("raw-mutex", sf, m.start(),
+                             f"{what} outside src/common — use ares::Mutex/"
+                             "MutexLock/CondVar (common/mutex.h) so the "
+                             "thread-safety analysis and the lock-rank "
+                             "checker see the critical section "
+                             "(DESIGN.md §11)")
+
+    # -- rule: mutex-guard ---------------------------------------------------
+
+    def check_mutex_guard(self):
+        src = self.root / "src"
+        if not src.is_dir():
+            return
+        scan_dirs = [d.name for d in sorted(src.iterdir())
+                     if d.is_dir() and d.name != "common"]
+        for p in iter_files(src, scan_dirs):
+            sf = SourceFile(p, str(p.relative_to(self.root)))
+            for m in MUTEX_MEMBER.finditer(sf.code):
+                name = m.group(1)
+                if re.search(ANNOTATION_USE + r"\s*\([^)]*\b" +
+                             re.escape(name) + r"\b", sf.code):
+                    continue
+                self.add("mutex-guard", sf, m.start(),
+                         f"ares::Mutex '{name}' has no ARES_GUARDED_BY/"
+                         "ARES_REQUIRES/... user in this file — annotate "
+                         "what it guards (or delete it); an unannotated "
+                         "mutex is invisible to -Wthread-safety "
+                         "(DESIGN.md §11)")
+
+    # -- rule: atomic-ordering -----------------------------------------------
+
+    def ordering_note_near(self, sf, line):
+        """True when raw line `line` carries an `ordering:` note, or the
+        contiguous //-comment block directly above it does."""
+        lines = sf.text.splitlines()
+        if line - 1 < len(lines) and "ordering:" in lines[line - 1]:
+            return True
+        k = line - 1
+        while k >= 1 and re.match(r"\s*//", lines[k - 1]):
+            if "ordering:" in lines[k - 1]:
+                return True
+            k -= 1
+        return False
+
+    def check_atomic_ordering(self):
+        src = self.root / "src"
+        if not src.is_dir():
+            return
+        scan_dirs = [d.name for d in sorted(src.iterdir())
+                     if d.is_dir() and d.name != "common"]
+        for p in iter_files(src, scan_dirs):
+            sf = SourceFile(p, str(p.relative_to(self.root)))
+            for m in ATOMIC_DECL.finditer(sf.code):
+                line = sf.line_of(m.start())
+                if self.ordering_note_near(sf, line):
+                    continue
+                self.add("atomic-ordering", sf, m.start(),
+                         "std::atomic without an `// ordering:` note — state "
+                         "the memory-order discipline (relaxed? release/"
+                         "acquire pair?) and what publishes what, on the "
+                         "declaration line or in the comment block above")
 
     # -- rule: shard-seam ----------------------------------------------------
 
@@ -486,6 +617,9 @@ class Linter:
         self.check_unordered_iter()
         self.check_forbidden_api()
         self.check_raw_descriptor_vec()
+        self.check_raw_mutex()
+        self.check_mutex_guard()
+        self.check_atomic_ordering()
         self.check_shard_seam()
         self.check_net_seam()
         self.check_layering()
@@ -533,6 +667,9 @@ def self_test(fixture_root: pathlib.Path) -> int:
         "unordered-iter": 2,       # range-for + .begin() traversal
         "forbidden-api": 2,        # random_device + getenv
         "raw-descriptor-vec": 2,   # vector<AttrValue> + vector<CellIndex>
+        "raw-mutex": 2,            # <mutex> include + std::lock_guard
+        "mutex-guard": 2,          # two unannotated ares::Mutex members
+        "atomic-ordering": 2,      # two std::atomic decls without a note
         "shard-seam": 2,           # push_keyed + alloc_key outside src/sim
         "net-seam": 2,             # sys/socket.h + unistd.h outside src/net
         "layering": 2,             # gossip -> sim, gossip -> exp
