@@ -24,7 +24,9 @@ int main() {
   using namespace ares;
   using namespace ares::bench;
 
-  Setup s = read_setup(/*default_n=*/0, /*default_queries=*/40);
+  // 100 queries per point: enough samples that interpolated p95 and p99
+  // land on distinct order statistics.
+  Setup s = read_setup(/*default_n=*/0, /*default_queries=*/100);
   exp::print_experiment_header(
       "Figure 6", "routing overhead vs. network size",
       "overhead < 3 msgs/query at every size; rises ~log(N) to ~10k nodes, "

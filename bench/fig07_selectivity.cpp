@@ -55,7 +55,8 @@ int main() {
       {"(b) DAS setup, LAN latency", option_u64("DAS_N", 1000), "lan", false},
   };
   const std::vector<double> fs{0.03, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0};
-  const std::size_t reps = option_u64("QUERIES", 10);
+  // Enough repetitions that interpolated p95 and p99 separate.
+  const std::size_t reps = option_u64("QUERIES", 25);
 
   std::vector<PointConfig> configs;
   for (int p = 0; p < 2; ++p)

@@ -57,7 +57,8 @@ int main() {
                  kMaxDimensions);
     return true;
   });
-  const std::size_t reps = option_u64("QUERIES", 25);
+  // Enough repetitions that interpolated p95 and p99 separate.
+  const std::size_t reps = option_u64("QUERIES", 50);
 
   std::vector<PointConfig> configs;
   for (int p = 0; p < 2; ++p) {

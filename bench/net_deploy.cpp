@@ -15,6 +15,8 @@
 #include "bench_common.h"
 
 #include "exp/deploy.h"
+#include "net/process.h"
+#include "runtime/wire.h"
 
 namespace {
 
@@ -103,6 +105,20 @@ int main() {
   t.print();
   std::cout << "datagram header overhead: " << udp.header_bytes
             << " bytes (excluded from frame accounting)\n";
+  const double fpd = udp.frames_per_datagram();
+  const double cycles_d = std::max<double>(static_cast<double>(udp.gossip_cycles), 1.0);
+  std::cout << "datagrams: " << udp.tx_datagrams << " carrying "
+            << udp.tx_frames << " frames (" << exp::fmt(fpd)
+            << " frames/datagram), syscalls: tx=" << udp.tx_syscalls
+            << " rx=" << udp.rx_syscalls << " ("
+            << exp::fmt(static_cast<double>(udp.tx_syscalls + udp.rx_syscalls) /
+                        cycles_d)
+            << " syscalls/node-cycle)\n";
+  const bool delta = wire::delta_enabled();
+  if (delta) {
+    std::cout << "delta mode: sim saved " << sim.bytes_delta_saved
+              << " bytes, udp saved " << udp.bytes_delta_saved << " bytes\n";
+  }
 
   std::uint64_t udp_msgs = 0;
   for (const auto& [type, tc] : udp.traffic) udp_msgs += tc.count;
@@ -117,7 +133,14 @@ int main() {
       .num("udp_gossip_cycles", udp.gossip_cycles)
       .num("udp_injected_drops", udp.injected_drops)
       .num("udp_decode_fail", udp.decode_fail)
-      .num("udp_header_bytes", udp.header_bytes);
+      .num("udp_header_bytes", udp.header_bytes)
+      .num("udp_tx_datagrams", udp.tx_datagrams)
+      .num("udp_tx_frames", udp.tx_frames)
+      .num("udp_frames_per_datagram", fpd)
+      .num("udp_tx_syscalls", udp.tx_syscalls)
+      .num("udp_rx_syscalls", udp.rx_syscalls)
+      .num("sim_bytes_delta_saved", sim.bytes_delta_saved)
+      .num("udp_bytes_delta_saved", udp.bytes_delta_saved);
   report.write();
 
   bool ok = true;
@@ -140,22 +163,62 @@ int main() {
                 << " injected drops (recall gate skipped under loss)\n";
     }
   }
-  // Budget gate, same +-15% band as bench/gossip_cost (frames are counted
-  // at send time, so injected loss does not perturb it).
+  // Budget gate, same bands as bench/gossip_cost (frames are counted at
+  // send time, so injected loss does not perturb it). Delta mode flips the
+  // gate: compressed traffic must land at least 25% below the budget.
   if (cfg.space.dimensions() == 5) {
-    const double lo = 2560.0 * 0.85, hi = 2560.0 * 1.15;
     for (const auto& [name, bpc] :
          {std::pair<const char*, double>{"sim", sim_bpc}, {"udp", udp_bpc}}) {
-      if (bpc < lo || bpc > hi) {
-        std::cerr << "FAIL: " << name << " " << bpc
-                  << " bytes/node/cycle outside paper budget [" << lo << ", "
-                  << hi << "]\n";
-        ok = false;
+      if (delta) {
+        const double cap = 2560.0 * 0.75;
+        if (bpc > cap) {
+          std::cerr << "FAIL: " << name << " delta mode " << bpc
+                    << " bytes/node/cycle above the 25%-reduction cap " << cap
+                    << "\n";
+          ok = false;
+        } else {
+          std::cout << "delta budget check (" << name << "): " << exp::fmt(bpc)
+                    << " <= " << cap << " OK\n";
+        }
       } else {
-        std::cout << "budget check (" << name << "): " << exp::fmt(bpc)
-                  << " in [" << lo << ", " << hi << "] OK\n";
+        const double lo = 2560.0 * 0.85, hi = 2560.0 * 1.15;
+        if (bpc < lo || bpc > hi) {
+          std::cerr << "FAIL: " << name << " " << bpc
+                    << " bytes/node/cycle outside paper budget [" << lo << ", "
+                    << hi << "]\n";
+          ok = false;
+        } else {
+          std::cout << "budget check (" << name << "): " << exp::fmt(bpc)
+                    << " in [" << lo << ", " << hi << "] OK\n";
+        }
       }
     }
+  }
+  // Coalescing gate: outside delay injection (delayed sends ship alone by
+  // design), gossip fan-out must pack more than one frame per datagram and
+  // — when the platform batches sends — fewer kernel entries than datagrams.
+  if (cfg.faults.delay_max == 0) {
+    if (fpd <= 1.0) {
+      std::cerr << "FAIL: frames/datagram " << fpd
+                << " <= 1 — payload coalescing is not engaging\n";
+      ok = false;
+    } else {
+      std::cout << "coalescing check: " << exp::fmt(fpd)
+                << " frames/datagram OK\n";
+    }
+    if (net::have_sendmmsg() && udp.tx_syscalls >= udp.tx_datagrams) {
+      std::cerr << "FAIL: tx syscalls " << udp.tx_syscalls
+                << " >= datagrams " << udp.tx_datagrams
+                << " — sendmmsg batching is not engaging\n";
+      ok = false;
+    } else if (net::have_sendmmsg()) {
+      std::cout << "syscall check: " << udp.tx_syscalls << " tx syscalls for "
+                << udp.tx_datagrams << " datagrams OK\n";
+    }
+  }
+  if (delta && udp.bytes_delta_saved == 0) {
+    std::cerr << "FAIL: delta mode on but no bytes were saved\n";
+    ok = false;
   }
   return ok ? 0 : 1;
 }

@@ -47,10 +47,12 @@ double Summary::quantile(double q) const {
   assert(!samples_.empty());
   assert(q >= 0.0 && q <= 1.0);
   ensure_sorted();
-  // Nearest-rank on [0, n-1].
-  double pos = q * static_cast<double>(sorted_.size() - 1);
-  auto idx = static_cast<std::size_t>(std::llround(pos));
-  return sorted_[idx];
+  // Type-7 interpolated quantile on [0, n-1] (see the header).
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
 }
 
 }  // namespace ares

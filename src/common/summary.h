@@ -23,7 +23,11 @@ class Summary {
   double max() const;
   /// Population standard deviation; 0 for fewer than 2 samples.
   double stddev() const;
-  /// Exact quantile q in [0,1] by nearest-rank; requires at least one sample.
+  /// Quantile q in [0,1] by linear interpolation between closest ranks
+  /// (type-7, the R/NumPy default): h = q*(n-1), result = s[floor(h)] +
+  /// frac(h) * (s[floor(h)+1] - s[floor(h)]). Distinguishes p95 from p99 on
+  /// modest sample counts where nearest-rank would snap both to the same
+  /// order statistic. Requires at least one sample.
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
 

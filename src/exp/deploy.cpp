@@ -221,6 +221,11 @@ struct ChildProc {
   metric("decode_fail", rt.metrics().total("wire.decode_fail"));
   metric("injected_drops", rt.injected_drops());
   metric("header_bytes", rt.header_bytes());
+  metric("tx_datagrams", rt.tx_datagrams());
+  metric("tx_frames", rt.tx_frames());
+  metric("tx_syscalls", rt.tx_syscalls());
+  metric("rx_syscalls", rt.rx_syscalls());
+  metric("bytes_delta_saved", rt.metrics().total("wire.bytes_delta_saved"));
   w = w && net::write_line(res, "done");
   net::exit_child(w ? 0 : 4);
 }
@@ -299,6 +304,11 @@ double BackendRun::bytes_per_node_cycle() const {
   for (const auto& [type, tc] : traffic)
     if (gossip_type(type)) bytes += tc.bytes;
   return static_cast<double>(bytes) / static_cast<double>(gossip_cycles);
+}
+
+double BackendRun::frames_per_datagram() const {
+  if (tx_datagrams == 0) return 0.0;
+  return static_cast<double>(tx_frames) / static_cast<double>(tx_datagrams);
 }
 
 std::size_t mismatches(const BackendRun& run,
@@ -416,6 +426,11 @@ BackendRun run_deployment(const DeployConfig& cfg) {
         else if (name == "decode_fail") run.decode_fail += v;
         else if (name == "injected_drops") run.injected_drops += v;
         else if (name == "header_bytes") run.header_bytes += v;
+        else if (name == "tx_datagrams") run.tx_datagrams += v;
+        else if (name == "tx_frames") run.tx_frames += v;
+        else if (name == "tx_syscalls") run.tx_syscalls += v;
+        else if (name == "rx_syscalls") run.rx_syscalls += v;
+        else if (name == "bytes_delta_saved") run.bytes_delta_saved += v;
       } else {
         return fail_deployment(std::move(run), "unknown report line: " + line, kids);
       }
@@ -475,6 +490,7 @@ BackendRun run_sim_mirror(const DeployConfig& cfg) {
     run.traffic[type] = tc;
   run.gossip_cycles = grid.net().metrics().total("gossip.cycles");
   run.decode_fail = grid.net().metrics().total("wire.decode_fail");
+  run.bytes_delta_saved = grid.net().metrics().total("wire.bytes_delta_saved");
   run.ok = true;
   return run;
 }

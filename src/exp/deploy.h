@@ -76,11 +76,23 @@ struct BackendRun {
   std::uint64_t gossip_cycles = 0;   // sum over nodes (node-cycles)
   std::uint64_t decode_fail = 0;     // wire.decode_fail total
   std::uint64_t injected_drops = 0;  // udp only
-  std::uint64_t header_bytes = 0;    // udp only (datagram routing headers)
+  std::uint64_t header_bytes = 0;    // udp only (datagram + sub-frame headers)
+  std::uint64_t tx_datagrams = 0;    // udp only
+  std::uint64_t tx_frames = 0;       // udp only (frames handed to the socket)
+  std::uint64_t tx_syscalls = 0;     // udp only (send-side kernel entries)
+  std::uint64_t rx_syscalls = 0;     // udp only (recv-side kernel entries)
+  /// wire.bytes_delta_saved total: legacy-minus-delta frame bytes when
+  /// ARES_WIRE_DELTA is on (0 otherwise). Both backends fill this.
+  std::uint64_t bytes_delta_saved = 0;
 
   /// Gossip traffic (cyclon.* + vicinity.* frame bytes) per node-cycle —
   /// the figure gossip_cost gates against the paper's ~2,560 B budget.
+  /// Counts bytes as sent (delta-compressed when delta mode is on).
   double bytes_per_node_cycle() const;
+
+  /// Average protocol frames per transmitted datagram (udp only; 1.0 when
+  /// nothing coalesced, 0 when nothing was sent).
+  double frames_per_datagram() const;
 };
 
 /// One planned query: what to ask and which node originates it.

@@ -16,7 +16,6 @@ QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
   const std::uint64_t events_before = grid.sim().executed_events();
   const std::uint64_t late_before = grid.sim().late_events();
   Summary overhead, delivery, matches, latency;
-  Histogram latency_hist = latency_histogram();
 
   for (const auto& q : queries) {
     for (std::size_t i = 0; i < origins_per_query; ++i) {
@@ -41,7 +40,6 @@ QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
         ++out.completed;
         matches.add(static_cast<double>(outcome.matches.size()));
         latency.add(to_seconds(outcome.latency));
-        latency_hist.add(to_seconds(outcome.latency));
       }
     }
   }
@@ -49,10 +47,13 @@ QueryRunStats run_queries(Grid& grid, const std::vector<RangeQuery>& queries,
   out.mean_delivery = delivery.mean();
   out.mean_matches = matches.mean();
   out.mean_latency_s = latency.mean();
-  if (latency_hist.total() > 0) {
-    out.p50_latency_s = latency_hist.quantile(0.50);
-    out.p95_latency_s = latency_hist.quantile(0.95);
-    out.p99_latency_s = latency_hist.quantile(0.99);
+  // Interpolated sample quantiles (Summary), not histogram-bucket upper
+  // bounds: bucket edges snapped nearby percentiles (p95 == p99) at the
+  // query counts the figure benches run.
+  if (!latency.empty()) {
+    out.p50_latency_s = latency.quantile(0.50);
+    out.p95_latency_s = latency.quantile(0.95);
+    out.p99_latency_s = latency.quantile(0.99);
   }
   out.sim_events = grid.sim().executed_events() - events_before;
   out.late_events = grid.sim().late_events() - late_before;

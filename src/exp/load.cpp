@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/hashing.h"
+#include "common/summary.h"
 #include "exp/experiment.h"
 
 namespace ares {
@@ -87,7 +88,9 @@ OpenLoopResult run_open_loop(Grid& grid, const OpenLoopConfig& cfg) {
 
   // Fold per-arrival slots in index order: identical results at any shard
   // or thread count, and no float accumulation in interleaving order.
-  Histogram latency = exp::latency_histogram();
+  // Summary keeps the raw samples, so the percentiles below interpolate
+  // between order statistics instead of reporting bucket upper bounds.
+  Summary latency;
   double latency_sum_s = 0.0;
   SimTime last_done = start;
   for (std::size_t i = 0; i < n; ++i) {

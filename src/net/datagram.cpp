@@ -49,4 +49,33 @@ bool decode_header(const std::uint8_t* data, std::size_t len, DatagramHeader& ou
   return out.payload_len == len - kHeaderSize;
 }
 
+void append_subframe(std::vector<std::uint8_t>& payload, NodeId src, NodeId dst,
+                     const std::uint8_t* frame, std::size_t frame_len) {
+  const std::size_t off = payload.size();
+  payload.resize(off + kSubHeaderSize + frame_len);
+  put_u32(payload.data() + off, src);
+  put_u32(payload.data() + off + 4, dst);
+  put_u16(payload.data() + off + 8, static_cast<std::uint16_t>(frame_len));
+  std::uint8_t* out = payload.data() + off + kSubHeaderSize;
+  for (std::size_t i = 0; i < frame_len; ++i) out[i] = frame[i];
+}
+
+bool SubframeParser::next(SubFrame& out) {
+  if (!ok_ || pos_ == len_) return false;
+  if (len_ - pos_ < kSubHeaderSize) {
+    ok_ = false;  // truncated sub-header
+    return false;
+  }
+  out.src = get_u32(payload_ + pos_);
+  out.dst = get_u32(payload_ + pos_ + 4);
+  out.frame_len = get_u16(payload_ + pos_ + 8);
+  if (len_ - pos_ - kSubHeaderSize < out.frame_len) {
+    ok_ = false;  // frame overruns the payload
+    return false;
+  }
+  out.frame = payload_ + pos_ + kSubHeaderSize;
+  pos_ += kSubHeaderSize + out.frame_len;
+  return true;
+}
+
 }  // namespace ares::net

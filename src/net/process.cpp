@@ -8,6 +8,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#if defined(ARES_HAVE_EPOLL)
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -132,6 +137,151 @@ std::ptrdiff_t udp_recv(int fd, void* buf, std::size_t cap) {
     if (n < 0 && errno == EINTR) continue;
     return n < 0 ? -1 : static_cast<std::ptrdiff_t>(n);
   }
+}
+
+bool have_sendmmsg() {
+#if defined(ARES_HAVE_SENDMMSG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool have_recvmmsg() {
+#if defined(ARES_HAVE_RECVMMSG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool have_epoll() {
+#if defined(ARES_HAVE_EPOLL)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+// mmsghdr arrays live on the stack; 64 datagrams per syscall is past the
+// point of diminishing returns and keeps the frames small.
+constexpr std::size_t kSyscallBatch = 64;
+}  // namespace
+
+std::size_t udp_send_batch(int fd, const DatagramBuf* bufs, std::size_t count,
+                           std::uint64_t* syscalls) {
+  std::size_t sent = 0;
+#if defined(ARES_HAVE_SENDMMSG)
+  std::size_t off = 0;
+  while (off < count) {
+    const std::size_t n = std::min(kSyscallBatch, count - off);
+    mmsghdr msgs[kSyscallBatch];
+    iovec iovs[kSyscallBatch];
+    sockaddr_in addrs[kSyscallBatch];
+    std::memset(msgs, 0, sizeof(mmsghdr) * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const DatagramBuf& b = bufs[off + i];
+      addrs[i] = {};
+      addrs[i].sin_family = AF_INET;
+      addrs[i].sin_addr.s_addr = htonl(b.ip);
+      addrs[i].sin_port = htons(b.port);
+      iovs[i].iov_base = b.data;
+      iovs[i].iov_len = b.len;
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int r;
+    do {
+      r = sendmmsg(fd, msgs, static_cast<unsigned>(n), 0);
+    } while (r < 0 && errno == EINTR);
+    if (syscalls != nullptr) ++*syscalls;
+    if (r <= 0) break;  // full socket buffer: the rest drops, UDP semantics
+    sent += static_cast<std::size_t>(r);
+    if (static_cast<std::size_t>(r) < n) break;  // kernel backpressure
+    off += n;
+  }
+#else
+  for (std::size_t i = 0; i < count; ++i) {
+    const DatagramBuf& b = bufs[i];
+    if (syscalls != nullptr) ++*syscalls;
+    if (udp_send(fd, b.ip, b.port, b.data, b.len)) ++sent;
+  }
+#endif
+  return sent;
+}
+
+std::size_t udp_recv_batch(int fd, DatagramBuf* bufs, std::size_t count,
+                           std::uint64_t* syscalls) {
+  std::size_t got = 0;
+#if defined(ARES_HAVE_RECVMMSG)
+  while (got < count) {
+    const std::size_t n = std::min(kSyscallBatch, count - got);
+    mmsghdr msgs[kSyscallBatch];
+    iovec iovs[kSyscallBatch];
+    std::memset(msgs, 0, sizeof(mmsghdr) * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      iovs[i].iov_base = bufs[got + i].data;
+      iovs[i].iov_len = bufs[got + i].len;
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int r;
+    do {
+      r = recvmmsg(fd, msgs, static_cast<unsigned>(n), MSG_DONTWAIT, nullptr);
+    } while (r < 0 && errno == EINTR);
+    if (syscalls != nullptr) ++*syscalls;
+    if (r <= 0) break;  // EAGAIN: drained
+    for (std::size_t i = 0; i < static_cast<std::size_t>(r); ++i)
+      bufs[got + i].len = msgs[i].msg_len;
+    got += static_cast<std::size_t>(r);
+    if (static_cast<std::size_t>(r) < n) break;  // short batch: drained
+  }
+#else
+  while (got < count) {
+    if (syscalls != nullptr) ++*syscalls;
+    std::ptrdiff_t n = udp_recv(fd, bufs[got].data, bufs[got].len);
+    if (n < 0) break;
+    bufs[got].len = static_cast<std::size_t>(n);
+    ++got;
+  }
+#endif
+  return got;
+}
+
+ReadinessWaiter::ReadinessWaiter(int fd) : fd_(fd) {
+#if defined(ARES_HAVE_EPOLL)
+  epfd_ = epoll_create1(0);
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd_;
+    if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd_, &ev) != 0) {
+      close(epfd_);
+      epfd_ = -1;  // registration failed: poll fallback
+    }
+  }
+#endif
+}
+
+ReadinessWaiter::~ReadinessWaiter() {
+  if (epfd_ >= 0) close(epfd_);
+}
+
+bool ReadinessWaiter::wait(int timeout_ms) {
+#if defined(ARES_HAVE_EPOLL)
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    for (;;) {
+      int r = epoll_wait(epfd_, &ev, 1, timeout_ms);
+      if (r < 0 && errno == EINTR) continue;
+      return r > 0;
+    }
+  }
+#endif
+  return poll_readable(fd_, timeout_ms);
 }
 
 std::int64_t monotonic_micros() {

@@ -83,6 +83,64 @@ bool udp_send(int fd, std::uint32_t ip_host_order, std::uint16_t port,
 /// kernel — pass a kMaxDatagram-sized buffer.
 std::ptrdiff_t udp_recv(int fd, void* buf, std::size_t cap);
 
+// ---- batched datagram I/O (feature-probed) --------------------------------
+//
+// sendmmsg/recvmmsg move many datagrams per syscall; epoll replaces the
+// per-wait poll() setup cost. Each path is probed in CMake (ARES_HAVE_*)
+// and degrades to the portable single-datagram / poll implementations, so
+// callers program one API and the platform decides the syscall count.
+
+/// One datagram in a batch. For sends, (ip, port, data, len) describe the
+/// outgoing datagram. For receives, data/len are the buffer and its
+/// capacity on input; len is rewritten to the received length on output.
+struct DatagramBuf {
+  std::uint32_t ip = 0;  // host byte order
+  std::uint16_t port = 0;
+  std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// True when the corresponding kernel batching path is compiled in
+/// (introspection for benches/tests; the wrappers work either way).
+bool have_sendmmsg();
+bool have_recvmmsg();
+bool have_epoll();
+
+/// Sends `count` datagrams in as few syscalls as the platform allows (one
+/// sendmmsg when available, else one sendto each). Returns how many the
+/// kernel accepted — a full socket buffer drops the rest, UDP semantics.
+/// `*syscalls` (optional) is incremented by the number of syscalls made.
+std::size_t udp_send_batch(int fd, const DatagramBuf* bufs, std::size_t count,
+                           std::uint64_t* syscalls);
+
+/// Receives up to `count` datagrams without blocking (one recvmmsg when
+/// available, else one recv each). Returns how many arrived; 0 means the
+/// socket is drained. `*syscalls` (optional) is incremented as above.
+std::size_t udp_recv_batch(int fd, DatagramBuf* bufs, std::size_t count,
+                           std::uint64_t* syscalls);
+
+/// Readiness waiter for one fd: a persistent epoll instance when the
+/// platform has one (registration cost paid once, not per wait), a plain
+/// poll() otherwise. Replaces poll_readable() on the UdpRuntime hot loop so
+/// deployments scale past hundreds of processes.
+class ReadinessWaiter {
+ public:
+  explicit ReadinessWaiter(int fd);
+  ~ReadinessWaiter();
+  ReadinessWaiter(const ReadinessWaiter&) = delete;
+  ReadinessWaiter& operator=(const ReadinessWaiter&) = delete;
+
+  /// True when the fd becomes readable within `timeout_ms`.
+  bool wait(int timeout_ms);
+
+  /// True when the epoll path is active (fallback is poll()).
+  bool using_epoll() const { return epfd_ >= 0; }
+
+ private:
+  int fd_;
+  int epfd_ = -1;  // -1 = poll fallback
+};
+
 /// CLOCK_MONOTONIC in microseconds (the UDP runtime's clock source).
 std::int64_t monotonic_micros();
 

@@ -11,13 +11,24 @@
 /// are identical across backends and so is NetworkStats accounting (frame
 /// bytes only; the header overhead is metered separately).
 ///
-/// Event loop: poll_once() waits on the socket with a timeout sized to the
-/// earliest pending timer or delayed transmission, drains every received
-/// datagram, fires due timers through a TimerWheel (owner-guarded, same
-/// incarnation-safety as the simulator's node_timer), and flushes
-/// fault-delayed sends. There is no background thread — the hosting
-/// process drives the loop, and a test can interleave two runtimes
+/// Event loop: poll_once() flushes coalesced sends, waits on the socket
+/// (epoll when the platform has it, poll otherwise) with a timeout sized to
+/// the earliest pending timer or delayed transmission, drains every
+/// received datagram in recvmmsg batches, fires due timers through a
+/// TimerWheel (owner-guarded, same incarnation-safety as the simulator's
+/// node_timer), flushes fault-delayed sends, and flushes the frames those
+/// steps produced. There is no background thread — the hosting process
+/// drives the loop, and a test can interleave two runtimes
 /// deterministically by alternating their poll_once() calls.
+///
+/// Payload coalescing (Config::coalesce, default on): frames sent between
+/// loop iterations accumulate per destination process and leave as one
+/// datagram per destination at the next flush — multiple sub-frames under
+/// one routing header (net/datagram.h), handed to the kernel with one
+/// sendmmsg where available. A destination holding a single frame is
+/// flushed as a plain v1 datagram (no sub-header), so a one-message
+/// exchange is byte-identical to the uncoalesced format. Fault-delayed
+/// sends bypass coalescing: their release time is their own.
 ///
 /// Delivery guarantees (DESIGN.md §10): none beyond UDP's. Datagrams may
 /// be lost (full socket buffers), duplicated, or reordered; the receive
@@ -36,6 +47,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/process.h"
 #include "net/timer_wheel.h"
 #include "runtime/runtime.h"
 #include "runtime/traffic.h"
@@ -79,6 +91,10 @@ class UdpRuntime final : public Runtime {
   struct Config {
     std::uint64_t seed = 1;
     FaultInjection faults;
+    /// Pack frames sent between loop iterations into one datagram per
+    /// destination process (see the file comment). Off = one datagram per
+    /// frame, the v1 behaviour.
+    bool coalesce = true;
   };
 
   /// Takes ownership of `socket_fd` (closed in the destructor). The socket
@@ -134,13 +150,24 @@ class UdpRuntime final : public Runtime {
 
   std::uint64_t tx_datagrams() const { return tx_datagrams_; }
   std::uint64_t rx_datagrams() const { return rx_datagrams_; }
-  /// Datagrams rejected before decode: short/foreign/misrouted headers.
+  /// Protocol frames handed to the socket (>= tx_datagrams when frames
+  /// coalesce; frames_per_datagram = tx_frames / tx_datagrams).
+  std::uint64_t tx_frames() const { return tx_frames_; }
+  /// Send/receive syscalls issued on the data socket (sendmmsg counts 1 per
+  /// kernel entry, not per datagram).
+  std::uint64_t tx_syscalls() const { return tx_syscalls_; }
+  std::uint64_t rx_syscalls() const { return rx_syscalls_; }
+  /// Datagrams (or coalesced sub-frames) rejected before decode:
+  /// short/foreign/misrouted headers, reserved flag bits, bad tiling.
   std::uint64_t rx_rejected() const { return rx_rejected_; }
   /// Datagrams dropped by fault injection at the send side.
   std::uint64_t injected_drops() const { return injected_drops_; }
-  /// Routing-header overhead (kHeaderSize per transmitted datagram) — kept
-  /// out of NetworkStats so frame accounting matches the simulator.
+  /// Routing overhead: kHeaderSize per transmitted datagram plus
+  /// kSubHeaderSize per coalesced sub-frame — kept out of NetworkStats so
+  /// frame accounting matches the simulator.
   std::uint64_t header_bytes() const { return header_bytes_; }
+  /// True when the readiness loop runs on epoll (fallback is poll()).
+  bool using_epoll() const { return waiter_.using_epoll(); }
 
  private:
   struct Delayed {
@@ -153,8 +180,21 @@ class UdpRuntime final : public Runtime {
     }
   };
 
+  /// One destination process's datagram under construction: sub-frames
+  /// accumulated since the last flush.
+  struct Pending {
+    PeerAddress addr;
+    std::vector<std::uint8_t> payload;  // sub-header + frame, repeated
+    std::size_t frames = 0;
+  };
+
   void transmit(NodeId to, const std::vector<std::uint8_t>& bytes);
   bool handle_datagram(const std::uint8_t* data, std::size_t len);
+  bool deliver_frame(NodeId src, NodeId dst, const std::uint8_t* frame,
+                     std::size_t len);
+  void enqueue_frame(NodeId from, NodeId to, PeerAddress addr,
+                     const std::vector<std::uint8_t>& frame);
+  void flush_pending();
   void drain_socket();
   void flush_delayed();
 
@@ -169,12 +209,27 @@ class UdpRuntime final : public Runtime {
   std::function<bool(NodeId)> alive_probe_;
   Metrics::Counter m_wire_decode_fail_;
   Metrics::Counter m_wire_encode_fail_;
+  Metrics::Counter m_wire_bytes_saved_;
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
   std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>> delayed_;
   std::uint64_t delayed_seq_ = 0;
-  std::vector<std::uint8_t> rx_buf_;
+  ReadinessWaiter waiter_;
+  // Coalescing state: per-destination pending datagrams, flushed in the
+  // order destinations first appeared (keyed (ip << 16) | port).
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<std::uint64_t> pending_order_;
+  // Flush scratch, reused across flushes to keep the hot path allocation-
+  // free once warm.
+  std::vector<std::vector<std::uint8_t>> tx_scratch_;
+  std::vector<DatagramBuf> tx_bufs_;
+  std::vector<std::size_t> tx_overheads_;
+  // Receive batch buffers (kRxBatch datagrams per udp_recv_batch call).
+  std::vector<std::vector<std::uint8_t>> rx_bufs_;
   std::uint64_t tx_datagrams_ = 0;
   std::uint64_t rx_datagrams_ = 0;
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t tx_syscalls_ = 0;
+  std::uint64_t rx_syscalls_ = 0;
   std::uint64_t rx_rejected_ = 0;
   std::uint64_t injected_drops_ = 0;
   std::uint64_t header_bytes_ = 0;

@@ -13,7 +13,8 @@ Network::Network(Simulator& sim, std::unique_ptr<LatencyModel> latency)
       latency_(std::move(latency)),
       latency_seed_(hash_mix(sim.seed(), 0x4C415443ULL /* "LATC" */)),
       m_wire_decode_fail_(metrics().counter("wire.decode_fail")),
-      m_wire_encode_fail_(metrics().counter("wire.encode_fail")) {
+      m_wire_encode_fail_(metrics().counter("wire.encode_fail")),
+      m_wire_bytes_saved_(metrics().counter("wire.bytes_delta_saved")) {
   assert(latency_ != nullptr);
   // Owner-guarded timers (node_timer) consult this at execution time; the
   // membership map is coordinator-mutated only, so the read is worker-safe.
@@ -98,6 +99,14 @@ Node* Network::find(NodeId id) {
 
 void Network::send(NodeId from, NodeId to, MessagePtr m) {
   assert(m != nullptr);
+  // Delta-mode bandwidth accounting: wire_size()/on_send already measure the
+  // compressed frame; this counter preserves the uncompressed-vs-compressed
+  // difference so benches can report both. No-op (and no sizing work) when
+  // delta mode is off.
+  if (wire::delta_enabled()) {
+    if (std::size_t saved = wire::delta_savings(*m); saved > 0)
+      metrics().inc(from, m_wire_bytes_saved_, saved);
+  }
   if (wire::checked_delivery()) {
     // Wire-true mode: the message crosses the boundary as codec bytes, the
     // way a socket backend would move it. Undecodable frames are dropped

@@ -101,10 +101,11 @@ class Network final : public Runtime {
   std::vector<NetworkStats> shard_stats_;
   /// Seed of the per-message latency streams (sharded mode).
   std::uint64_t latency_seed_;
-  // Wire-failure metrics handles, interned up front: counter-name interning
+  // Wire metrics handles, interned up front: counter-name interning
   // mutates the registry and must never happen on a shard worker.
   Metrics::Counter m_wire_decode_fail_;
   Metrics::Counter m_wire_encode_fail_;
+  Metrics::Counter m_wire_bytes_saved_;
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
   NodeId next_id_ = 0;
   mutable std::vector<NodeId> alive_cache_;

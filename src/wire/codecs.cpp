@@ -186,22 +186,19 @@ std::size_t resource_size(const ResourceRecord& r) {
 
 // ---- per-kind codecs ------------------------------------------------------
 
-void encode_gossip(const Message& m, Writer& w) {
+const std::vector<PeerDescriptor>& gossip_entries(const Message& m) {
   Kind k = m.kind();
-  const auto& entries =
-      (k == Kind::kCyclonRequest || k == Kind::kCyclonReply)
-          ? static_cast<const CyclonShuffleMsg&>(m).entries
-          : static_cast<const VicinityExchangeMsg&>(m).entries;
-  put_descriptors(w, entries);
+  return (k == Kind::kCyclonRequest || k == Kind::kCyclonReply)
+             ? static_cast<const CyclonShuffleMsg&>(m).entries
+             : static_cast<const VicinityExchangeMsg&>(m).entries;
+}
+
+void encode_gossip(const Message& m, Writer& w) {
+  put_descriptors(w, gossip_entries(m));
 }
 
 std::size_t size_gossip(const Message& m) {
-  Kind k = m.kind();
-  const auto& entries =
-      (k == Kind::kCyclonRequest || k == Kind::kCyclonReply)
-          ? static_cast<const CyclonShuffleMsg&>(m).entries
-          : static_cast<const VicinityExchangeMsg&>(m).entries;
-  return descriptors_size(entries);
+  return descriptors_size(gossip_entries(m));
 }
 
 MessagePtr decode_gossip(Reader& r, Kind kind) {
@@ -214,6 +211,186 @@ MessagePtr decode_gossip(Reader& r, Kind kind) {
   auto m = std::make_unique<VicinityExchangeMsg>();
   m->is_reply = kind == Kind::kVicinityReply;
   if (!get_descriptors(r, m->entries)) return nullptr;
+  return m;
+}
+
+// ---- delta gossip codec (ARES_WIRE_DELTA=1) -------------------------------
+//
+// Compressed form of the CYCLON/Vicinity descriptor lists (the ~95% of
+// gossip bytes). Entry 0 travels as a full legacy descriptor — the
+// per-exchange reference; every later entry carries zig-zag varint
+// *wrapping* deltas against it, with presence bitmaps so attribute values
+// and cell coordinates equal to the reference cost one bit instead of 8/4
+// bytes. Wrapping arithmetic (mod 2^64 / 2^32) makes the round trip exact
+// for every input, including adversarial extremes. An entry whose
+// dimensionality differs from the reference falls back to the full form
+// (flags=1), keeping the delta encoder total. Layout and rejection rules
+// are specified in docs/PROTOCOL.md §"Delta frames".
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// Wrapping difference b - a as a sign-extended value: small for nearby
+// inputs in either direction, exact for all inputs under wrapping add.
+std::int64_t wrap_diff_u64(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::int64_t>(b - a);
+}
+
+std::int64_t wrap_diff_u32(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(b - a);
+}
+
+std::uint64_t wrap_add_u64(std::uint64_t a, std::int64_t d) {
+  return a + static_cast<std::uint64_t>(d);
+}
+
+std::uint32_t wrap_add_u32(std::uint32_t a, std::int64_t d) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(a) +
+                                    static_cast<std::uint64_t>(d));
+}
+
+// Entry flags byte: 0 = delta against the reference, 1 = full descriptor
+// fallback (dimensionality mismatch). Any other value rejects the frame.
+constexpr std::uint8_t kDeltaEntry = 0;
+constexpr std::uint8_t kFullEntry = 1;
+
+bool delta_encodable(const PeerDescriptor& ref, const PeerDescriptor& d) {
+  return d.values.size() == ref.values.size() &&
+         d.coord.size() == ref.coord.size();
+}
+
+void put_delta_entry(Writer& w, const PeerDescriptor& ref,
+                     const PeerDescriptor& d) {
+  if (!delta_encodable(ref, d)) {
+    w.u8(kFullEntry);
+    put_descriptor(w, d);
+    return;
+  }
+  w.u8(kDeltaEntry);
+  w.varint(zigzag(wrap_diff_u32(ref.id, d.id)));
+  w.varint(zigzag(wrap_diff_u32(ref.age, d.age)));
+  std::uint64_t vbits = 0;
+  for (std::size_t i = 0; i < d.values.size(); ++i)
+    if (d.values[i] != ref.values[i]) vbits |= std::uint64_t{1} << i;
+  w.varint(vbits);
+  for (std::size_t i = 0; i < d.values.size(); ++i)
+    if (vbits & (std::uint64_t{1} << i))
+      w.varint(zigzag(wrap_diff_u64(ref.values[i], d.values[i])));
+  std::uint64_t cbits = 0;
+  for (std::size_t i = 0; i < d.coord.size(); ++i)
+    if (d.coord[i] != ref.coord[i]) cbits |= std::uint64_t{1} << i;
+  w.varint(cbits);
+  for (std::size_t i = 0; i < d.coord.size(); ++i)
+    if (cbits & (std::uint64_t{1} << i))
+      w.varint(zigzag(wrap_diff_u32(ref.coord[i], d.coord[i])));
+}
+
+std::size_t delta_entry_size(const PeerDescriptor& ref,
+                             const PeerDescriptor& d) {
+  if (!delta_encodable(ref, d)) return 1 + descriptor_size(d);
+  std::size_t n = 1;
+  n += varint_len(zigzag(wrap_diff_u32(ref.id, d.id)));
+  n += varint_len(zigzag(wrap_diff_u32(ref.age, d.age)));
+  std::uint64_t vbits = 0;
+  for (std::size_t i = 0; i < d.values.size(); ++i)
+    if (d.values[i] != ref.values[i]) vbits |= std::uint64_t{1} << i;
+  n += varint_len(vbits);
+  for (std::size_t i = 0; i < d.values.size(); ++i)
+    if (vbits & (std::uint64_t{1} << i))
+      n += varint_len(zigzag(wrap_diff_u64(ref.values[i], d.values[i])));
+  std::uint64_t cbits = 0;
+  for (std::size_t i = 0; i < d.coord.size(); ++i)
+    if (d.coord[i] != ref.coord[i]) cbits |= std::uint64_t{1} << i;
+  n += varint_len(cbits);
+  for (std::size_t i = 0; i < d.coord.size(); ++i)
+    if (cbits & (std::uint64_t{1} << i))
+      n += varint_len(zigzag(wrap_diff_u32(ref.coord[i], d.coord[i])));
+  return n;
+}
+
+bool get_delta_entry(Reader& r, const PeerDescriptor& ref,
+                     PeerDescriptor& d) {
+  const std::uint8_t flags = r.u8();
+  if (!r.ok()) return false;
+  if (flags == kFullEntry) return get_descriptor(r, d);
+  if (flags != kDeltaEntry) return false;  // unknown flag bits: reject
+  d.id = wrap_add_u32(ref.id, unzigzag(r.varint()));
+  d.age = wrap_add_u32(ref.age, unzigzag(r.varint()));
+  const std::uint64_t vbits = r.varint();
+  if (!r.ok()) return false;
+  // A bit addressing a dimension the reference does not have can only come
+  // from a corrupt/hostile frame (the encoder falls back to kFullEntry on
+  // any dimensionality mismatch).
+  if (ref.values.size() < 64 && (vbits >> ref.values.size()) != 0) return false;
+  d.values.resize(ref.values.size());
+  for (std::size_t i = 0; i < d.values.size(); ++i)
+    d.values[i] = (vbits & (std::uint64_t{1} << i))
+                      ? wrap_add_u64(ref.values[i], unzigzag(r.varint()))
+                      : ref.values[i];
+  const std::uint64_t cbits = r.varint();
+  if (!r.ok()) return false;
+  if (ref.coord.size() < 64 && (cbits >> ref.coord.size()) != 0) return false;
+  d.coord.resize(ref.coord.size());
+  for (std::size_t i = 0; i < d.coord.size(); ++i)
+    d.coord[i] = (cbits & (std::uint64_t{1} << i))
+                     ? wrap_add_u32(ref.coord[i], unzigzag(r.varint()))
+                     : ref.coord[i];
+  return r.ok();
+}
+
+void put_delta_descriptors(Writer& w, const std::vector<PeerDescriptor>& v) {
+  w.varint(v.size());
+  if (v.empty()) return;
+  put_descriptor(w, v[0]);  // the reference travels in full
+  for (std::size_t i = 1; i < v.size(); ++i) put_delta_entry(w, v[0], v[i]);
+}
+
+std::size_t delta_descriptors_size(const std::vector<PeerDescriptor>& v) {
+  std::size_t n = varint_len(v.size());
+  if (v.empty()) return n;
+  n += descriptor_size(v[0]);
+  for (std::size_t i = 1; i < v.size(); ++i) n += delta_entry_size(v[0], v[i]);
+  return n;
+}
+
+bool get_delta_descriptors(Reader& r, std::vector<PeerDescriptor>& v) {
+  std::uint64_t n = r.count(5);  // >= flags + id + age + two bitmaps
+  if (!r.ok()) return false;
+  v.resize(static_cast<std::size_t>(n));
+  if (v.empty()) return true;
+  if (!get_descriptor(r, v[0])) return false;
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (!get_delta_entry(r, v[0], v[i])) return false;
+  return true;
+}
+
+void encode_gossip_delta(const Message& m, Writer& w) {
+  put_delta_descriptors(w, gossip_entries(m));
+}
+
+std::size_t size_gossip_delta(const Message& m) {
+  return delta_descriptors_size(gossip_entries(m));
+}
+
+MessagePtr decode_gossip_delta(Reader& r, Kind kind) {
+  if (kind == Kind::kCyclonRequest || kind == Kind::kCyclonReply) {
+    auto m = std::make_unique<CyclonShuffleMsg>();
+    m->is_reply = kind == Kind::kCyclonReply;
+    if (!get_delta_descriptors(r, m->entries)) return nullptr;
+    return m;
+  }
+  if (kind != Kind::kVicinityRequest && kind != Kind::kVicinityReply)
+    return nullptr;
+  auto m = std::make_unique<VicinityExchangeMsg>();
+  m->is_reply = kind == Kind::kVicinityReply;
+  if (!get_delta_descriptors(r, m->entries)) return nullptr;
   return m;
 }
 
@@ -445,6 +622,18 @@ void register_builtin_codecs() {
   const Codec slice{encode_slice, decode_slice, size_slice};
   register_codec(Kind::kSliceRequest, slice);
   register_codec(Kind::kSliceReply, slice);
+}
+
+void register_builtin_delta_codecs() {
+  // Only the descriptor-carrying gossip kinds have a compressed form; every
+  // kind registered here keeps its legacy register_codec() path above (the
+  // ares-lint `delta-codec` rule enforces the pairing).
+  const DeltaCodec gossip_delta{encode_gossip_delta, decode_gossip_delta,
+                                size_gossip_delta};
+  register_delta_codec(Kind::kCyclonRequest, gossip_delta);
+  register_delta_codec(Kind::kCyclonReply, gossip_delta);
+  register_delta_codec(Kind::kVicinityRequest, gossip_delta);
+  register_delta_codec(Kind::kVicinityReply, gossip_delta);
 }
 
 }  // namespace detail

@@ -42,6 +42,42 @@ TEST(Summary, Quantiles) {
   EXPECT_NEAR(s.quantile(0.9), 90.0, 1.0);
 }
 
+TEST(Summary, QuantileInterpolatesBetweenOrderStatistics) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  // Type-7: h = q * (n-1); q=0.5 lands halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 17.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 32.5);
+  // h = (1/3) * 3 = 1 exactly: an order statistic, no interpolation.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(Summary, HighQuantilesSeparateAtModestCounts) {
+  // The regression this guards: nearest-rank (and histogram buckets)
+  // snapped p95 and p99 together at figure-bench sample counts.
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const double p95 = s.quantile(0.95);
+  const double p99 = s.quantile(0.99);
+  EXPECT_LT(p95, p99);
+  EXPECT_NEAR(p95, 95.05, 1e-9);  // 0.95 * 99 = 94.05 -> s[94] + .05 step
+  EXPECT_NEAR(p99, 99.01, 1e-9);
+}
+
+TEST(Summary, QuantileExactAtEndpointsAndSingleSample) {
+  Summary one;
+  one.add(7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.0);
+  Summary s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);   // min, no interpolation below
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);   // max, no interpolation above
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);   // exact order statistic
+}
+
 TEST(Summary, QuantileAfterInterleavedAdds) {
   Summary s;
   s.add(5.0);

@@ -100,5 +100,106 @@ TEST(Datagram, RejectsOversizeLength) {
   EXPECT_FALSE(decode_header(d.data(), d.size(), out));
 }
 
+// ---- coalesced payloads (flags bit 0) --------------------------------------
+
+std::vector<std::uint8_t> frame_of(std::size_t len, std::uint8_t seed) {
+  std::vector<std::uint8_t> f(len);
+  for (std::size_t i = 0; i < len; ++i)
+    f[i] = static_cast<std::uint8_t>(seed + i * 3);
+  return f;
+}
+
+TEST(Subframe, AppendThenParseRoundTripsTriples) {
+  const auto f0 = frame_of(5, 1);
+  const auto f1 = frame_of(0, 0);  // empty frames are legal sub-frames
+  const auto f2 = frame_of(300, 9);
+  std::vector<std::uint8_t> payload;
+  append_subframe(payload, 10, 20, f0.data(), f0.size());
+  append_subframe(payload, 11, 21, f1.data(), f1.size());
+  append_subframe(payload, 0xFFFFFFFF, 0, f2.data(), f2.size());
+  EXPECT_EQ(payload.size(), 3 * kSubHeaderSize + f0.size() + f1.size() + f2.size());
+
+  SubframeParser p(payload.data(), payload.size());
+  SubFrame s;
+  ASSERT_TRUE(p.next(s));
+  EXPECT_EQ(s.src, 10u);
+  EXPECT_EQ(s.dst, 20u);
+  ASSERT_EQ(s.frame_len, f0.size());
+  EXPECT_EQ(std::memcmp(s.frame, f0.data(), f0.size()), 0);
+  ASSERT_TRUE(p.next(s));
+  EXPECT_EQ(s.src, 11u);
+  EXPECT_EQ(s.frame_len, 0u);
+  ASSERT_TRUE(p.next(s));
+  EXPECT_EQ(s.src, 0xFFFFFFFFu);
+  EXPECT_EQ(s.dst, 0u);
+  ASSERT_EQ(s.frame_len, f2.size());
+  EXPECT_EQ(std::memcmp(s.frame, f2.data(), f2.size()), 0);
+  EXPECT_FALSE(p.next(s));
+  EXPECT_TRUE(p.ok());
+}
+
+TEST(Subframe, EmptyPayloadParsesCleanToNothing) {
+  SubframeParser p(nullptr, 0);
+  SubFrame s;
+  EXPECT_FALSE(p.next(s));
+  EXPECT_TRUE(p.ok());
+}
+
+TEST(Subframe, TruncatedSubHeaderFailsNotOk) {
+  const auto f0 = frame_of(4, 2);
+  std::vector<std::uint8_t> payload;
+  append_subframe(payload, 1, 2, f0.data(), f0.size());
+  payload.resize(payload.size() + kSubHeaderSize - 1);  // partial next header
+  SubframeParser p(payload.data(), payload.size());
+  SubFrame s;
+  ASSERT_TRUE(p.next(s));  // the intact prefix still parses (UDP semantics)
+  EXPECT_FALSE(p.next(s));
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(Subframe, FrameLengthOverrunningPayloadFailsNotOk) {
+  const auto f0 = frame_of(8, 3);
+  std::vector<std::uint8_t> payload;
+  append_subframe(payload, 1, 2, f0.data(), f0.size());
+  // Claim one more frame byte than the payload holds.
+  payload[8] = static_cast<std::uint8_t>(f0.size() + 1);
+  SubframeParser p(payload.data(), payload.size());
+  SubFrame s;
+  EXPECT_FALSE(p.next(s));
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(Subframe, EveryTruncationEndsNotOkOrAtBoundary) {
+  std::vector<std::uint8_t> payload;
+  const auto f0 = frame_of(6, 4);
+  const auto f1 = frame_of(3, 5);
+  append_subframe(payload, 1, 2, f0.data(), f0.size());
+  append_subframe(payload, 3, 4, f1.data(), f1.size());
+  const std::size_t boundary = kSubHeaderSize + f0.size();
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    SubframeParser p(payload.data(), len);
+    SubFrame s;
+    while (p.next(s)) {
+    }
+    // ok() only at exact sub-frame boundaries; every mid-entry cut is
+    // malformed and must be flagged.
+    EXPECT_EQ(p.ok(), len == 0 || len == boundary) << "len=" << len;
+  }
+}
+
+TEST(Subframe, CoalescedHeaderFlagSurvivesHeaderRoundTrip) {
+  DatagramHeader h{1, 2, kFlagCoalesced, 20};
+  std::vector<std::uint8_t> d(kHeaderSize + 20, 0);
+  encode_header(h, d.data());
+  DatagramHeader out;
+  ASSERT_TRUE(decode_header(d.data(), d.size(), out));
+  EXPECT_EQ(out.flags, kFlagCoalesced);
+  // decode_header returns flags as-is; reserved-bit enforcement is the
+  // runtime's job (UdpRuntime rejects flags & ~kFlagCoalesced).
+  d[3] = 0x02;
+  ASSERT_TRUE(decode_header(d.data(), d.size(), out));
+  EXPECT_EQ(out.flags, 0x02);
+}
+
 }  // namespace
 }  // namespace ares::net

@@ -1,0 +1,133 @@
+/// Batched datagram I/O and the readiness waiter (net/process.h): the
+/// feature-probed sendmmsg/recvmmsg/epoll paths and their portable
+/// fallbacks behave identically at this API — callers see only datagram
+/// counts and an optional syscall meter.
+
+#include "net/process.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace ares::net {
+namespace {
+
+constexpr std::uint32_t kLoopback = 0x7F000001;
+
+struct SocketPair {
+  SocketPair() : tx(udp_bind_loopback()), rx(udp_bind_loopback()) {
+    EXPECT_GE(tx, 0);
+    EXPECT_GE(rx, 0);
+    port = local_port(rx);
+  }
+  ~SocketPair() {
+    close_fd(tx);
+    close_fd(rx);
+  }
+  int tx;
+  int rx;
+  std::uint16_t port = 0;
+};
+
+TEST(ProcessBatch, SendBatchMovesEveryDatagramInOneSyscall) {
+  SocketPair s;
+  std::uint8_t d0[3] = {1, 2, 3};
+  std::uint8_t d1[1] = {9};
+  std::uint8_t d2[5] = {5, 4, 3, 2, 1};
+  DatagramBuf out[3] = {{kLoopback, s.port, d0, sizeof d0},
+                        {kLoopback, s.port, d1, sizeof d1},
+                        {kLoopback, s.port, d2, sizeof d2}};
+  std::uint64_t send_calls = 0;
+  ASSERT_EQ(udp_send_batch(s.tx, out, 3, &send_calls), 3u);
+  EXPECT_EQ(send_calls, have_sendmmsg() ? 1u : 3u);
+
+  ASSERT_TRUE(poll_readable(s.rx, 2000));
+  std::array<std::vector<std::uint8_t>, 4> storage;
+  DatagramBuf in[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    storage[i].resize(64);
+    in[i] = {0, 0, storage[i].data(), storage[i].size()};
+  }
+  std::uint64_t recv_calls = 0;
+  std::size_t got = 0;
+  // Loopback delivery is immediate but not atomic across three datagrams;
+  // drain until all arrive.
+  for (int tries = 0; got < 3 && tries < 200; ++tries) {
+    got += udp_recv_batch(s.rx, in + got, 4 - got, &recv_calls);
+    if (got < 3) poll_readable(s.rx, 10);
+  }
+  ASSERT_EQ(got, 3u);
+  EXPECT_GT(recv_calls, 0u);
+  // One UDP socket preserves order; len is rewritten to the received size.
+  EXPECT_EQ(in[0].len, sizeof d0);
+  EXPECT_EQ(std::memcmp(in[0].data, d0, sizeof d0), 0);
+  EXPECT_EQ(in[1].len, sizeof d1);
+  EXPECT_EQ(in[2].len, sizeof d2);
+  EXPECT_EQ(std::memcmp(in[2].data, d2, sizeof d2), 0);
+}
+
+TEST(ProcessBatch, RecvBatchOnDrainedSocketReturnsZero) {
+  SocketPair s;
+  std::vector<std::uint8_t> buf(64);
+  DatagramBuf in[1] = {{0, 0, buf.data(), buf.size()}};
+  std::uint64_t calls = 0;
+  EXPECT_EQ(udp_recv_batch(s.rx, in, 1, &calls), 0u);
+  EXPECT_GT(calls, 0u);  // the emptiness probe is itself a syscall
+}
+
+TEST(ProcessBatch, SendBatchOfZeroIsANoOp) {
+  SocketPair s;
+  std::uint64_t calls = 0;
+  EXPECT_EQ(udp_send_batch(s.tx, nullptr, 0, &calls), 0u);
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(ProcessBatch, SyscallCounterIsOptional) {
+  SocketPair s;
+  std::uint8_t one = 7;
+  DatagramBuf out[1] = {{kLoopback, s.port, &one, 1}};
+  EXPECT_EQ(udp_send_batch(s.tx, out, 1, nullptr), 1u);
+  ASSERT_TRUE(poll_readable(s.rx, 2000));
+  std::vector<std::uint8_t> buf(8);
+  DatagramBuf in[1] = {{0, 0, buf.data(), buf.size()}};
+  EXPECT_EQ(udp_recv_batch(s.rx, in, 1, nullptr), 1u);
+  EXPECT_EQ(in[0].len, 1u);
+  EXPECT_EQ(buf[0], 7);
+}
+
+TEST(ProcessBatch, ReadinessWaiterSeesArrivalsAndTimesOutWhenIdle) {
+  SocketPair s;
+  ReadinessWaiter w(s.rx);
+  EXPECT_EQ(w.using_epoll(), have_epoll());
+  EXPECT_FALSE(w.wait(0));  // nothing pending
+  std::uint8_t one = 1;
+  ASSERT_TRUE(udp_send(s.tx, kLoopback, s.port, &one, 1));
+  EXPECT_TRUE(w.wait(2000));
+  // Readiness is level-triggered on both paths: the datagram is still
+  // unread, so a second wait reports readable again.
+  EXPECT_TRUE(w.wait(0));
+  std::vector<std::uint8_t> buf(8);
+  DatagramBuf in[1] = {{0, 0, buf.data(), buf.size()}};
+  ASSERT_EQ(udp_recv_batch(s.rx, in, 1, nullptr), 1u);
+  EXPECT_FALSE(w.wait(0));  // drained
+}
+
+TEST(ProcessBatch, FeatureProbesAreConsistentOnThisPlatform) {
+  // The probes are compile-time facts; this just surfaces their values in
+  // test logs so a CI leg missing a fast path is visible, and pins that
+  // the trio can be queried without side effects.
+  const bool smm = have_sendmmsg();
+  const bool rmm = have_recvmmsg();
+  const bool ep = have_epoll();
+  EXPECT_EQ(smm, have_sendmmsg());
+  EXPECT_EQ(rmm, have_recvmmsg());
+  EXPECT_EQ(ep, have_epoll());
+  RecordProperty("have_sendmmsg", smm);
+  RecordProperty("have_recvmmsg", rmm);
+  RecordProperty("have_epoll", ep);
+}
+
+}  // namespace
+}  // namespace ares::net

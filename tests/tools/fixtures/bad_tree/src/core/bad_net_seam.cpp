@@ -1,11 +1,15 @@
-// net-seam fixture: raw syscall headers outside src/net. Both includes must
-// fire — core code talks to the kernel only through net/process.h wrappers.
+// net-seam fixture: raw syscall headers outside src/net. All three includes
+// must fire — core code talks to the kernel only through net/process.h
+// wrappers (sockets, event loops, and process control alike).
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 namespace ares {
 
 int open_raw_socket() { return socket(2 /*AF_INET*/, 2 /*SOCK_DGRAM*/, 0); }
+
+int make_raw_epoll() { return epoll_create1(0); }
 
 void close_raw_socket(int fd) { close(fd); }
 

@@ -1,0 +1,456 @@
+/// Delta descriptor encoding (docs/PROTOCOL.md §"Delta frames"): gossip
+/// exchanges carry a full reference descriptor plus zig-zag varint deltas
+/// for the remaining entries, behind the [0x00][version][kind] escape
+/// prologue. These tests pin the negotiation rules (legacy decoders reject
+/// delta frames; delta decoders accept both encodings), the compression
+/// floor the benches gate on, the golden byte layout, and decode totality
+/// under adversarial input (the sanitize CI leg runs this suite under
+/// ASan/UBSan).
+
+#include "wire/codecs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ares::wire {
+namespace {
+
+constexpr Kind kGossipKinds[] = {Kind::kCyclonRequest, Kind::kCyclonReply,
+                                 Kind::kVicinityRequest, Kind::kVicinityReply};
+
+constexpr Kind kNonDeltaKinds[] = {
+    Kind::kQuery,      Kind::kReply,    Kind::kProgress,  Kind::kDhtPut,
+    Kind::kDhtGet,     Kind::kDhtRecords, Kind::kFloodQuery, Kind::kFloodHit,
+    Kind::kSliceRequest, Kind::kSliceReply,
+};
+
+PeerDescriptor rand_descriptor(Rng& rng, std::size_t dims) {
+  PeerDescriptor d;
+  d.id = static_cast<NodeId>(rng.below(100'000));
+  d.age = static_cast<std::uint32_t>(rng.below(500));
+  d.values.resize(dims);
+  for (auto& v : d.values) v = rng.next();
+  d.coord.resize(dims);
+  for (auto& c : d.coord) c = static_cast<CellIndex>(rng.below(1u << 20));
+  return d;
+}
+
+/// Descriptors the way gossip actually sends them: same dimensionality,
+/// values drawn from one bounded attribute range, nearby coords — the
+/// correlated shape delta encoding exists for.
+std::vector<PeerDescriptor> correlated_descriptors(Rng& rng, std::size_t n,
+                                                   std::size_t dims = 5) {
+  std::vector<PeerDescriptor> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PeerDescriptor d;
+    d.id = static_cast<NodeId>(rng.below(1000));
+    d.age = static_cast<std::uint32_t>(rng.below(20));
+    d.values.resize(dims);
+    for (auto& val : d.values) val = rng.below(80);
+    d.coord.resize(dims);
+    for (auto& c : d.coord) c = static_cast<CellIndex>(rng.below(27));
+    v.push_back(std::move(d));
+  }
+  return v;
+}
+
+/// Adversarial mix: entries disagree on dimensionality (kFullEntry
+/// fallback), hold extreme values (zig-zag wrap), or are empty.
+std::vector<PeerDescriptor> hostile_descriptors(Rng& rng) {
+  std::vector<PeerDescriptor> v(rng.below(10));
+  for (auto& d : v) {
+    d = rand_descriptor(rng, rng.below(6));
+    if (rng.below(4) == 0) {
+      for (auto& val : d.values) val = ~0ull - rng.below(3);
+      d.id = 0xFFFFFFFFu;
+      d.age = 0xFFFFFFFFu;
+    }
+  }
+  return v;
+}
+
+MessagePtr make_gossip(Kind k, std::vector<PeerDescriptor> entries) {
+  if (k == Kind::kCyclonRequest || k == Kind::kCyclonReply) {
+    auto m = std::make_unique<CyclonShuffleMsg>();
+    m->is_reply = k == Kind::kCyclonReply;
+    m->entries = std::move(entries);
+    return m;
+  }
+  auto m = std::make_unique<VicinityExchangeMsg>();
+  m->is_reply = k == Kind::kVicinityReply;
+  m->entries = std::move(entries);
+  return m;
+}
+
+const std::vector<PeerDescriptor>& entries_of(const Message& m) {
+  if (const auto* c = dynamic_cast<const CyclonShuffleMsg*>(&m))
+    return c->entries;
+  return dynamic_cast<const VicinityExchangeMsg&>(m).entries;
+}
+
+void expect_same_gossip(const Message& a, const Message& b) {
+  ASSERT_EQ(a.kind(), b.kind());
+  const auto& ea = entries_of(a);
+  const auto& eb = entries_of(b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].id, eb[i].id) << "entry " << i;
+    EXPECT_EQ(ea[i].age, eb[i].age) << "entry " << i;
+    EXPECT_EQ(ea[i].values, eb[i].values) << "entry " << i;
+    EXPECT_EQ(ea[i].coord, eb[i].coord) << "entry " << i;
+  }
+}
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoul(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+// ---- negotiation ----------------------------------------------------------
+
+TEST(DeltaCodec, ScopedModeNestsAndRestoresAmbientSetting) {
+  // Ambient default tracks ARES_WIRE_DELTA (the sanitize CI leg runs this
+  // suite with it set), so assert restoration, not a particular default.
+  const bool ambient = delta_enabled();
+  {
+    ScopedDeltaMode delta(true);
+    EXPECT_TRUE(delta_enabled());
+    {
+      ScopedDeltaMode legacy(false);
+      EXPECT_FALSE(delta_enabled());
+    }
+    EXPECT_TRUE(delta_enabled());
+  }
+  EXPECT_EQ(delta_enabled(), ambient);
+}
+
+TEST(DeltaCodec, DeltaFramesCarryTheEscapePrologue) {
+  ScopedDeltaMode delta(true);
+  Rng rng(1);
+  for (Kind k : kGossipKinds) {
+    MessagePtr m = make_gossip(k, correlated_descriptors(rng, 4));
+    auto bytes = encode(*m);
+    ASSERT_GE(bytes.size(), 3u);
+    EXPECT_EQ(bytes[0], kDeltaEscape);
+    EXPECT_EQ(bytes[1], kDeltaVersion);
+    EXPECT_EQ(bytes[2], static_cast<std::uint8_t>(k));
+    EXPECT_EQ(m->wire_size(), bytes.size());
+  }
+}
+
+TEST(DeltaCodec, NonGossipKindsStayLegacyUnderDeltaMode) {
+  ScopedDeltaMode delta(true);
+  ProgressMsg p;
+  p.id = 42;
+  auto bytes = encode(p);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes[0], static_cast<std::uint8_t>(Kind::kProgress));
+  for (Kind k : kNonDeltaKinds) EXPECT_EQ(find_delta_codec(k), nullptr);
+  for (Kind k : kGossipKinds) EXPECT_NE(find_delta_codec(k), nullptr);
+}
+
+TEST(DeltaCodec, LegacyDecoderRejectsDeltaFrames) {
+  std::vector<std::uint8_t> frame;
+  {
+    ScopedDeltaMode delta(true);
+    Rng rng(2);
+    MessagePtr m = make_gossip(Kind::kCyclonRequest, correlated_descriptors(rng, 3));
+    frame = encode(*m);
+  }
+  ASSERT_EQ(frame[0], kDeltaEscape);
+  {
+    // Delta off: tag 0x00 is kInvalid, no codec — the mixed-version
+    // rejection a pre-delta peer performs (metered wire.decode_fail at the
+    // transport boundary; see udp_runtime_test).
+    ScopedDeltaMode legacy(false);
+    EXPECT_EQ(decode(frame), nullptr);
+  }
+  ScopedDeltaMode delta(true);
+  EXPECT_NE(decode(frame), nullptr);
+}
+
+TEST(DeltaCodec, DeltaDecoderAcceptsLegacyFrames) {
+  Rng rng(3);
+  MessagePtr m = make_gossip(Kind::kVicinityReply, correlated_descriptors(rng, 5));
+  std::vector<std::uint8_t> legacy;
+  {
+    ScopedDeltaMode off(false);
+    legacy = encode(*m);
+  }
+  ASSERT_EQ(legacy[0], static_cast<std::uint8_t>(Kind::kVicinityReply));
+  ScopedDeltaMode delta(true);
+  MessagePtr out = decode(legacy);
+  ASSERT_NE(out, nullptr);
+  expect_same_gossip(*m, *out);
+}
+
+TEST(DeltaCodec, LegacyBytesAreIdenticalWithModeOff) {
+  // Figure outputs must be byte-identical with delta off: encoding with the
+  // feature compiled in but disabled produces exactly the legacy frame.
+  ScopedDeltaMode off(false);
+  Rng rng(4);
+  MessagePtr m = make_gossip(Kind::kCyclonReply, correlated_descriptors(rng, 4));
+  const auto bytes = encode(*m);
+  EXPECT_EQ(bytes[0], static_cast<std::uint8_t>(Kind::kCyclonReply));
+  EXPECT_EQ(delta_savings(*m), 0u);  // meter is inert when the mode is off
+}
+
+// ---- round-trip properties ------------------------------------------------
+
+TEST(DeltaCodecProperty, EveryGossipKindRoundTripsRandomizedMessages) {
+  ScopedDeltaMode delta(true);
+  Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (Kind k : kGossipKinds) {
+      SCOPED_TRACE("kind " + std::to_string(static_cast<int>(k)) + " trial " +
+                   std::to_string(trial));
+      const auto entries = trial % 2 == 0
+                               ? correlated_descriptors(rng, rng.below(10))
+                               : hostile_descriptors(rng);
+      MessagePtr m = make_gossip(k, entries);
+      auto bytes = encode(*m);
+      ASSERT_FALSE(bytes.empty());
+      EXPECT_EQ(m->wire_size(), bytes.size());
+      MessagePtr out = decode(bytes);
+      ASSERT_NE(out, nullptr);
+      ASSERT_EQ(out->kind(), k);
+      EXPECT_EQ(out->wire_size(), bytes.size());
+      expect_same_gossip(*m, *out);
+    }
+  }
+}
+
+TEST(DeltaCodecProperty, SizeBodyMatchesEncodedLength) {
+  // encoded_size() must agree with encode() in delta mode exactly as it
+  // does in legacy mode: traffic accounting is only as honest as this.
+  ScopedDeltaMode delta(true);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (Kind k : kGossipKinds) {
+      MessagePtr m = make_gossip(k, hostile_descriptors(rng));
+      EXPECT_EQ(encoded_size(*m), encode(*m).size());
+    }
+  }
+}
+
+TEST(DeltaCodecProperty, CompressionMeetsTheBenchFloor) {
+  // The tentpole: on gossip-shaped exchanges (full view, shared
+  // dimensionality, bounded attribute ranges) delta frames must be at
+  // least 25% smaller than legacy — this is what the gossip_cost and
+  // net_deploy gates measure end to end.
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    MessagePtr m = make_gossip(Kind::kCyclonRequest,
+                               correlated_descriptors(rng, 6, 5));
+    std::size_t legacy = 0;
+    {
+      ScopedDeltaMode off(false);
+      legacy = encode(*m).size();
+    }
+    ScopedDeltaMode delta(true);
+    const std::size_t compressed = encode(*m).size();
+    EXPECT_LE(compressed * 4, legacy * 3)
+        << "trial " << trial << ": " << compressed << " vs " << legacy;
+    EXPECT_EQ(delta_savings(*m), legacy - compressed);
+  }
+}
+
+TEST(DeltaCodec, MixedDimensionalityFallsBackToFullEntries) {
+  ScopedDeltaMode delta(true);
+  std::vector<PeerDescriptor> entries;
+  entries.push_back({1, Point{10, 20, 30}, CellCoord{1, 2, 3}, 4});
+  entries.push_back({2, Point{11, 19}, CellCoord{1, 2}, 5});  // fewer dims
+  entries.push_back({3, Point{}, CellCoord{}, 6});            // empty
+  entries.push_back({4, Point{12, 21, 29}, CellCoord{1, 2, 4}, 0});
+  MessagePtr m = make_gossip(Kind::kVicinityRequest, entries);
+  MessagePtr out = decode(encode(*m));
+  ASSERT_NE(out, nullptr);
+  expect_same_gossip(*m, *out);
+}
+
+// ---- golden frames --------------------------------------------------------
+
+// Fixed two-entry exchange: reference descriptor in full, second entry as
+// deltas (id +1 zig-zag = 02, age +1 = 02, value bitmap 0b011 with deltas
+// +1/-1, coord bitmap 0b100 with delta +1).
+std::vector<PeerDescriptor> golden_entries() {
+  std::vector<PeerDescriptor> v;
+  v.push_back({5, Point{10, 2000, 300000000000ULL}, CellCoord{1, 2, 7}, 0});
+  v.push_back({6, Point{11, 1999, 300000000000ULL}, CellCoord{1, 2, 8}, 1});
+  return v;
+}
+
+const char* const kGoldenCyclonDeltaHex =
+    "000101"  // escape, version 1, kind kCyclonRequest
+    "02"      // 2 entries
+    "0500000000000000"  // ref: id=5 age=0
+    "030a00000000000000d00700000000000000b864d94500000003010000000200000007000000"
+    "00"      // entry 1: flags = delta
+    "0202"    // id +1, age +1 (zig-zag)
+    "030201"  // value bitmap 0b011, deltas +1, -1
+    "0402";   // coord bitmap 0b100, delta +1
+
+TEST(DeltaGoldenFrames, CyclonRequestDeltaBytesPinned) {
+  ScopedDeltaMode delta(true);
+  MessagePtr m = make_gossip(Kind::kCyclonRequest, golden_entries());
+  EXPECT_EQ(to_hex(encode(*m)), kGoldenCyclonDeltaHex);
+  EXPECT_EQ(m->wire_size(), std::string(kGoldenCyclonDeltaHex).size() / 2);
+}
+
+TEST(DeltaGoldenFrames, PinnedDeltaFrameDecodesToOriginalFields) {
+  ScopedDeltaMode delta(true);
+  MessagePtr m = decode(from_hex(kGoldenCyclonDeltaHex));
+  ASSERT_NE(m, nullptr);
+  MessagePtr want = make_gossip(Kind::kCyclonRequest, golden_entries());
+  expect_same_gossip(*want, *m);
+}
+
+TEST(DeltaGoldenFrames, LegacyGoldenBytesUnchangedByDeltaSupport) {
+  // The pre-delta pin from golden_frame_test.cpp, re-checked here with the
+  // delta machinery compiled in and OFF: bit-for-bit the v1 wire.
+  ScopedDeltaMode off(false);
+  std::vector<PeerDescriptor> one;
+  one.push_back({7, Point{10, 2000, 300000000000ULL}, CellCoord{1, 2, 7}, 1});
+  MessagePtr m = make_gossip(Kind::kCyclonReply, one);
+  EXPECT_EQ(to_hex(encode(*m)),
+            "02010700000001000000"
+            "030a00000000000000d00700000000000000b864d945000000"
+            "03010000000200000007000000");
+}
+
+// ---- decode hardening -----------------------------------------------------
+
+void expect_total_delta(const std::vector<std::uint8_t>& bytes) {
+  MessagePtr m = decode(bytes);
+  if (m == nullptr) return;
+  ASSERT_FALSE(bytes.empty());
+  if (bytes[0] == kDeltaEscape) {
+    ASSERT_GE(bytes.size(), 3u);
+    EXPECT_EQ(static_cast<std::uint8_t>(m->kind()), bytes[2]);
+  } else {
+    EXPECT_EQ(static_cast<std::uint8_t>(m->kind()), bytes[0]);
+  }
+  EXPECT_EQ(m->wire_size(), bytes.size());
+}
+
+TEST(DeltaDecodeFuzz, EveryPrefixTruncationFailsCleanly) {
+  ScopedDeltaMode delta(true);
+  Rng rng(0xDE17A1);
+  for (Kind k : kGossipKinds) {
+    MessagePtr m = make_gossip(k, correlated_descriptors(rng, 5));
+    const auto frame = encode(*m);
+    for (std::size_t len = 0; len < frame.size(); ++len)
+      EXPECT_EQ(decode(frame.data(), len), nullptr)
+          << "kind " << int(k) << " prefix " << len;
+  }
+}
+
+TEST(DeltaDecodeFuzz, SingleBitFlipsNeverCrash) {
+  ScopedDeltaMode delta(true);
+  Rng rng(0xDE17A2);
+  for (Kind k : kGossipKinds) {
+    MessagePtr m = make_gossip(k, hostile_descriptors(rng));
+    const auto frame = encode(*m);
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto copy = frame;
+        copy[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        expect_total_delta(copy);
+      }
+    }
+  }
+}
+
+TEST(DeltaDecodeFuzz, RandomMutationsNeverCrash) {
+  ScopedDeltaMode delta(true);
+  Rng rng(0xDE17A3);
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (Kind k : kGossipKinds) {
+    MessagePtr m = make_gossip(k, correlated_descriptors(rng, 6));
+    frames.push_back(encode(*m));
+  }
+  for (int trial = 0; trial < 4000; ++trial) {
+    auto copy = frames[rng.index(frames.size())];
+    std::uint64_t edits = 1 + rng.below(4);
+    for (std::uint64_t e = 0; e < edits && !copy.empty(); ++e)
+      copy[rng.index(copy.size())] = static_cast<std::uint8_t>(rng.below(256));
+    if (rng.below(4) == 0) copy.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    if (rng.below(4) == 0 && !copy.empty()) copy.pop_back();
+    expect_total_delta(copy);
+  }
+}
+
+TEST(DeltaDecodeFuzz, TargetedMalformedFramesAreRejected) {
+  ScopedDeltaMode delta(true);
+  Rng rng(0xDE17A4);
+  MessagePtr m = make_gossip(Kind::kCyclonRequest, correlated_descriptors(rng, 3));
+  const auto good = encode(*m);
+  ASSERT_NE(decode(good), nullptr);
+
+  // Unknown delta version.
+  auto bad_version = good;
+  bad_version[1] = 2;
+  EXPECT_EQ(decode(bad_version), nullptr);
+
+  // Escape prologue naming a kind with no delta codec.
+  auto bad_kind = good;
+  bad_kind[2] = static_cast<std::uint8_t>(Kind::kQuery);
+  EXPECT_EQ(decode(bad_kind), nullptr);
+
+  // Bare prologue: escape with no body at all.
+  EXPECT_EQ(decode(std::vector<std::uint8_t>{0x00, 0x01, 0x01}), nullptr);
+
+  // Varint overflow planted in the body (entry count position).
+  auto overflow = good;
+  static constexpr std::uint8_t kForever[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                                              0x80, 0x80, 0x80, 0x80, 0x80};
+  overflow.erase(overflow.begin() + 3, overflow.end());
+  overflow.insert(overflow.end(), std::begin(kForever), std::end(kForever));
+  EXPECT_EQ(decode(overflow), nullptr);
+
+  // Count bomb: claims 2^20 entries in a tiny frame.
+  std::vector<std::uint8_t> bomb{0x00, 0x01, 0x01, 0x80, 0x80, 0x40};
+  EXPECT_EQ(decode(bomb), nullptr);
+}
+
+TEST(DeltaDecodeFuzz, OutOfRangeBitmapBitsAreRejected) {
+  // Build a frame whose second entry's value bitmap sets a bit past the
+  // reference dimensionality; the decoder must reject, not index OOB.
+  ScopedDeltaMode delta(true);
+  MessagePtr m = make_gossip(Kind::kCyclonRequest, golden_entries());
+  auto frame = encode(*m);
+  const std::string hex = to_hex(frame);
+  // The golden layout puts the value bitmap (0x03) right after the entry
+  // flags+id+age ("000202"); flip it to 0b1000 = bit 3 of a 3-dim ref.
+  const std::size_t entry = hex.find("000202");
+  ASSERT_NE(entry, std::string::npos);
+  const std::size_t pos = entry + 6;
+  frame[pos / 2] = 0x08;
+  EXPECT_EQ(decode(frame), nullptr);
+
+  // Reserved entry flags (neither delta nor full) are rejected too.
+  auto bad_flags = encode(*m);
+  bad_flags[entry / 2] = 0x02;
+  EXPECT_EQ(decode(bad_flags), nullptr);
+}
+
+}  // namespace
+}  // namespace ares::wire

@@ -87,7 +87,12 @@ void check_decoded_entries(const std::vector<PeerDescriptor>& entries,
   }
 }
 
+// The gossip pins below are the LEGACY (v1) frames; the compressed form has
+// its own pins in delta_codec_test.cpp. Force delta mode off per test so
+// the bytes stay pinned when ctest runs under ARES_WIRE_DELTA=1.
+
 TEST(GoldenFrames, CyclonRequestBytesUnchanged) {
+  wire::ScopedDeltaMode legacy(false);
   CyclonShuffleMsg m;
   m.is_reply = false;
   m.entries.push_back(golden_descriptor(5, 0));
@@ -97,6 +102,7 @@ TEST(GoldenFrames, CyclonRequestBytesUnchanged) {
 }
 
 TEST(GoldenFrames, CyclonReplyBytesUnchanged) {
+  wire::ScopedDeltaMode legacy(false);
   CyclonShuffleMsg m;
   m.is_reply = true;
   m.entries.push_back(golden_descriptor(7, 1));
@@ -104,6 +110,7 @@ TEST(GoldenFrames, CyclonReplyBytesUnchanged) {
 }
 
 TEST(GoldenFrames, VicinityRequestBytesUnchanged) {
+  wire::ScopedDeltaMode legacy(false);
   VicinityExchangeMsg m;
   m.is_reply = false;
   m.entries.push_back(golden_descriptor(5, 0));
@@ -112,6 +119,7 @@ TEST(GoldenFrames, VicinityRequestBytesUnchanged) {
 }
 
 TEST(GoldenFrames, VicinityReplyBytesUnchanged) {
+  wire::ScopedDeltaMode legacy(false);
   VicinityExchangeMsg m;
   m.is_reply = true;
   m.entries.push_back(golden_descriptor(7, 1));
